@@ -1,0 +1,63 @@
+//! Ablation: All-to-All algorithm comparison under contention (simulated
+//! completion time, reported via custom measurement of the simulated
+//! clock), plus wall-time cost of simulating each algorithm.
+//!
+//! The design-choice ablation DESIGN.md calls out: blocking sendrecv
+//! rounds vs post-all nonblocking, and the related-work algorithms.
+
+use contention_lab::presets::ClusterPreset;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use simmpi::prelude::*;
+
+fn bench_algorithms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("alltoall_sim_cost");
+    group.sample_size(10);
+    let n = 8;
+    let m = 64 * 1024;
+    for preset in [ClusterPreset::gigabit_ethernet(), ClusterPreset::myrinet()] {
+        for algo in AllToAllAlgorithm::all() {
+            group.bench_with_input(
+                BenchmarkId::new(preset.name, algo.name()),
+                &(preset, algo),
+                |b, (preset, algo)| {
+                    b.iter(|| {
+                        let mut world = preset.build_world(n, 42);
+                        alltoall_times(&mut world, *algo, m, 0, 1)[0]
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_eager_threshold_ablation(c: &mut Criterion) {
+    // How the eager/rendezvous threshold moves the small-message regime:
+    // simulate an 8-rank All-to-All at 16 KiB under different thresholds.
+    let mut group = c.benchmark_group("eager_threshold");
+    group.sample_size(10);
+    for threshold in [1u64 * 1024, 8 * 1024, 64 * 1024] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threshold),
+            &threshold,
+            |b, &threshold| {
+                let mut preset = ClusterPreset::gigabit_ethernet();
+                preset.mpi.eager_threshold = threshold;
+                b.iter(|| {
+                    let mut world = preset.build_world(8, 42);
+                    alltoall_times(
+                        &mut world,
+                        AllToAllAlgorithm::DirectExchangeNonblocking,
+                        16 * 1024,
+                        0,
+                        1,
+                    )[0]
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_algorithms, bench_eager_threshold_ablation);
+criterion_main!(benches);

@@ -1,0 +1,116 @@
+//! One benchmark per paper figure: each bench exercises the figure's
+//! measurement pipeline at a reduced scale (small node counts, one
+//! repetition), so `cargo bench` continuously tracks the cost and
+//! viability of every reproduced experiment. The full-size data comes from
+//! the `repro` binary.
+
+use contention_lab::presets::ClusterPreset;
+use contention_lab::runner::{
+    calibrate_report, fit_cfg_for, measure_alltoall_curve, measure_pingpong_points, SweepConfig,
+};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+const SEED: u64 = 42;
+
+/// Reduced stress run shared by fig2/fig3 benches.
+fn mini_stress(k: usize, bytes: u64) -> simmpi::harness::StressResult {
+    let preset = ClusterPreset::gigabit_ethernet();
+    let mut world = preset.build_world(2 * k, SEED);
+    let mut ranks: Vec<usize> = (0..2 * k).collect();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(SEED);
+    ranks.shuffle(&mut rng);
+    let pairs: Vec<(usize, usize)> = ranks.chunks(2).map(|c| (c[0], c[1])).collect();
+    simmpi::harness::stress_run(&mut world, &pairs, bytes)
+}
+
+fn mini_fit(preset: &ClusterPreset, n: usize) -> f64 {
+    let sizes = [64 * 1024u64, 128 * 1024, 256 * 1024, 512 * 1024];
+    calibrate_report(preset, n, &sizes, SEED)
+        .map(|r| r.calibration.signature.gamma)
+        .unwrap_or(f64::NAN)
+}
+
+fn bench_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+
+    group.bench_function("fig2_stress_bandwidth", |b| {
+        b.iter(|| mini_stress(4, 2 * 1024 * 1024).mean_throughput())
+    });
+    group.bench_function("fig3_stress_stragglers", |b| {
+        b.iter(|| mini_stress(4, 2 * 1024 * 1024).straggler_factor())
+    });
+    group.bench_function("fig4_throughput_model", |b| {
+        b.iter(|| {
+            let stress = mini_stress(4, 2 * 1024 * 1024);
+            contention_model::throughput::ThroughputModel::from_stress_times(
+                300e-6,
+                stress.bytes,
+                &stress.times_secs,
+                0.5,
+            )
+            .unwrap()
+            .synthetic_beta()
+        })
+    });
+    group.bench_function("fig5_smallmsg_map", |b| {
+        let preset = ClusterPreset::gigabit_ethernet();
+        let sizes: Vec<u64> = (1..=4).map(|i| i * 4096).collect();
+        b.iter(|| {
+            let cfg = SweepConfig {
+                reps: 1,
+                warmup: 0,
+                ..fit_cfg_for(SEED)
+            };
+            measure_alltoall_curve(&preset, 4, &sizes, &cfg)
+        })
+    });
+    group.bench_function("fig6_fit_fast_ethernet", |b| {
+        b.iter(|| mini_fit(&ClusterPreset::fast_ethernet(), 8))
+    });
+    group.bench_function("fig9_fit_gigabit", |b| {
+        b.iter(|| mini_fit(&ClusterPreset::gigabit_ethernet(), 8))
+    });
+    group.bench_function("fig12_fit_myrinet", |b| {
+        b.iter(|| mini_fit(&ClusterPreset::myrinet(), 8))
+    });
+
+    // Surfaces / error grids (figs 7, 8, 10, 11, 13, 14) share the same
+    // primitive: predict-and-measure at an uncalibrated node count. The
+    // trunk-contended GbE preset needs a larger sample count before its
+    // stall noise averages out (below saturation the fit correctly
+    // refuses), hence the per-preset n_fit.
+    for (id, preset, n_fit, n_eval) in [
+        ("fig7_8_surface_fast_ethernet", ClusterPreset::fast_ethernet(), 8, 12),
+        ("fig10_11_surface_gigabit", ClusterPreset::gigabit_ethernet(), 16, 20),
+        ("fig13_14_surface_myrinet", ClusterPreset::myrinet(), 8, 12),
+    ] {
+        group.bench_function(id, |b| {
+            let sizes = [128 * 1024u64, 256 * 1024, 384 * 1024, 512 * 1024];
+            let report = calibrate_report(&preset, n_fit, &sizes, SEED).unwrap();
+            b.iter(|| {
+                let cfg = SweepConfig {
+                    reps: 1,
+                    warmup: 0,
+                    ..fit_cfg_for(SEED)
+                };
+                let measured =
+                    measure_alltoall_curve(&preset, n_eval, &[256 * 1024], &cfg)[0].1;
+                let predicted = report.calibration.signature.predict(n_eval, 256 * 1024);
+                contention_model::metrics::estimation_error_percent(measured, predicted)
+            })
+        });
+    }
+
+    group.bench_function("params_pingpong_hockney", |b| {
+        let preset = ClusterPreset::myrinet();
+        b.iter(|| measure_pingpong_points(&preset, SEED))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,91 @@
+//! Microbenchmarks of the modeling layer: Hockney fits, signature fits
+//! with breakpoint search, GLS solves and predictions. These are the
+//! "small overhead" the paper advertises for its approach — fitting is
+//! microseconds, not cluster-hours.
+
+use contention_model::prelude::*;
+use contention_stats::matrix::Matrix;
+use contention_stats::regression::{gls, ols};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn synth_samples(n: usize, gamma: f64, delta: f64, cut: u64) -> (HockneyParams, Vec<(u64, f64)>) {
+    let h = HockneyParams::new(50e-6, 8.5e-9);
+    let sizes: Vec<u64> = (1..=12).map(|i| i * 96 * 1024).collect();
+    let samples = sizes
+        .iter()
+        .map(|&m| {
+            let t = (n - 1) as f64
+                * (h.p2p_time(m) * gamma + if m >= cut { delta } else { 0.0 });
+            (m, t)
+        })
+        .collect();
+    (h, samples)
+}
+
+fn bench_fits(c: &mut Criterion) {
+    let mut group = c.benchmark_group("model_fit");
+    let (h, samples) = synth_samples(40, 4.36, 4.93e-3, 8192);
+
+    group.bench_function("signature_fit_12pts", |b| {
+        b.iter(|| ContentionSignature::fit(black_box(h), 40, black_box(&samples)).unwrap())
+    });
+
+    let pingpong: Vec<(u64, f64)> = (1..=8)
+        .map(|i| {
+            let s = i * 128 * 1024;
+            (s, h.p2p_time(s))
+        })
+        .collect();
+    group.bench_function("hockney_fit_8pts", |b| {
+        b.iter(|| HockneyParams::fit(black_box(&pingpong)).unwrap())
+    });
+
+    let sig = ContentionSignature::fit(h, 40, &samples).unwrap();
+    group.bench_function("signature_predict", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for n in 4..64 {
+                acc += sig.predict(n, 512 * 1024);
+            }
+            acc
+        })
+    });
+
+    group.bench_function("ols_16x3", |b| {
+        let rows: Vec<Vec<f64>> = (0..16)
+            .map(|i| vec![1.0, i as f64, (i * i) as f64])
+            .collect();
+        let design = Matrix::from_rows(&rows).unwrap();
+        let y: Vec<f64> = (0..16).map(|i| 1.0 + 2.0 * i as f64).collect();
+        b.iter(|| ols(black_box(&design), black_box(&y)).unwrap())
+    });
+
+    group.bench_function("gls_16x3", |b| {
+        let rows: Vec<Vec<f64>> = (0..16)
+            .map(|i| vec![1.0, i as f64, (i * i) as f64])
+            .collect();
+        let design = Matrix::from_rows(&rows).unwrap();
+        let y: Vec<f64> = (0..16).map(|i| 1.0 + 2.0 * i as f64).collect();
+        let mut sigma = Matrix::identity(16);
+        for i in 0..16 {
+            for j in 0..16 {
+                sigma[(i, j)] = 0.3f64.powi((i as i32 - j as i32).abs()) * 1.5;
+            }
+        }
+        b.iter(|| gls(black_box(&design), black_box(&y), black_box(&sigma)).unwrap())
+    });
+
+    group.bench_function("med_lower_bound_64", |b| {
+        let params = HockneyParams::new(50e-6, 8.5e-9);
+        b.iter(|| {
+            let med = Med::uniform_alltoall(64, 65_536);
+            med.time_lower_bound(black_box(&params))
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_fits);
+criterion_main!(benches);

@@ -1,0 +1,16 @@
+//! # contention-bench
+//!
+//! Benchmark targets (Criterion) and the `repro` binary that regenerates
+//! every table and figure of the paper. See `benches/` for:
+//!
+//! * `engine` — event-engine throughput under lossless bulk, lossy incast
+//!   and GM transfers;
+//! * `alltoall_algos` — the algorithm ablation (Direct Exchange blocking vs
+//!   nonblocking vs Bruck/pairwise/ring) and the eager-threshold ablation;
+//! * `model_fit` — Hockney/signature/GLS fitting costs (the "small
+//!   overhead" the paper advertises);
+//! * `figures` — one reduced-scale benchmark per paper figure.
+//!
+//! Run `cargo run --release -p contention-bench --bin repro -- all` to
+//! regenerate the paper's data series at quick scale, or `--full` for the
+//! paper's grids.

@@ -1,0 +1,50 @@
+//! Error type for model construction and fitting.
+
+use contention_stats::StatsError;
+use std::fmt;
+
+/// Errors raised while fitting or evaluating performance models.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelError {
+    /// The underlying least-squares fit failed.
+    Fit(StatsError),
+    /// A fitted parameter came out non-physical (e.g. negative bandwidth).
+    NonPhysical {
+        /// Which parameter.
+        parameter: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// Not enough measurement points for the requested fit.
+    InsufficientSamples {
+        /// Minimum required.
+        needed: usize,
+        /// Provided.
+        got: usize,
+    },
+    /// Inputs contained NaN/inf or were otherwise malformed.
+    InvalidInput(&'static str),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::Fit(e) => write!(f, "least-squares fit failed: {e}"),
+            ModelError::NonPhysical { parameter, value } => {
+                write!(f, "non-physical fitted parameter {parameter} = {value}")
+            }
+            ModelError::InsufficientSamples { needed, got } => {
+                write!(f, "need at least {needed} samples, got {got}")
+            }
+            ModelError::InvalidInput(what) => write!(f, "invalid input: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+impl From<StatsError> for ModelError {
+    fn from(e: StatsError) -> Self {
+        ModelError::Fit(e)
+    }
+}

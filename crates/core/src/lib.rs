@@ -1,0 +1,54 @@
+//! # contention-model — the paper's contribution
+//!
+//! Implements every model in Steffenel, *Modeling Network Contention
+//! Effects on All-to-All Operations* (CLUSTER 2006):
+//!
+//! * [`hockney`] — the α/β transmission model and the Proposition 1
+//!   All-to-All lower bound;
+//! * [`med`] — the message exchange digraph with the Claims 1–3 start-up
+//!   and bandwidth bounds for arbitrary total-exchange instances;
+//! * [`models`] — the related-work baselines (eq. 1 naive linear, Clement's
+//!   shared-medium factor, Labarta's bus waves, Chun's size-dependent
+//!   latency, Bruck's slowdown factor, LogGP);
+//! * [`throughput`] — §6: the `βF`/`βC`/`ρ` synthetic-gap model;
+//! * [`signature`] — §7: the contention signature `(γ, δ, M)` with GLS
+//!   fitting and breakpoint selection;
+//! * [`calibration`] — §8's measurement pipeline, data side;
+//! * [`metrics`] — the paper's `(measured/estimated − 1)·100 %` error.
+//!
+//! The crate is measurement-source-agnostic: it fits from plain
+//! `(size, time)` data. The `contention-lab` crate supplies the simulator
+//! drivers that generate those inputs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod calibration;
+pub mod collective;
+pub mod error;
+pub mod hockney;
+pub mod med;
+pub mod metrics;
+pub mod models;
+pub mod saturation;
+pub mod signature;
+pub mod throughput;
+
+/// Commonly used items.
+pub mod prelude {
+    pub use crate::calibration::{Calibration, CalibrationInput};
+    pub use crate::collective::{CollectiveShape, CollectiveSignature};
+    pub use crate::error::ModelError;
+    pub use crate::hockney::HockneyParams;
+    pub use crate::med::Med;
+    pub use crate::metrics::{estimation_error_percent, mape, AccuracyPoint};
+    pub use crate::models::{
+        BruckSlowdownModel, ChunModel, ClementModel, CompletionModel, LabartaModel, LogGpModel,
+        NaiveLinearModel,
+    };
+    pub use crate::saturation::SaturationModel;
+    pub use crate::signature::ContentionSignature;
+    pub use crate::throughput::ThroughputModel;
+}
+
+pub use prelude::*;

@@ -1,0 +1,93 @@
+//! Prediction-quality metrics.
+//!
+//! The paper reports estimation error as `(measured/estimated − 1) × 100 %`
+//! (Figs. 8, 11, 14) and claims errors "usually smaller than 10 % when
+//! there are enough processes to saturate the network".
+
+use serde::{Deserialize, Serialize};
+
+/// The paper's estimation error in percent: `(measured/estimated − 1)·100`.
+/// Positive means the model was optimistic (reality slower than predicted).
+pub fn estimation_error_percent(measured: f64, estimated: f64) -> f64 {
+    debug_assert!(estimated > 0.0, "estimated time must be positive");
+    (measured / estimated - 1.0) * 100.0
+}
+
+/// Mean absolute percentage error over paired observations.
+pub fn mape(measured: &[f64], estimated: &[f64]) -> f64 {
+    assert_eq!(measured.len(), estimated.len());
+    assert!(!measured.is_empty());
+    let sum: f64 = measured
+        .iter()
+        .zip(estimated)
+        .map(|(&m, &e)| estimation_error_percent(m, e).abs())
+        .sum();
+    sum / measured.len() as f64
+}
+
+/// One point of an accuracy report: a `(n, m)` cell with measured and
+/// predicted times.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AccuracyPoint {
+    /// Process count.
+    pub n: usize,
+    /// Message size in bytes.
+    pub message_bytes: u64,
+    /// Measured completion time, seconds.
+    pub measured_secs: f64,
+    /// Model-predicted completion time, seconds.
+    pub predicted_secs: f64,
+}
+
+impl AccuracyPoint {
+    /// The paper's error metric for this point.
+    pub fn error_percent(&self) -> f64 {
+        estimation_error_percent(self.measured_secs, self.predicted_secs)
+    }
+
+    /// Whether the prediction is within `tolerance_percent` of measured.
+    pub fn within(&self, tolerance_percent: f64) -> bool {
+        self.error_percent().abs() <= tolerance_percent
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_sign_convention_matches_paper() {
+        // Measured slower than estimated → positive error.
+        assert!((estimation_error_percent(1.1, 1.0) - 10.0).abs() < 1e-9);
+        // Measured faster → negative.
+        assert!((estimation_error_percent(0.5, 1.0) + 50.0).abs() < 1e-9);
+        // Perfect prediction → zero.
+        assert_eq!(estimation_error_percent(2.0, 2.0), 0.0);
+    }
+
+    #[test]
+    fn mape_averages_absolute_errors() {
+        let measured = [1.1, 0.9];
+        let estimated = [1.0, 1.0];
+        assert!((mape(&measured, &estimated) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn accuracy_point_roundtrip() {
+        let p = AccuracyPoint {
+            n: 24,
+            message_bytes: 65_536,
+            measured_secs: 0.105,
+            predicted_secs: 0.100,
+        };
+        assert!((p.error_percent() - 5.0).abs() < 1e-9);
+        assert!(p.within(10.0));
+        assert!(!p.within(1.0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn mape_requires_matching_lengths() {
+        let _ = mape(&[1.0], &[1.0, 2.0]);
+    }
+}

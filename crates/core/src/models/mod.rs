@@ -1,0 +1,85 @@
+//! Completion-time models for the All-to-All, including every baseline the
+//! paper's related-work section discusses (§2, §6, §7).
+//!
+//! All models implement [`CompletionModel`]: given a process count `n` and a
+//! per-pair message size `m`, predict the collective's completion time.
+
+mod bruck;
+mod chun;
+mod clement;
+mod labarta;
+mod loggp;
+mod naive;
+
+pub use bruck::BruckSlowdownModel;
+pub use chun::ChunModel;
+pub use clement::ClementModel;
+pub use labarta::LabartaModel;
+pub use loggp::LogGpModel;
+pub use naive::NaiveLinearModel;
+
+/// A model predicting All-to-All completion time.
+pub trait CompletionModel {
+    /// Short identifier used in benchmark and experiment output.
+    fn name(&self) -> &'static str;
+
+    /// Predicted completion time in seconds for `n` processes exchanging
+    /// `m`-byte messages.
+    fn predict(&self, n: usize, m: u64) -> f64;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hockney::HockneyParams;
+
+    fn params() -> HockneyParams {
+        HockneyParams::new(50e-6, 8.5e-9)
+    }
+
+    /// Every model must be monotone in both n and m on sane inputs.
+    #[test]
+    fn all_models_are_monotone() {
+        let h = params();
+        let models: Vec<Box<dyn CompletionModel>> = vec![
+            Box::new(NaiveLinearModel::new(h)),
+            Box::new(ClementModel::new(50e-6, 1.0 / 8.5e-9)),
+            Box::new(LabartaModel::new(h, 8)),
+            Box::new(ChunModel::new(
+                vec![(8 * 1024, 60e-6), (u64::MAX, 200e-6)],
+                8.5e-9,
+            )),
+            Box::new(BruckSlowdownModel::new(h, 2.0)),
+            Box::new(LogGpModel::new(40e-6, 5e-6, 10e-6, 8.5e-9)),
+        ];
+        for model in &models {
+            let base = model.predict(8, 64 * 1024);
+            assert!(base > 0.0, "{}", model.name());
+            assert!(
+                model.predict(16, 64 * 1024) > base,
+                "{} not monotone in n",
+                model.name()
+            );
+            assert!(
+                model.predict(8, 1024 * 1024) > base,
+                "{} not monotone in m",
+                model.name()
+            );
+        }
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let h = params();
+        let names = [
+            NaiveLinearModel::new(h).name(),
+            ClementModel::new(1e-6, 1e8).name(),
+            LabartaModel::new(h, 4).name(),
+            ChunModel::new(vec![(u64::MAX, 1e-6)], 1e-9).name(),
+            BruckSlowdownModel::new(h, 1.5).name(),
+            LogGpModel::new(1e-6, 1e-6, 1e-6, 1e-9).name(),
+        ];
+        let set: std::collections::HashSet<_> = names.iter().collect();
+        assert_eq!(set.len(), names.len());
+    }
+}

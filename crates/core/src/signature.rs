@@ -1,0 +1,254 @@
+//! The contention signature — the paper's headline contribution (§7).
+//!
+//! The hypothesis: network contention depends mostly on the physical
+//! network (cards, links, switches), so the *ratio* between the Proposition
+//! 1 lower bound and the real completion time is a property of the network
+//! — its **contention signature** — measurable once at a sample process
+//! count `n′` and reusable for any `(n, m)` on that network:
+//!
+//! ```text
+//! T(n, m) = (n−1)·(α + m·β)·γ                 if m <  M     (eq. 4/5)
+//! T(n, m) = (n−1)·((α + m·β)·γ + δ)           if m ≥  M
+//! ```
+//!
+//! `γ` is the contention ratio, `δ` the per-round start-up overload
+//! ("each simultaneous communication induces an overload of 8.23 ms"), and
+//! `M` the message-size cutoff below which the affine term vanishes.
+//! Fitted by least squares over at least four measurement points, with the
+//! breakpoint chosen by model selection.
+
+use crate::error::ModelError;
+use crate::hockney::HockneyParams;
+use crate::models::CompletionModel;
+use contention_stats::piecewise::{fit_piecewise, PiecewiseSpec};
+use serde::{Deserialize, Serialize};
+
+/// A fitted contention signature `(γ, δ, M)` over Hockney parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ContentionSignature {
+    /// Contention-free point-to-point parameters the bound is built on.
+    pub hockney: HockneyParams,
+    /// Contention ratio γ: measured time over the lower bound.
+    pub gamma: f64,
+    /// Per-round start-up overload δ in seconds (applied `n−1` times for
+    /// messages of at least `cutoff_bytes`).
+    pub delta_secs: f64,
+    /// Message-size cutoff `M`; `None` when the pure-ratio model fits best
+    /// (the Myrinet case, δ ≈ 0).
+    pub cutoff_bytes: Option<u64>,
+    /// Sample process count `n′` the signature was fitted at.
+    pub sample_n: usize,
+    /// Goodness of fit (R²) at the sample points.
+    pub fit_r_squared: f64,
+}
+
+impl ContentionSignature {
+    /// Fits a signature from All-to-All measurements at one process count.
+    ///
+    /// `samples` are `(message_bytes, measured_seconds)` pairs; the paper
+    /// requires "at least four measurement points in order to better fit
+    /// the performance curve". `δ` is constrained non-negative (a negative
+    /// start-up overload is non-physical).
+    pub fn fit(
+        hockney: HockneyParams,
+        sample_n: usize,
+        samples: &[(u64, f64)],
+    ) -> Result<Self, ModelError> {
+        if sample_n < 2 {
+            return Err(ModelError::InvalidInput("need at least two processes"));
+        }
+        if samples.len() < 4 {
+            return Err(ModelError::InsufficientSamples {
+                needed: 4,
+                got: samples.len(),
+            });
+        }
+        let abscissa: Vec<f64> = samples.iter().map(|&(m, _)| m as f64).collect();
+        let slope_basis: Vec<f64> = samples
+            .iter()
+            .map(|&(m, _)| hockney.alltoall_lower_bound(sample_n, m))
+            .collect();
+        let step_basis = vec![(sample_n - 1) as f64; samples.len()];
+        let observations: Vec<f64> = samples.iter().map(|&(_, t)| t).collect();
+        let fit = fit_piecewise(
+            &PiecewiseSpec {
+                abscissa: &abscissa,
+                slope_basis: &slope_basis,
+                step_basis: &step_basis,
+                observations: &observations,
+            },
+            true,
+        )?;
+        if fit.gamma <= 0.0 {
+            return Err(ModelError::NonPhysical {
+                parameter: "gamma",
+                value: fit.gamma,
+            });
+        }
+        Ok(Self {
+            hockney,
+            gamma: fit.gamma,
+            delta_secs: fit.delta,
+            cutoff_bytes: fit.cutoff.map(|c| c as u64),
+            sample_n,
+            fit_r_squared: fit.r_squared,
+        })
+    }
+
+    /// Evaluates eq. 5 for `n` processes and `m`-byte messages.
+    pub fn predict(&self, n: usize, m: u64) -> f64 {
+        if n < 2 {
+            return 0.0;
+        }
+        let per_round = self.hockney.p2p_time(m) * self.gamma
+            + match self.cutoff_bytes {
+                Some(cut) if m >= cut => self.delta_secs,
+                _ => 0.0,
+            };
+        (n - 1) as f64 * per_round
+    }
+
+    /// The lower bound this signature is expressed against.
+    pub fn lower_bound(&self, n: usize, m: u64) -> f64 {
+        self.hockney.alltoall_lower_bound(n, m)
+    }
+
+    /// Whether the affine δ term applies at message size `m`.
+    pub fn delta_active(&self, m: u64) -> bool {
+        matches!(self.cutoff_bytes, Some(cut) if m >= cut && self.delta_secs > 0.0)
+    }
+}
+
+impl CompletionModel for ContentionSignature {
+    fn name(&self) -> &'static str {
+        "contention-signature"
+    }
+
+    fn predict(&self, n: usize, m: u64) -> f64 {
+        ContentionSignature::predict(self, n, m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gige_hockney() -> HockneyParams {
+        HockneyParams::new(50e-6, 8.5e-9)
+    }
+
+    /// Synthesizes measurements from known (γ, δ, M) and checks recovery.
+    #[test]
+    fn fit_recovers_planted_signature() {
+        let h = gige_hockney();
+        let (n, gamma, delta, cut) = (40usize, 4.3628, 4.93e-3, 8192u64);
+        let sizes = [1024u64, 4096, 8192, 65_536, 262_144, 524_288, 1_048_576];
+        let samples: Vec<(u64, f64)> = sizes
+            .iter()
+            .map(|&m| {
+                let t = (n - 1) as f64
+                    * (h.p2p_time(m) * gamma + if m >= cut { delta } else { 0.0 });
+                (m, t)
+            })
+            .collect();
+        let sig = ContentionSignature::fit(h, n, &samples).unwrap();
+        assert!((sig.gamma - gamma).abs() < 1e-6, "gamma = {}", sig.gamma);
+        assert!((sig.delta_secs - delta).abs() < 1e-9);
+        assert_eq!(sig.cutoff_bytes, Some(cut));
+        assert!(sig.fit_r_squared > 0.999999);
+    }
+
+    #[test]
+    fn fit_without_step_finds_pure_gamma() {
+        // The Myrinet case: δ below measurement noise → pure ratio.
+        let h = HockneyParams::new(10e-6, 4e-9);
+        let n = 24;
+        let sizes = [65_536u64, 131_072, 262_144, 524_288, 1_048_576];
+        let samples: Vec<(u64, f64)> = sizes
+            .iter()
+            .map(|&m| (m, h.alltoall_lower_bound(n, m) * 2.49754))
+            .collect();
+        let sig = ContentionSignature::fit(h, n, &samples).unwrap();
+        assert!((sig.gamma - 2.49754).abs() < 1e-9);
+        assert_eq!(sig.cutoff_bytes, None);
+        assert_eq!(sig.delta_secs, 0.0);
+    }
+
+    #[test]
+    fn prediction_extrapolates_across_n() {
+        let h = gige_hockney();
+        let sig = ContentionSignature {
+            hockney: h,
+            gamma: 4.3628,
+            delta_secs: 4.93e-3,
+            cutoff_bytes: Some(8192),
+            sample_n: 40,
+            fit_r_squared: 1.0,
+        };
+        // Eq. 5 by hand at n = 16, m = 1 MiB.
+        let m = 1_048_576u64;
+        let expected = 15.0 * (h.p2p_time(m) * 4.3628 + 4.93e-3);
+        assert!((sig.predict(16, m) - expected).abs() < 1e-12);
+        // Below the cutoff, no δ.
+        let expected_small = 15.0 * h.p2p_time(4096) * 4.3628;
+        assert!((sig.predict(16, 4096) - expected_small).abs() < 1e-12);
+        assert!(sig.delta_active(8192));
+        assert!(!sig.delta_active(4096));
+    }
+
+    #[test]
+    fn gamma_one_delta_zero_equals_lower_bound() {
+        let h = gige_hockney();
+        let sig = ContentionSignature {
+            hockney: h,
+            gamma: 1.0,
+            delta_secs: 0.0,
+            cutoff_bytes: None,
+            sample_n: 8,
+            fit_r_squared: 1.0,
+        };
+        for &(n, m) in &[(4usize, 1024u64), (24, 65_536), (50, 1_048_576)] {
+            assert!((sig.predict(n, m) - sig.lower_bound(n, m)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fit_requires_four_points() {
+        let h = gige_hockney();
+        let samples = vec![(1024u64, 0.1), (2048, 0.2), (4096, 0.4)];
+        assert!(matches!(
+            ContentionSignature::fit(h, 8, &samples),
+            Err(ModelError::InsufficientSamples { needed: 4, .. })
+        ));
+    }
+
+    #[test]
+    fn fit_tolerates_measurement_noise() {
+        let h = gige_hockney();
+        let n = 24;
+        let sizes: Vec<u64> = (1..=10).map(|i| i * 131_072).collect();
+        let samples: Vec<(u64, f64)> = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &m)| {
+                let noise = if i % 2 == 0 { 1.03 } else { 0.97 };
+                (m, h.alltoall_lower_bound(n, m) * 1.9 * noise)
+            })
+            .collect();
+        let sig = ContentionSignature::fit(h, n, &samples).unwrap();
+        assert!((sig.gamma - 1.9).abs() < 0.1, "gamma = {}", sig.gamma);
+    }
+
+    #[test]
+    fn degenerate_n_predicts_zero() {
+        let sig = ContentionSignature {
+            hockney: gige_hockney(),
+            gamma: 2.0,
+            delta_secs: 0.0,
+            cutoff_bytes: None,
+            sample_n: 8,
+            fit_r_squared: 1.0,
+        };
+        assert_eq!(sig.predict(1, 1024), 0.0);
+    }
+}

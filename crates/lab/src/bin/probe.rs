@@ -1,0 +1,113 @@
+//! Diagnostic: print the fitted Hockney parameters and contention
+//! signature of each preset at a sample node count. Used to calibrate the
+//! presets against the paper's reported values (γ, δ, M).
+
+use contention_lab::presets::ClusterPreset;
+use contention_lab::runner::{
+    calibrate_signature, default_sample_sizes, measure_alltoall_curve, measure_hockney,
+    SweepConfig,
+};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.get(1).map(String::as_str) == Some("curve") {
+        let name = args.get(2).map(String::as_str).unwrap_or("gigabit-ethernet");
+        let n: usize = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(40);
+        let preset = ClusterPreset::all()
+            .into_iter()
+            .find(|p| p.name == name)
+            .expect("unknown preset");
+        let h = measure_hockney(&preset, 42).expect("hockney fit");
+        println!(
+            "{name}: alpha={:.2}us beta={:.3}ns/B",
+            h.alpha_secs * 1e6,
+            h.beta_secs_per_byte * 1e9
+        );
+        let cfg = SweepConfig::default();
+        for (m, t) in measure_alltoall_curve(&preset, n, &default_sample_sizes(), &cfg) {
+            let bound = h.alltoall_lower_bound(n, m);
+            println!(
+                "  m={:>8} measured={:>9.4}s bound={:>8.4}s ratio={:>6.2}",
+                m,
+                t,
+                bound,
+                t / bound
+            );
+        }
+        return;
+    }
+    if args.get(1).map(String::as_str) == Some("diag") {
+        let name = args.get(2).map(String::as_str).unwrap_or("fast-ethernet");
+        let n: usize = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(24);
+        let m: u64 = args.get(4).and_then(|s| s.parse().ok()).unwrap_or(1_048_576);
+        let preset = ClusterPreset::all()
+            .into_iter()
+            .find(|p| p.name == name)
+            .expect("unknown preset");
+        let mut world = preset.build_world(n, 42);
+        use simmpi::prelude::*;
+        let algo = AllToAllAlgorithm::DirectExchangeNonblocking;
+        let t = alltoall_times(&mut world, algo, m, 1, 1)[0];
+        let s = world.sim().stats();
+        let h = measure_hockney(&preset, 42).unwrap();
+        let bound = h.alltoall_lower_bound(n, m);
+        println!("{name} n={n} m={m}: t={t:.4}s bound={bound:.4}s ratio={:.3}", t / bound);
+        println!(
+            "  data_pkts={} retx={} ({:.2}%) timeouts={} fast_rtx={} drops={} events={}M",
+            s.data_packets_sent,
+            s.retransmissions,
+            100.0 * s.retransmissions as f64 / s.data_packets_sent.max(1) as f64,
+            s.timeouts,
+            s.fast_retransmits,
+            s.packets_dropped,
+            s.events_processed / 1_000_000,
+        );
+        // Ideal wire time for the aggregate volume at the edge link:
+        let per_host_bytes = (n - 1) as u64 * m;
+        let wire = preset.edge_link.bandwidth_bytes_per_sec;
+        println!(
+            "  per-host bytes={} edge-rate time={:.4}s",
+            per_host_bytes,
+            per_host_bytes as f64 / wire
+        );
+        return;
+    }
+    let which = args.get(1).map(String::as_str).unwrap_or("all");
+    let sample_n: usize = args
+        .get(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    for preset in ClusterPreset::all() {
+        if which != "all" && which != preset.name {
+            continue;
+        }
+        let n = if sample_n > 0 {
+            sample_n
+        } else {
+            match preset.name {
+                "fast-ethernet" => 24,
+                "gigabit-ethernet" => 40,
+                _ => 24,
+            }
+        };
+        let t0 = std::time::Instant::now();
+        match calibrate_signature(&preset, n, &default_sample_sizes(), 42) {
+            Ok(cal) => {
+                println!(
+                    "{:<17} n'={:<3} alpha={:>9.2}us beta={:>7.3}ns/B ({:>6.1} MB/s) | gamma={:<8.4} delta={:>8.3}ms M={:?} R2={:.4} [{:.1}s]",
+                    preset.name,
+                    n,
+                    cal.hockney.alpha_secs * 1e6,
+                    cal.hockney.beta_secs_per_byte * 1e9,
+                    cal.hockney.bandwidth_bytes_per_sec() / 1e6,
+                    cal.signature.gamma,
+                    cal.signature.delta_secs * 1e3,
+                    cal.signature.cutoff_bytes,
+                    cal.signature.fit_r_squared,
+                    t0.elapsed().as_secs_f64(),
+                );
+            }
+            Err(e) => println!("{:<17} calibration failed: {e}", preset.name),
+        }
+    }
+}

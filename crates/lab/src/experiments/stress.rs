@@ -1,0 +1,129 @@
+//! Figures 2 and 3: the §3 network stress test on Gigabit Ethernet —
+//! simultaneous point-to-point connections flooding the fabric.
+//!
+//! Fig. 2 plots the *average* per-connection bandwidth against the number
+//! of connections; Fig. 3 plots the individual transmission times, whose
+//! long tail (stragglers ≈ 6× the fastest) is the TCP-retransmission
+//! fingerprint the whole paper builds on.
+
+use super::{ExperimentOutput, Profile, Scale};
+use crate::presets::ClusterPreset;
+use crate::report::{ascii_chart, Series, Table};
+use contention_stats::descriptive::Summary;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use simmpi::harness::{stress_run, StressResult};
+
+/// Connection counts swept (the paper samples 1..60).
+pub fn connection_counts(scale: Scale) -> Vec<usize> {
+    match scale {
+        Scale::Quick => vec![1, 4, 8, 16, 24, 32, 48, 60],
+        Scale::Full => vec![1, 2, 4, 6, 8, 12, 16, 20, 24, 28, 32, 36, 40, 44, 48, 52, 56, 60],
+    }
+}
+
+/// Transfer size per connection.
+pub fn transfer_bytes(scale: Scale) -> u64 {
+    match scale {
+        // The paper uses 32 MB; a quarter of that keeps the quick profile
+        // fast while staying far above every window/buffer scale.
+        Scale::Quick => 8 * 1024 * 1024,
+        Scale::Full => 32 * 1024 * 1024,
+    }
+}
+
+/// Runs the stress sweep: for each connection count `k`, `2k` hosts are
+/// paired off randomly (seeded), all transfers start simultaneously.
+pub fn stress_sweep(profile: &Profile) -> Vec<(usize, StressResult)> {
+    let preset = ClusterPreset::gigabit_ethernet();
+    let bytes = transfer_bytes(profile.scale);
+    connection_counts(profile.scale)
+        .into_iter()
+        .map(|k| {
+            let mut world = preset.build_world(2 * k, profile.seed ^ (k as u64) << 8);
+            // Random pairing over scattered hosts: like grabbing 2k nodes
+            // from the batch scheduler, most pairs cross switches.
+            let mut ranks: Vec<usize> = (0..2 * k).collect();
+            let mut rng = rand::rngs::StdRng::seed_from_u64(profile.seed ^ 0xF00D ^ k as u64);
+            ranks.shuffle(&mut rng);
+            let pairs: Vec<(usize, usize)> =
+                ranks.chunks(2).map(|c| (c[0], c[1])).collect();
+            (k, stress_run(&mut world, &pairs, bytes))
+        })
+        .collect()
+}
+
+/// Figure 2: average per-connection bandwidth vs connection count.
+pub fn run_fig2(profile: &Profile) -> ExperimentOutput {
+    let sweep = stress_sweep(profile);
+    let mut table = Table::new(
+        "fig2: average bandwidth vs simultaneous connections (GbE)",
+        &["connections", "mean_MBps", "min_MBps", "max_MBps"],
+    );
+    let mut pts = Vec::new();
+    for (k, result) in &sweep {
+        let bws: Vec<f64> = result
+            .times_secs
+            .iter()
+            .map(|&t| result.bytes as f64 / t / 1e6)
+            .collect();
+        let s = Summary::of(&bws).expect("non-empty");
+        table.push_row(vec![
+            k.to_string(),
+            format!("{:.2}", s.mean),
+            format!("{:.2}", s.min),
+            format!("{:.2}", s.max),
+        ]);
+        pts.push((*k as f64, s.mean));
+    }
+    let chart = ascii_chart(
+        &[Series { label: "B avg MB/s".into(), points: pts }],
+        64,
+        14,
+    );
+    ExperimentOutput {
+        tables: vec![table],
+        charts: vec![chart],
+        notes: vec![
+            "paper fig2: single connection ≈ 112 MB/s, degrading steadily with more connections"
+                .into(),
+        ],
+    }
+}
+
+/// Figure 3: individual transmission times vs connection count.
+pub fn run_fig3(profile: &Profile) -> ExperimentOutput {
+    let sweep = stress_sweep(profile);
+    let mut table = Table::new(
+        "fig3: individual transmission times (GbE stress)",
+        &["connections", "connection_idx", "time_s"],
+    );
+    let mut individual = Vec::new();
+    let mut average = Vec::new();
+    let mut max_straggler: f64 = 1.0;
+    for (k, result) in &sweep {
+        let s = Summary::of(&result.times_secs).expect("non-empty");
+        average.push((*k as f64, s.mean));
+        max_straggler = max_straggler.max(result.straggler_factor());
+        for (i, &t) in result.times_secs.iter().enumerate() {
+            table.push_row(vec![k.to_string(), i.to_string(), format!("{t:.4}")]);
+            individual.push((*k as f64, t));
+        }
+    }
+    let chart = ascii_chart(
+        &[
+            Series { label: ". individual".into(), points: individual },
+            Series { label: "A average".into(), points: average },
+        ],
+        64,
+        16,
+    );
+    ExperimentOutput {
+        tables: vec![table],
+        charts: vec![chart],
+        notes: vec![format!(
+            "worst straggler factor (slowest/fastest within a run): {max_straggler:.1}x \
+             (paper: some connections take almost six times longer)"
+        )],
+    }
+}

@@ -1,0 +1,19 @@
+//! # contention-lab — presets, measurement drivers and paper experiments
+//!
+//! Binds the simulator stack to the paper's experimental procedure:
+//!
+//! * [`presets`] — the three clusters (Fast Ethernet, Gigabit Ethernet,
+//!   Myrinet) as reproducible topology + protocol descriptions;
+//! * [`runner`] — ping-pong/Hockney measurement, All-to-All sweeps, the
+//!   full §8 calibration pipeline, and a parallel sweep helper;
+//! * [`experiments`] — one module per paper figure (2–14) plus the fitted
+//!   parameter table, all registered for the `repro` binary;
+//! * [`report`] — CSV/markdown tables and ASCII charts.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod presets;
+pub mod report;
+pub mod runner;

@@ -1,0 +1,283 @@
+//! Measurement drivers: the paper's §8 procedure executed against the
+//! simulator, plus a small parallel sweep helper.
+
+use crate::presets::ClusterPreset;
+use contention_model::calibration::{Calibration, CalibrationInput};
+use contention_model::error::ModelError;
+use contention_model::hockney::HockneyParams;
+use contention_stats::descriptive::median;
+use simmpi::prelude::*;
+
+/// Repetition and seeding policy for a sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SweepConfig {
+    /// Discarded warm-up repetitions per point.
+    pub warmup: usize,
+    /// Measured repetitions per point (averaged).
+    pub reps: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+    /// The `MPI_Alltoall` implementation under test. Defaults to the
+    /// post-everything nonblocking Direct Exchange, which is what LAM-MPI
+    /// and MPICH1 actually execute (the paper: "all communications are
+    /// started simultaneously"); Algorithm 1's rounds give the rotated
+    /// *posting order*.
+    pub algorithm: AllToAllAlgorithm,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        Self {
+            warmup: 1,
+            reps: 3,
+            seed: 42,
+            algorithm: AllToAllAlgorithm::DirectExchangeNonblocking,
+        }
+    }
+}
+
+/// Message sizes used to fit signatures: 64 KiB – 1 MiB, the linear regime
+/// of the paper's Figs. 6/9/12 (six points, comfortably above the "at least
+/// four" the fit requires).
+pub fn default_sample_sizes() -> Vec<u64> {
+    vec![
+        64 * 1024,
+        128 * 1024,
+        256 * 1024,
+        512 * 1024,
+        768 * 1024,
+        1024 * 1024,
+    ]
+}
+
+/// Ping-pong sizes for the Hockney α/β fit.
+pub fn default_pingpong_sizes() -> Vec<u64> {
+    vec![1024, 16 * 1024, 131_072, 524_288, 1_048_576]
+}
+
+/// Measures one-way point-to-point times on the cluster: for each size,
+/// several single-round-trip runs, keeping the **median** (robust against
+/// scheduling hiccups, like taking the typical of 100 runs).
+pub fn measure_pingpong_points(preset: &ClusterPreset, seed: u64) -> Vec<(u64, f64)> {
+    let sizes = default_pingpong_sizes();
+    let runs_per_size = 5;
+    sizes
+        .iter()
+        .map(|&size| {
+            let samples: Vec<f64> = (0..runs_per_size)
+                .map(|r| {
+                    let mut w = preset.build_world(2, seed.wrapping_add(r as u64 * 7919));
+                    ping_pong(&mut w, 0, 1, &[size], 1)[0].half_rtt_secs
+                })
+                .collect();
+            (size, median(&samples).expect("non-empty samples"))
+        })
+        .collect()
+}
+
+/// Fits Hockney parameters from a cluster's ping-pong measurements.
+pub fn measure_hockney(preset: &ClusterPreset, seed: u64) -> Result<HockneyParams, ModelError> {
+    HockneyParams::fit(&measure_pingpong_points(preset, seed))
+}
+
+/// Mean Direct Exchange All-to-All completion time at each message size,
+/// on one warm world of `n` ranks.
+pub fn measure_alltoall_curve(
+    preset: &ClusterPreset,
+    n: usize,
+    sizes: &[u64],
+    cfg: &SweepConfig,
+) -> Vec<(u64, f64)> {
+    let mut world = preset.build_world(n, cfg.seed);
+    sizes
+        .iter()
+        .map(|&m| {
+            let times = alltoall_times(&mut world, cfg.algorithm, m, cfg.warmup, cfg.reps);
+            let mean = times.iter().sum::<f64>() / times.len() as f64;
+            (m, mean)
+        })
+        .collect()
+}
+
+/// Mean Direct Exchange completion at a single `(n, m)` point.
+pub fn measure_alltoall_point(
+    preset: &ClusterPreset,
+    n: usize,
+    m: u64,
+    cfg: &SweepConfig,
+) -> f64 {
+    let mut world = preset.build_world(n, cfg.seed);
+    let times = alltoall_times(&mut world, cfg.algorithm, m, cfg.warmup, cfg.reps);
+    times.iter().sum::<f64>() / times.len() as f64
+}
+
+/// A calibration together with the raw measurements that produced it.
+#[derive(Debug, Clone)]
+pub struct CalibrationReport {
+    /// Fitted Hockney parameters and contention signature.
+    pub calibration: Calibration,
+    /// The measurements behind the fit.
+    pub input: CalibrationInput,
+}
+
+/// The paper's full calibration: ping-pong → Hockney fit → sample
+/// All-to-All sweep at `sample_n` → signature regression. Returns the raw
+/// measurements too, so figures can plot measured vs fitted.
+pub fn calibrate_report(
+    preset: &ClusterPreset,
+    sample_n: usize,
+    sizes: &[u64],
+    seed: u64,
+) -> Result<CalibrationReport, ModelError> {
+    let pingpong = measure_pingpong_points(preset, seed);
+    // The sample curve anchors every later prediction, so average more
+    // repetitions here than in ordinary sweeps (the paper averages 100
+    // measures per point; RTO-stall quantization makes single runs lumpy).
+    let cfg = SweepConfig {
+        seed,
+        reps: 6,
+        ..SweepConfig::default()
+    };
+    let alltoall = measure_alltoall_curve(preset, sample_n, sizes, &cfg);
+    let input = CalibrationInput {
+        pingpong,
+        sample_n,
+        alltoall,
+    };
+    let calibration = Calibration::from_measurements(&input)?;
+    Ok(CalibrationReport { calibration, input })
+}
+
+/// [`calibrate_report`] without the raw measurements.
+pub fn calibrate_signature(
+    preset: &ClusterPreset,
+    sample_n: usize,
+    sizes: &[u64],
+    seed: u64,
+) -> Result<Calibration, ModelError> {
+    calibrate_report(preset, sample_n, sizes, seed).map(|r| r.calibration)
+}
+
+/// Mean completion time of an arbitrary collective at each block size
+/// (the future-work extension: signatures beyond the All-to-All).
+pub fn measure_collective_curve(
+    preset: &ClusterPreset,
+    collective: simmpi::collectives::Collective,
+    n: usize,
+    sizes: &[u64],
+    cfg: &SweepConfig,
+) -> Vec<(u64, f64)> {
+    let mut world = preset.build_world(n, cfg.seed);
+    sizes
+        .iter()
+        .map(|&m| {
+            let programs = collective.programs(n, m);
+            for _ in 0..cfg.warmup {
+                let _ = world.run(programs.clone());
+            }
+            let mean = (0..cfg.reps.max(1))
+                .map(|_| world.run(programs.clone()).duration_secs())
+                .sum::<f64>()
+                / cfg.reps.max(1) as f64;
+            (m, mean)
+        })
+        .collect()
+}
+
+/// A default [`SweepConfig`] with the given seed.
+pub fn fit_cfg_for(seed: u64) -> SweepConfig {
+    SweepConfig {
+        seed,
+        ..SweepConfig::default()
+    }
+}
+
+/// Maps `f` over `items` on up to `workers` threads, preserving order.
+/// Sweeps are embarrassingly parallel (one simulator per point).
+pub fn parallel_map<T, R, F>(items: Vec<T>, workers: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    assert!(workers > 0);
+    if items.len() <= 1 || workers == 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let n = items.len();
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(n);
+    slots.resize_with(n, || None);
+    let work: Vec<(usize, T)> = items.into_iter().enumerate().collect();
+    let queue = parking_lot::Mutex::new(work);
+    let results = parking_lot::Mutex::new(&mut slots);
+    crossbeam::scope(|scope| {
+        for _ in 0..workers.min(n) {
+            scope.spawn(|_| loop {
+                let item = queue.lock().pop();
+                let Some((idx, item)) = item else { break };
+                let r = f(item);
+                results.lock()[idx] = Some(r);
+            });
+        }
+    })
+    .expect("sweep workers do not panic");
+    slots
+        .into_iter()
+        .map(|s| s.expect("every slot filled"))
+        .collect()
+}
+
+/// Number of sweep workers to use on this machine.
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let out = parallel_map((0..32).collect(), 4, |x: i32| x * x);
+        let expected: Vec<i32> = (0..32).map(|x| x * x).collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn parallel_map_single_worker_degenerates() {
+        let out = parallel_map(vec![1, 2, 3], 1, |x: i32| x + 1);
+        assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn pingpong_measurement_is_affine_ish() {
+        let preset = ClusterPreset::myrinet();
+        let points = measure_pingpong_points(&preset, 5);
+        // Times strictly increase with size.
+        for w in points.windows(2) {
+            assert!(w[1].1 > w[0].1, "{points:?}");
+        }
+        let h = HockneyParams::fit(&points).unwrap();
+        // Myrinet: 250 MB/s wire → β ≈ 4 ns/B within 50 %.
+        assert!(
+            (h.beta_secs_per_byte - 4e-9).abs() < 2e-9,
+            "beta = {}",
+            h.beta_secs_per_byte
+        );
+    }
+
+    #[test]
+    fn alltoall_curve_is_increasing() {
+        let preset = ClusterPreset::myrinet();
+        let cfg = SweepConfig {
+            warmup: 0,
+            reps: 1,
+            seed: 9,
+            ..SweepConfig::default()
+        };
+        let curve = measure_alltoall_curve(&preset, 6, &[16 * 1024, 256 * 1024], &cfg);
+        assert!(curve[1].1 > curve[0].1);
+    }
+}

@@ -1,0 +1,199 @@
+//! The general (irregular) total exchange — `MPI_Alltoallv`.
+//!
+//! The paper formalizes the *total exchange problem* on a weighted digraph
+//! (§5) where every pair may carry a different payload; the uniform
+//! All-to-All is the special case it then studies. This module schedules
+//! the general case, so the MED machinery in `contention-model` (Claims
+//! 1–3) can be validated against executable workloads.
+
+use crate::ops::{Op, Rank};
+
+/// A per-pair payload matrix: `matrix[i][j]` bytes flow from rank `i` to
+/// rank `j`. Zero entries mean no message; the diagonal is ignored.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExchangeMatrix {
+    sizes: Vec<Vec<u64>>,
+}
+
+impl ExchangeMatrix {
+    /// Builds a matrix, validating squareness.
+    ///
+    /// # Panics
+    /// Panics if the matrix is not square or is empty.
+    pub fn new(sizes: Vec<Vec<u64>>) -> Self {
+        let n = sizes.len();
+        assert!(n > 0, "empty exchange matrix");
+        assert!(
+            sizes.iter().all(|row| row.len() == n),
+            "exchange matrix must be square"
+        );
+        Self { sizes }
+    }
+
+    /// The uniform All-to-All as a degenerate case.
+    pub fn uniform(n: usize, m: u64) -> Self {
+        let sizes = (0..n)
+            .map(|i| (0..n).map(|j| if i == j { 0 } else { m }).collect())
+            .collect();
+        Self::new(sizes)
+    }
+
+    /// Number of ranks.
+    pub fn n(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// Payload from `i` to `j` (zero on the diagonal).
+    pub fn bytes(&self, i: Rank, j: Rank) -> u64 {
+        if i == j {
+            0
+        } else {
+            self.sizes[i][j]
+        }
+    }
+
+    /// Total bytes rank `i` must send.
+    pub fn send_volume(&self, i: Rank) -> u64 {
+        (0..self.n()).map(|j| self.bytes(i, j)).sum()
+    }
+
+    /// Total bytes rank `j` must receive.
+    pub fn recv_volume(&self, j: Rank) -> u64 {
+        (0..self.n()).map(|i| self.bytes(i, j)).sum()
+    }
+
+    /// Direct-exchange schedule with rotated destinations (Algorithm 1
+    /// generalized): round `t`, rank `i` sends its block to `(i+t) mod n`
+    /// if non-empty and receives from `(i−t) mod n` if that block exists.
+    pub fn direct_exchange_programs(&self) -> Vec<Vec<Op>> {
+        let n = self.n();
+        (0..n)
+            .map(|i| {
+                (1..n)
+                    .filter_map(|t| {
+                        let to = (i + t) % n;
+                        let from = (i + n - t) % n;
+                        let sends: Vec<(Rank, u64)> = if self.bytes(i, to) > 0 {
+                            vec![(to, self.bytes(i, to))]
+                        } else {
+                            vec![]
+                        };
+                        let recvs: Vec<Rank> = if self.bytes(from, i) > 0 {
+                            vec![from]
+                        } else {
+                            vec![]
+                        };
+                        if sends.is_empty() && recvs.is_empty() {
+                            None
+                        } else {
+                            Some(Op::Transfer { sends, recvs })
+                        }
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Post-everything nonblocking schedule (what `MPI_Alltoallv` over
+    /// isend/irecv does).
+    pub fn nonblocking_programs(&self) -> Vec<Vec<Op>> {
+        let n = self.n();
+        (0..n)
+            .map(|i| {
+                let sends: Vec<(Rank, u64)> = (1..n)
+                    .map(|t| (i + t) % n)
+                    .filter(|&j| self.bytes(i, j) > 0)
+                    .map(|j| (j, self.bytes(i, j)))
+                    .collect();
+                let recvs: Vec<Rank> = (1..n)
+                    .map(|t| (i + n - t) % n)
+                    .filter(|&j| self.bytes(j, i) > 0)
+                    .collect();
+                if sends.is_empty() && recvs.is_empty() {
+                    vec![]
+                } else {
+                    vec![Op::Transfer { sends, recvs }]
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lopsided() -> ExchangeMatrix {
+        // Rank 0 is a heavy producer; rank 2 receives nothing from 1.
+        ExchangeMatrix::new(vec![
+            vec![0, 1000, 2000, 3000],
+            vec![10, 0, 0, 30],
+            vec![1, 2, 0, 4],
+            vec![100, 200, 300, 0],
+        ])
+    }
+
+    #[test]
+    fn volumes_sum_rows_and_columns() {
+        let m = lopsided();
+        assert_eq!(m.send_volume(0), 6000);
+        assert_eq!(m.send_volume(1), 40);
+        assert_eq!(m.recv_volume(2), 2300);
+        assert_eq!(m.recv_volume(0), 111);
+    }
+
+    #[test]
+    fn uniform_matches_alltoall() {
+        let m = ExchangeMatrix::uniform(5, 64);
+        for i in 0..5 {
+            assert_eq!(m.send_volume(i), 4 * 64);
+            assert_eq!(m.recv_volume(i), 4 * 64);
+            assert_eq!(m.bytes(i, i), 0);
+        }
+    }
+
+    #[test]
+    fn schedules_cover_every_nonzero_block_once() {
+        let m = lopsided();
+        for programs in [m.direct_exchange_programs(), m.nonblocking_programs()] {
+            let n = m.n();
+            let mut sent = vec![vec![0u64; n]; n];
+            let mut recv_posted = vec![vec![0usize; n]; n];
+            for (i, prog) in programs.iter().enumerate() {
+                for op in prog {
+                    if let Op::Transfer { sends, recvs } = op {
+                        for &(to, bytes) in sends {
+                            sent[i][to] += bytes;
+                        }
+                        for &from in recvs {
+                            recv_posted[from][i] += 1;
+                        }
+                    }
+                }
+            }
+            for i in 0..n {
+                for j in 0..n {
+                    assert_eq!(sent[i][j], m.bytes(i, j), "{i}->{j}");
+                    let expected = usize::from(m.bytes(i, j) > 0);
+                    assert_eq!(recv_posted[i][j], expected, "recv {i}->{j}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "square")]
+    fn ragged_matrix_rejected() {
+        let _ = ExchangeMatrix::new(vec![vec![0, 1], vec![2]]);
+    }
+
+    #[test]
+    fn zero_blocks_are_skipped() {
+        let m = ExchangeMatrix::new(vec![vec![0, 0], vec![5, 0]]);
+        let progs = m.direct_exchange_programs();
+        // Rank 0 only receives; rank 1 only sends.
+        let count_ops = |p: &Vec<Op>| p.len();
+        assert_eq!(count_ops(&progs[0]), 1);
+        assert_eq!(count_ops(&progs[1]), 1);
+    }
+}

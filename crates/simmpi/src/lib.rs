@@ -1,0 +1,60 @@
+//! # simmpi — a simulated MPI layer over [`simnet`]
+//!
+//! Stands in for LAM-MPI/MPICH in the paper's experiments. It provides:
+//!
+//! * ranks mapped onto simulator hosts ([`world::World`]);
+//! * blocking point-to-point semantics with an **eager/rendezvous**
+//!   protocol (envelope overheads, unexpected-message queueing, RTS/CTS
+//!   handshakes) — the source of the paper's small-message non-linearity
+//!   (Fig. 5) and of the `M` cutoff in the signature model;
+//! * the paper's **Direct Exchange** All-to-All (Algorithm 1) plus baseline
+//!   algorithms (Bruck, pairwise, ring, nonblocking post-all);
+//! * measurement harnesses: ping-pong (Hockney α/β), timed All-to-All
+//!   repetitions, and the §3 network stress test.
+//!
+//! ## Example: time one All-to-All
+//!
+//! ```
+//! use simnet::prelude::*;
+//! use simmpi::prelude::*;
+//!
+//! let mut b = TopologyBuilder::new();
+//! let hosts = b.add_hosts(4);
+//! let sw = b.add_switch(SwitchConfig::commodity_ethernet());
+//! for &h in &hosts {
+//!     b.link_host(h, sw, LinkConfig::gigabit_ethernet());
+//! }
+//! let cfg = SimConfig::default();
+//! let sim = Simulator::new(b.build(&cfg).unwrap(), cfg);
+//! let mut world = World::new(sim, hosts, MpiConfig::default(),
+//!                            TransportKind::Tcp(TcpConfig::default()));
+//! let times = alltoall_times(&mut world, AllToAllAlgorithm::DirectExchange,
+//!                            64 * 1024, 1, 3);
+//! assert_eq!(times.len(), 3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod alltoall;
+pub mod collectives;
+pub mod config;
+pub mod irregular;
+pub mod harness;
+pub mod ops;
+pub mod world;
+
+/// Commonly used items.
+pub mod prelude {
+    pub use crate::alltoall::AllToAllAlgorithm;
+    pub use crate::collectives::Collective;
+    pub use crate::config::MpiConfig;
+    pub use crate::irregular::ExchangeMatrix;
+    pub use crate::harness::{
+        alltoall_times, ping_pong, stress_run, PingPongPoint, StressResult,
+    };
+    pub use crate::ops::{Op, Rank};
+    pub use crate::world::{RunResult, World};
+}
+
+pub use prelude::*;

@@ -1,0 +1,652 @@
+//! The executor: runs per-rank programs over the network simulator with
+//! blocking-MPI semantics and an eager/rendezvous point-to-point protocol.
+//!
+//! # Protocol
+//!
+//! * payload ≤ `eager_threshold`: one message of `envelope + payload` bytes;
+//!   the blocking send completes locally once the sender CPU overhead has
+//!   elapsed (the data is buffered, as LAM's short-message TCP path does).
+//! * payload > threshold: RTS (envelope bytes) → CTS (when the receiver has
+//!   posted a matching receive) → data; the blocking send completes when the
+//!   data is fully acknowledged.
+//!
+//! The eager/rendezvous split is load-bearing for the paper's `M` cutoff:
+//! eager rounds absorb skew (data queues at the receiver as "unexpected"
+//! messages and a lagging rank catches up instantly), while rendezvous
+//! rounds re-synchronize every pair each round, so per-round costs — control
+//! round-trips and OS scheduling hiccups — accumulate into the affine `δ`
+//! term only above the threshold.
+
+use crate::config::MpiConfig;
+use crate::ops::{Op, Rank};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use simnet::prelude::*;
+use std::collections::{BTreeMap, HashMap};
+
+const KIND_EAGER: u64 = 1;
+const KIND_RTS: u64 = 2;
+const KIND_CTS: u64 = 3;
+const KIND_DATA: u64 = 4;
+const SEQ_BITS: u32 = 56;
+
+fn make_tag(kind: u64, seq: u64) -> u64 {
+    debug_assert!(seq < (1 << SEQ_BITS));
+    (kind << SEQ_BITS) | seq
+}
+
+fn tag_kind(tag: u64) -> u64 {
+    tag >> SEQ_BITS
+}
+
+fn tag_seq(tag: u64) -> u64 {
+    tag & ((1 << SEQ_BITS) - 1)
+}
+
+/// A message that arrived before its receive was posted ("unexpected" in
+/// MPI terms).
+#[derive(Debug, Clone, Copy)]
+enum ArrivedMsg {
+    Eager,
+    Rts,
+}
+
+/// Deferred work attached to a scheduled wakeup token.
+#[derive(Debug, Clone, Copy)]
+enum WakeupAction {
+    StartRank { rank: Rank },
+    IssueSend { rank: Rank, to: Rank, bytes: u64 },
+    CompleteHalf { rank: Rank },
+}
+
+#[derive(Debug, Default)]
+struct PairState {
+    /// Bulk stream (eager payloads and rendezvous data).
+    data_conn: Option<ConnId>,
+    /// Control stream (RTS/CTS). Kept separate so a pending megabyte of
+    /// bulk data never blocks a 32-byte clear-to-send — real MPI layers
+    /// interleave control between data fragments on the wire.
+    ctrl_conn: Option<ConnId>,
+    /// Next sequence number assigned at the sender.
+    next_seq: u64,
+    /// Next sequence number the receiver may match (MPI non-overtaking:
+    /// messages match in the order they were sent, even though eager and
+    /// rendezvous envelopes travel on different streams).
+    next_match: u64,
+    /// Receives posted at the destination, not yet matched.
+    posted: usize,
+    /// Envelopes arrived at the destination, not yet matched, by sequence.
+    arrived: BTreeMap<u64, ArrivedMsg>,
+}
+
+#[derive(Debug)]
+struct RankState {
+    program: Vec<Op>,
+    pc: usize,
+    outstanding: usize,
+    cpu_free: SimTime,
+    finished: Option<SimTime>,
+}
+
+/// Result of one program run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Simulated instant all ranks were released.
+    pub start: SimTime,
+    /// Per-rank completion instants.
+    pub finished: Vec<SimTime>,
+}
+
+impl RunResult {
+    /// Wall-clock of the collective: last rank's finish minus start.
+    pub fn duration_secs(&self) -> f64 {
+        let end = self.finished.iter().copied().max().unwrap_or(self.start);
+        end.since(self.start) as f64 / 1e9
+    }
+
+    /// One rank's completion time in seconds since the common start.
+    pub fn rank_duration_secs(&self, rank: Rank) -> f64 {
+        self.finished[rank].since(self.start) as f64 / 1e9
+    }
+}
+
+/// A set of MPI ranks mapped onto simulator hosts.
+///
+/// The world owns the [`Simulator`] and drives it: [`World::run`] executes
+/// one program per rank to completion and reports per-rank finish times.
+/// Repeated runs on the same world reuse warm connections (persistent
+/// sockets, as LAM keeps), with an idle gap between repetitions.
+pub struct World {
+    sim: Simulator,
+    hosts: Vec<HostId>,
+    mpi: MpiConfig,
+    transport: TransportKind,
+    n: usize,
+    pairs: Vec<PairState>,
+    conn_pair: Vec<(Rank, Rank)>,
+    rendezvous: HashMap<(usize, u64), u64>,
+    actions: Vec<WakeupAction>,
+    ranks: Vec<RankState>,
+    barrier_waiting: usize,
+    unfinished: usize,
+    rng: StdRng,
+}
+
+impl World {
+    /// Builds a world of `hosts.len()` ranks over an existing simulator.
+    ///
+    /// # Panics
+    /// Panics if `hosts` is empty, repeats a host, or references hosts
+    /// outside the simulator's topology.
+    pub fn new(
+        sim: Simulator,
+        hosts: Vec<HostId>,
+        mpi: MpiConfig,
+        transport: TransportKind,
+    ) -> Self {
+        assert!(!hosts.is_empty(), "a world needs at least one rank");
+        let mut seen = vec![false; sim.n_hosts()];
+        for &h in &hosts {
+            assert!(h.index() < sim.n_hosts(), "host outside topology");
+            assert!(!seen[h.index()], "one rank per host");
+            seen[h.index()] = true;
+        }
+        let n = hosts.len();
+        let mut pairs = Vec::with_capacity(n * n);
+        pairs.resize_with(n * n, PairState::default);
+        let seed = mpi.seed;
+        Self {
+            sim,
+            hosts,
+            mpi,
+            transport,
+            n,
+            pairs,
+            conn_pair: Vec::new(),
+            rendezvous: HashMap::new(),
+            actions: Vec::new(),
+            ranks: Vec::new(),
+            barrier_waiting: 0,
+            unfinished: 0,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Number of ranks.
+    pub fn n_ranks(&self) -> usize {
+        self.n
+    }
+
+    /// The underlying simulator (counters, current time).
+    pub fn sim(&self) -> &Simulator {
+        &self.sim
+    }
+
+    /// MPI-layer configuration in force.
+    pub fn mpi_config(&self) -> &MpiConfig {
+        &self.mpi
+    }
+
+    /// Runs one program per rank to completion and returns per-rank finish
+    /// times. Programs start simultaneously after an idle gap (the paper's
+    /// synchronization model: "all processes start the algorithm
+    /// simultaneously").
+    ///
+    /// # Panics
+    /// Panics if `programs.len()` differs from the rank count or if the
+    /// programs deadlock (every rank blocked with no events pending).
+    pub fn run(&mut self, programs: Vec<Vec<Op>>) -> RunResult {
+        assert_eq!(programs.len(), self.n, "one program per rank");
+        // Drain any traffic trailing from a previous run (late ACKs).
+        self.sim.run_until_idle();
+        while self.sim.poll().is_some() {}
+
+        let start = self.sim.now() + self.mpi.rep_gap_ns;
+        self.actions.clear();
+        self.barrier_waiting = 0;
+        self.unfinished = self.n;
+        self.ranks = programs
+            .into_iter()
+            .map(|program| RankState {
+                program,
+                pc: 0,
+                outstanding: 0,
+                cpu_free: start,
+                finished: None,
+            })
+            .collect();
+        for rank in 0..self.n {
+            let token = self.push_action(WakeupAction::StartRank { rank });
+            self.sim.schedule_wakeup(start, token);
+        }
+
+        while self.unfinished > 0 {
+            let Some(note) = self.sim.poll() else {
+                let blocked: Vec<usize> = self
+                    .ranks
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, r)| r.finished.is_none())
+                    .map(|(i, _)| i)
+                    .collect();
+                panic!("deadlock: ranks {blocked:?} blocked with no pending events");
+            };
+            match note {
+                Notification::Wakeup { token, .. } => self.on_wakeup(token),
+                Notification::Delivered { conn, tag, .. } => self.on_delivered(conn, tag),
+                Notification::SendDone { conn, tag, .. } => self.on_send_done(conn, tag),
+            }
+        }
+
+        RunResult {
+            start,
+            finished: self.ranks.iter().map(|r| r.finished.unwrap()).collect(),
+        }
+    }
+
+    fn push_action(&mut self, action: WakeupAction) -> u64 {
+        let token = self.actions.len() as u64;
+        self.actions.push(action);
+        token
+    }
+
+    fn pair_idx(&self, src: Rank, dst: Rank) -> usize {
+        src * self.n + dst
+    }
+
+    fn conn_for(&mut self, src: Rank, dst: Rank, ctrl: bool) -> ConnId {
+        let idx = self.pair_idx(src, dst);
+        let existing = if ctrl {
+            self.pairs[idx].ctrl_conn
+        } else {
+            self.pairs[idx].data_conn
+        };
+        if let Some(c) = existing {
+            return c;
+        }
+        let c = self
+            .sim
+            .open_connection(self.hosts[src], self.hosts[dst], self.transport);
+        debug_assert_eq!(c.index(), self.conn_pair.len());
+        self.conn_pair.push((src, dst));
+        if ctrl {
+            self.pairs[idx].ctrl_conn = Some(c);
+        } else {
+            self.pairs[idx].data_conn = Some(c);
+        }
+        c
+    }
+
+    /// Occupies the rank's CPU for `base_ns` plus jitter (plus an optional
+    /// OS scheduling hiccup) and schedules `action` at the end.
+    fn schedule_cpu(&mut self, rank: Rank, base_ns: u64, action: WakeupAction) {
+        let jitter = if self.mpi.overhead_jitter_ns > 0 {
+            self.rng.gen_range(0..=self.mpi.overhead_jitter_ns)
+        } else {
+            0
+        };
+        let hiccup = if self.mpi.hiccup_probability > 0.0
+            && self.rng.gen_bool(self.mpi.hiccup_probability)
+        {
+            let mean = self.mpi.hiccup_mean_ns;
+            self.rng.gen_range(mean / 2..=mean + mean / 2)
+        } else {
+            0
+        };
+        let begin = self.ranks[rank].cpu_free.max(self.sim.now());
+        let end = begin + base_ns + jitter + hiccup;
+        self.ranks[rank].cpu_free = end;
+        let token = self.push_action(action);
+        self.sim.schedule_wakeup(end, token);
+    }
+
+    fn on_wakeup(&mut self, token: u64) {
+        let action = self.actions[token as usize];
+        match action {
+            WakeupAction::StartRank { rank } => self.issue_current_op(rank),
+            WakeupAction::CompleteHalf { rank } => self.complete_half(rank),
+            WakeupAction::IssueSend { rank, to, bytes } => {
+                let idx = self.pair_idx(rank, to);
+                let seq = self.pairs[idx].next_seq;
+                self.pairs[idx].next_seq += 1;
+                if bytes <= self.mpi.eager_threshold {
+                    let conn = self.conn_for(rank, to, false);
+                    let wire = bytes + self.mpi.envelope_bytes;
+                    self.sim.send(conn, wire, make_tag(KIND_EAGER, seq));
+                    // Eager blocking send completes locally once buffered.
+                    self.complete_half(rank);
+                } else {
+                    self.rendezvous.insert((idx, seq), bytes);
+                    let conn = self.conn_for(rank, to, true);
+                    self.sim
+                        .send(conn, self.mpi.envelope_bytes, make_tag(KIND_RTS, seq));
+                }
+            }
+        }
+    }
+
+    fn issue_current_op(&mut self, rank: Rank) {
+        loop {
+            let state = &self.ranks[rank];
+            if state.pc >= state.program.len() {
+                self.ranks[rank].finished = Some(self.sim.now());
+                self.unfinished -= 1;
+                return;
+            }
+            let op = state.program[state.pc].clone();
+            match op {
+                Op::Transfer { sends, recvs } => {
+                    let parts = sends.len() + recvs.len();
+                    if parts == 0 {
+                        self.ranks[rank].pc += 1;
+                        continue;
+                    }
+                    self.ranks[rank].outstanding = parts;
+                    // Receives post first (instantaneous state change) so a
+                    // sendrecv against the same peer cannot deadlock.
+                    for from in recvs {
+                        assert_ne!(from, rank, "self-receives are local copies");
+                        self.post_recv(from, rank);
+                    }
+                    for (to, bytes) in sends {
+                        assert_ne!(to, rank, "self-sends are local copies");
+                        self.schedule_cpu(
+                            rank,
+                            self.mpi.send_overhead_ns,
+                            WakeupAction::IssueSend { rank, to, bytes },
+                        );
+                    }
+                    return;
+                }
+                Op::Barrier => {
+                    self.ranks[rank].outstanding = 1;
+                    self.barrier_waiting += 1;
+                    if self.barrier_waiting == self.n {
+                        self.barrier_waiting = 0;
+                        let now = self.sim.now();
+                        for r in 0..self.n {
+                            let token = self.push_action(WakeupAction::CompleteHalf { rank: r });
+                            self.sim.schedule_wakeup(now, token);
+                        }
+                    }
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Rank `dst` posts a blocking receive for one message from `src`.
+    fn post_recv(&mut self, src: Rank, dst: Rank) {
+        let idx = self.pair_idx(src, dst);
+        self.pairs[idx].posted += 1;
+        self.drain_matches(src, dst);
+    }
+
+    /// Matches posted receives against arrived envelopes strictly in
+    /// sequence order (MPI non-overtaking), dispatching each match.
+    fn drain_matches(&mut self, src: Rank, dst: Rank) {
+        let idx = self.pair_idx(src, dst);
+        loop {
+            let pair = &mut self.pairs[idx];
+            if pair.posted == 0 {
+                break;
+            }
+            let next = pair.next_match;
+            let Some(msg) = pair.arrived.remove(&next) else {
+                break;
+            };
+            pair.posted -= 1;
+            pair.next_match += 1;
+            match msg {
+                ArrivedMsg::Eager => self.schedule_cpu(
+                    dst,
+                    self.mpi.recv_overhead_ns,
+                    WakeupAction::CompleteHalf { rank: dst },
+                ),
+                ArrivedMsg::Rts => self.grant_cts(src, dst, next),
+            }
+        }
+    }
+
+    /// The receiver clears a rendezvous sender to transmit.
+    fn grant_cts(&mut self, src: Rank, dst: Rank, seq: u64) {
+        let conn = self.conn_for(dst, src, true);
+        let cts = self.mpi.cts_bytes;
+        self.sim.send(conn, cts, make_tag(KIND_CTS, seq));
+    }
+
+    fn on_delivered(&mut self, conn: ConnId, tag: u64) {
+        let (a, b) = self.conn_pair[conn.index()];
+        let (kind, seq) = (tag_kind(tag), tag_seq(tag));
+        match kind {
+            KIND_EAGER => self.recv_arrival(a, b, seq, ArrivedMsg::Eager),
+            KIND_RTS => self.recv_arrival(a, b, seq, ArrivedMsg::Rts),
+            KIND_CTS => {
+                // CTS flows receiver→sender: the rendezvous pair is (b→a).
+                let idx = self.pair_idx(b, a);
+                let bytes = *self
+                    .rendezvous
+                    .get(&(idx, seq))
+                    .expect("CTS for an unknown rendezvous");
+                let conn = self.conn_for(b, a, false);
+                self.sim.send(conn, bytes, make_tag(KIND_DATA, seq));
+            }
+            KIND_DATA => {
+                // The receive slot was consumed when the RTS matched; the
+                // payload's arrival completes the receive after overhead.
+                self.schedule_cpu(
+                    b,
+                    self.mpi.recv_overhead_ns,
+                    WakeupAction::CompleteHalf { rank: b },
+                );
+            }
+            other => unreachable!("unknown message kind {other}"),
+        }
+    }
+
+    fn recv_arrival(&mut self, src: Rank, dst: Rank, seq: u64, msg: ArrivedMsg) {
+        let idx = self.pair_idx(src, dst);
+        let prev = self.pairs[idx].arrived.insert(seq, msg);
+        debug_assert!(prev.is_none(), "duplicate envelope sequence");
+        self.drain_matches(src, dst);
+    }
+
+    fn on_send_done(&mut self, conn: ConnId, tag: u64) {
+        if tag_kind(tag) != KIND_DATA {
+            return; // eager/control completions are local, already counted
+        }
+        let (src, dst) = self.conn_pair[conn.index()];
+        let idx = self.pair_idx(src, dst);
+        let seq = tag_seq(tag);
+        if self.rendezvous.remove(&(idx, seq)).is_some() {
+            self.complete_half(src);
+        }
+    }
+
+    fn complete_half(&mut self, rank: Rank) {
+        let state = &mut self.ranks[rank];
+        debug_assert!(state.outstanding > 0, "completion without a pending op");
+        state.outstanding -= 1;
+        if state.outstanding == 0 {
+            state.pc += 1;
+            self.issue_current_op(rank);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alltoall::AllToAllAlgorithm;
+
+    fn star_world(n: usize, mpi: MpiConfig) -> World {
+        let mut b = TopologyBuilder::new();
+        let hosts = b.add_hosts(n);
+        let sw = b.add_switch(SwitchConfig::commodity_ethernet());
+        for &h in &hosts {
+            b.link_host(h, sw, LinkConfig::gigabit_ethernet());
+        }
+        let cfg = SimConfig::default();
+        let sim = Simulator::new(b.build(&cfg).unwrap(), cfg);
+        World::new(sim, hosts, mpi, TransportKind::Tcp(TcpConfig::default()))
+    }
+
+    #[test]
+    fn pingpong_roundtrip_has_sane_time() {
+        let mut w = star_world(2, MpiConfig::default());
+        let programs = vec![
+            vec![Op::send(1, 1000), Op::recv(1)],
+            vec![Op::recv(0), Op::send(0, 1000)],
+        ];
+        let r = w.run(programs);
+        let rtt = r.rank_duration_secs(0);
+        // Two crossings of ~2×25 µs latency plus overheads: at least 100 µs,
+        // well under 5 ms on an idle network.
+        assert!(rtt > 100e-6, "rtt = {rtt}");
+        assert!(rtt < 5e-3, "rtt = {rtt}");
+    }
+
+    #[test]
+    fn eager_send_completes_before_receiver_posts() {
+        // Rank 0 sends eagerly and finishes; rank 1 computes (no-op here),
+        // then receives. No deadlock, and the data waits as unexpected.
+        let mut w = star_world(2, MpiConfig::default());
+        let programs = vec![vec![Op::send(1, 100)], vec![Op::recv(0)]];
+        let r = w.run(programs);
+        assert!(r.finished[0] <= r.finished[1]);
+    }
+
+    #[test]
+    fn rendezvous_send_blocks_until_received() {
+        let mpi = MpiConfig {
+            eager_threshold: 1024,
+            ..MpiConfig::default()
+        };
+        let mut w = star_world(2, mpi);
+        // 1 MB is far above the threshold: sender must wait for the
+        // receiver's CTS, so both finish together-ish.
+        let programs = vec![vec![Op::send(1, 1_000_000)], vec![Op::recv(0)]];
+        let r = w.run(programs);
+        let send_done = r.rank_duration_secs(0);
+        let ideal = 1_000_000.0 / 125e6;
+        assert!(send_done > ideal, "blocking send spans the transfer");
+    }
+
+    #[test]
+    fn sendrecv_pair_exchanges_without_deadlock() {
+        let mpi = MpiConfig {
+            eager_threshold: 1024,
+            ..MpiConfig::default()
+        };
+        let mut w = star_world(2, mpi);
+        let programs = vec![
+            vec![Op::sendrecv(1, 500_000, 1)],
+            vec![Op::sendrecv(0, 500_000, 0)],
+        ];
+        let r = w.run(programs);
+        assert!(r.duration_secs() > 0.0);
+    }
+
+    #[test]
+    fn barrier_releases_all_ranks_at_the_last_arrival() {
+        let mut w = star_world(4, MpiConfig::default());
+        // Rank 0 does extra work before the barrier; everyone leaves after
+        // rank 0 arrives.
+        let programs = vec![
+            vec![Op::send(1, 200_000), Op::Barrier],
+            vec![Op::recv(0), Op::Barrier],
+            vec![Op::Barrier],
+            vec![Op::Barrier],
+        ];
+        let r = w.run(programs);
+        let min = r.finished.iter().min().unwrap();
+        let max = r.finished.iter().max().unwrap();
+        assert!(max.since(*min) < 1_000_000, "all release within 1 ms");
+    }
+
+    #[test]
+    fn alltoall_direct_completes_for_various_sizes() {
+        for &m in &[512u64, 8 * 1024, 64 * 1024] {
+            let mut w = star_world(5, MpiConfig::default());
+            let progs = AllToAllAlgorithm::DirectExchange.programs(5, m);
+            let r = w.run(progs);
+            assert!(r.duration_secs() > 0.0, "m={m}");
+            assert_eq!(
+                w.sim().stats().messages_delivered as usize % (5 * 4),
+                0,
+                "every pair exchanged (m={m})"
+            );
+        }
+    }
+
+    #[test]
+    fn alltoall_all_algorithms_complete() {
+        for algo in AllToAllAlgorithm::all() {
+            let n = 8; // power of two so pairwise works
+            let mut w = star_world(n, MpiConfig::default());
+            let progs = algo.programs(n, 4096);
+            let r = w.run(progs);
+            assert!(r.duration_secs() > 0.0, "{}", algo.name());
+        }
+    }
+
+    #[test]
+    fn repeated_runs_reuse_warm_connections() {
+        let mut w = star_world(4, MpiConfig::default());
+        let progs = AllToAllAlgorithm::DirectExchange.programs(4, 16 * 1024);
+        let r1 = w.run(progs.clone());
+        let r2 = w.run(progs);
+        assert!(r2.start > r1.finished.iter().copied().max().unwrap());
+        assert!(r2.duration_secs() > 0.0);
+    }
+
+    #[test]
+    fn bigger_messages_take_longer() {
+        let mut w = star_world(4, MpiConfig::default());
+        let small = w.run(AllToAllAlgorithm::DirectExchange.programs(4, 1024));
+        let big = w.run(AllToAllAlgorithm::DirectExchange.programs(4, 512 * 1024));
+        assert!(big.duration_secs() > small.duration_secs());
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlock")]
+    fn mismatched_programs_deadlock_with_diagnostic() {
+        let mpi = MpiConfig {
+            eager_threshold: 10, // force rendezvous so the send blocks
+            ..MpiConfig::default()
+        };
+        let mut w = star_world(2, mpi);
+        // Rank 0 sends to 1, but rank 1 never posts a receive.
+        let programs = vec![vec![Op::send(1, 1000)], vec![]];
+        let _ = w.run(programs);
+    }
+
+    #[test]
+    #[should_panic(expected = "one rank per host")]
+    fn duplicate_hosts_rejected() {
+        let mut b = TopologyBuilder::new();
+        let hosts = b.add_hosts(2);
+        let sw = b.add_switch(SwitchConfig::commodity_ethernet());
+        for &h in &hosts {
+            b.link_host(h, sw, LinkConfig::gigabit_ethernet());
+        }
+        let cfg = SimConfig::default();
+        let sim = Simulator::new(b.build(&cfg).unwrap(), cfg);
+        let _ = World::new(
+            sim,
+            vec![hosts[0], hosts[0]],
+            MpiConfig::default(),
+            TransportKind::Tcp(TcpConfig::default()),
+        );
+    }
+
+    #[test]
+    fn determinism_same_seed_same_timings() {
+        let run_once = || {
+            let mut w = star_world(6, MpiConfig::default());
+            let progs = AllToAllAlgorithm::DirectExchange.programs(6, 32 * 1024);
+            w.run(progs).duration_secs()
+        };
+        assert_eq!(run_once(), run_once());
+    }
+}

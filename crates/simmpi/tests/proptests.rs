@@ -1,0 +1,155 @@
+//! Property-based tests of the MPI executor: random matched programs
+//! complete without deadlock; collectives deliver the right message count;
+//! protocol choice (eager vs rendezvous) never changes outcomes, only
+//! timing.
+
+use proptest::prelude::*;
+use simmpi::prelude::*;
+use simnet::prelude::*;
+
+fn star_world(n: usize, mpi: MpiConfig, seed: u64) -> World {
+    let mut b = TopologyBuilder::new();
+    let hosts = b.add_hosts(n);
+    let sw = b.add_switch(SwitchConfig::commodity_ethernet());
+    for &h in &hosts {
+        b.link_host(h, sw, LinkConfig::gigabit_ethernet());
+    }
+    let cfg = SimConfig {
+        seed,
+        ..SimConfig::default()
+    };
+    let sim = Simulator::new(b.build(&cfg).unwrap(), cfg);
+    World::new(sim, hosts, mpi, TransportKind::Tcp(TcpConfig::default()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random permutation exchanges (every rank sends to a random partner
+    /// permutation and receives accordingly) always complete.
+    #[test]
+    fn random_permutation_exchanges_complete(
+        n in 2usize..8,
+        rounds in 1usize..4,
+        shift_seed in 1usize..100,
+        bytes in 64u64..100_000,
+        seed in 0u64..500,
+    ) {
+        let mut programs = vec![Vec::new(); n];
+        for r in 1..=rounds {
+            // A cyclic shift permutation per round (always a bijection
+            // without fixed points when shift % n != 0).
+            let shift = 1 + (shift_seed * r) % (n - 1).max(1);
+            for (i, prog) in programs.iter_mut().enumerate() {
+                prog.push(Op::sendrecv((i + shift) % n, bytes, (i + n - shift) % n));
+            }
+        }
+        let mut world = star_world(n, MpiConfig::default(), seed);
+        let result = world.run(programs);
+        prop_assert!(result.duration_secs() > 0.0);
+        prop_assert_eq!(result.finished.len(), n);
+    }
+
+    /// Every All-to-All algorithm completes and delivers exactly the
+    /// messages its schedule promises, at any size straddling the
+    /// eager/rendezvous threshold.
+    #[test]
+    fn algorithms_deliver_expected_message_counts(
+        algo_idx in 0usize..5,
+        bytes in prop::sample::select(vec![512u64, 8 * 1024, 9 * 1024, 64 * 1024]),
+        seed in 0u64..500,
+    ) {
+        let n = 8; // power of two: all algorithms legal
+        let algo = AllToAllAlgorithm::all()[algo_idx];
+        let programs = algo.programs(n, bytes);
+        let expected: usize = programs
+            .iter()
+            .flatten()
+            .map(|op| match op {
+                Op::Transfer { sends, .. } => sends.len(),
+                Op::Barrier => 0,
+            })
+            .sum();
+        let mut world = star_world(n, MpiConfig::default(), seed);
+        let before = world.sim().stats().messages_delivered;
+        let result = world.run(programs);
+        prop_assert!(result.duration_secs() > 0.0);
+        // Each MPI-level transfer is 1 eager message or an RTS+CTS+DATA
+        // triple; count MPI-level deliveries via transport tags is complex,
+        // so assert the lower bound: at least one transport delivery per
+        // logical send.
+        let delivered = world.sim().stats().messages_delivered - before;
+        prop_assert!(delivered >= expected as u64, "{} < {}", delivered, expected);
+    }
+
+    /// Forcing everything eager vs everything rendezvous changes timing but
+    /// not completion: both drain fully for any message size.
+    #[test]
+    fn protocol_choice_does_not_affect_completion(
+        bytes in 100u64..200_000,
+        seed in 0u64..500,
+    ) {
+        let n = 4;
+        let progs = AllToAllAlgorithm::DirectExchange.programs(n, bytes);
+        let eager_world = MpiConfig {
+            eager_threshold: u64::MAX,
+            ..MpiConfig::default()
+        };
+        let rendezvous_world = MpiConfig {
+            eager_threshold: 0,
+            ..MpiConfig::default()
+        };
+        let mut w1 = star_world(n, eager_world, seed);
+        let r1 = w1.run(progs.clone());
+        let mut w2 = star_world(n, rendezvous_world, seed);
+        let r2 = w2.run(progs);
+        prop_assert!(r1.duration_secs() > 0.0);
+        prop_assert!(r2.duration_secs() > 0.0);
+        // Rendezvous pays handshakes: it can never be faster than eager by
+        // more than jitter noise on an idle star network.
+        prop_assert!(r2.duration_secs() > r1.duration_secs() * 0.5);
+    }
+
+    /// Ping-pong half-RTT grows monotonically with size for any reasonable
+    /// overhead configuration.
+    #[test]
+    fn pingpong_monotone_in_size(
+        overhead_us in 1u64..50,
+        seed in 0u64..500,
+    ) {
+        let mpi = MpiConfig {
+            send_overhead_ns: overhead_us * 1000,
+            recv_overhead_ns: overhead_us * 1000,
+            overhead_jitter_ns: 0,
+            ..MpiConfig::default()
+        };
+        let mut world = star_world(2, mpi, seed);
+        let points = ping_pong(&mut world, 0, 1, &[1_000, 100_000, 1_000_000], 1);
+        prop_assert!(points[0].half_rtt_secs < points[1].half_rtt_secs);
+        prop_assert!(points[1].half_rtt_secs < points[2].half_rtt_secs);
+    }
+
+    /// Barriers synchronize: after a barrier, no rank's next operation
+    /// starts before every rank reached it.
+    #[test]
+    fn barrier_is_a_synchronization_point(
+        early_work in 10_000u64..500_000,
+        seed in 0u64..500,
+    ) {
+        let n = 4;
+        // Rank 0 does a large send to rank 1 before the barrier; ranks 2,3
+        // hit the barrier immediately. All finish within a whisker of each
+        // other after the barrier.
+        let programs = vec![
+            vec![Op::send(1, early_work), Op::Barrier],
+            vec![Op::recv(0), Op::Barrier],
+            vec![Op::Barrier],
+            vec![Op::Barrier],
+        ];
+        let mut world = star_world(n, MpiConfig::default(), seed);
+        let result = world.run(programs);
+        let min = result.finished.iter().min().unwrap();
+        let max = result.finished.iter().max().unwrap();
+        prop_assert!(max.since(*min) < 2_000_000, "spread {} ns", max.since(*min));
+    }
+}

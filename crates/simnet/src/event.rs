@@ -1,0 +1,157 @@
+//! The event queue: a time-ordered binary heap with FIFO tie-breaking.
+
+use crate::ids::{ConnId, HostId, TxId};
+use crate::packet::Packet;
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A scheduled simulator event.
+#[derive(Debug, Clone)]
+pub enum Event {
+    /// A packet arrives at a transmitter's input and must be admitted to its
+    /// queue (or dropped).
+    Arrival {
+        /// Transmitter the packet arrives at.
+        tx: TxId,
+        /// The packet.
+        pkt: Packet,
+    },
+    /// A packet finishes serializing out of a transmitter.
+    Departure {
+        /// Transmitter the packet leaves.
+        tx: TxId,
+        /// The packet.
+        pkt: Packet,
+    },
+    /// A packet reaches its destination host's protocol stack.
+    HostDelivery {
+        /// Destination host.
+        host: HostId,
+        /// The packet.
+        pkt: Packet,
+    },
+    /// A connection's retransmission timer fires.
+    RtoTimer {
+        /// Owning connection.
+        conn: ConnId,
+    },
+    /// An application-scheduled wakeup.
+    AppWakeup {
+        /// Caller-chosen token.
+        token: u64,
+    },
+}
+
+struct HeapEntry {
+    at: SimTime,
+    seq: u64,
+    event: Event,
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for HeapEntry {}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse for a min-heap; ties broken by insertion order so equal
+        // timestamps process FIFO (deterministic).
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Time-ordered event queue with deterministic FIFO tie-breaking.
+#[derive(Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<HeapEntry>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules `event` at time `at`.
+    pub fn push(&mut self, at: SimTime, event: Event) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(HeapEntry { at, seq, event });
+    }
+
+    /// Pops the earliest event, if any.
+    pub fn pop(&mut self) -> Option<(SimTime, Event)> {
+        self.heap.pop().map(|e| (e.at, e.event))
+    }
+
+    /// Time of the earliest pending event.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime(30), Event::AppWakeup { token: 3 });
+        q.push(SimTime(10), Event::AppWakeup { token: 1 });
+        q.push(SimTime(20), Event::AppWakeup { token: 2 });
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|(t, _)| t.as_nanos()).collect();
+        assert_eq!(order, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn equal_times_are_fifo() {
+        let mut q = EventQueue::new();
+        for token in 0..10 {
+            q.push(SimTime(5), Event::AppWakeup { token });
+        }
+        let tokens: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|(_, e)| match e {
+                Event::AppWakeup { token } => token,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(tokens, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let mut q = EventQueue::new();
+        q.push(SimTime(1), Event::AppWakeup { token: 0 });
+        assert_eq!(q.peek_time(), Some(SimTime(1)));
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+        q.pop().unwrap();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+    }
+}

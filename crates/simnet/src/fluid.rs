@@ -1,0 +1,330 @@
+//! Flow-level (fluid) network model: max-min fair bandwidth sharing.
+//!
+//! The packet engine reproduces *mechanistic* contention — drops, timeouts,
+//! stragglers. This module is its idealized counterpart, in the style of
+//! SimGrid's flow models: every transfer is a fluid flow across capacitated
+//! serializers, rates follow max-min fairness (progressive filling), and
+//! the only events are flow completions.
+//!
+//! Uses:
+//!
+//! * **cross-validation** — a fluid completion time is a lower bound on the
+//!   packet engine's result for the same traffic (no loss, no protocol
+//!   overhead, perfect fairness); tests assert the packet engine never
+//!   beats it by more than protocol-overhead margins;
+//! * **fast sweeps** — a 64-node All-to-All estimate costs microseconds,
+//!   letting experiments bracket huge parameter spaces before committing
+//!   packet-level time;
+//! * **contention accounting** — the gap between fluid and the Proposition
+//!   1 bound isolates *topological* contention (shared trunks, half-duplex
+//!   buses) from *protocol* contention (TCP loss recovery).
+
+use crate::ids::HostId;
+use crate::time::SimTime;
+use crate::topology::Topology;
+
+/// A fluid flow in progress.
+#[derive(Debug, Clone)]
+struct Flow {
+    /// Serializer slots the flow occupies (shared slots model half-duplex
+    /// buses exactly as the packet engine does).
+    slots: Vec<usize>,
+    remaining_bytes: f64,
+    rate: f64,
+    tag: u64,
+}
+
+/// A completed fluid transfer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FluidCompletion {
+    /// Caller-supplied tag.
+    pub tag: u64,
+    /// Completion instant.
+    pub at: SimTime,
+}
+
+/// Max-min fair flow-level simulator over a built [`Topology`].
+pub struct FluidNet<'a> {
+    topo: &'a Topology,
+    /// Capacity per serializer slot in bytes/second.
+    capacity: Vec<f64>,
+    flows: Vec<Flow>,
+    now_ns: f64,
+}
+
+impl<'a> FluidNet<'a> {
+    /// Creates an empty fluid network over `topo`.
+    pub fn new(topo: &'a Topology) -> Self {
+        let mut capacity = vec![0.0; topo.n_serializers];
+        for params in &topo.tx_params {
+            // All members of a shared slot have equal rates by construction.
+            capacity[params.serializer as usize] = 1e9 / params.ns_per_byte;
+        }
+        Self {
+            topo,
+            capacity,
+            flows: Vec::new(),
+            now_ns: 0.0,
+        }
+    }
+
+    /// Starts a flow of `bytes` from `src` to `dst` at the current time.
+    ///
+    /// # Panics
+    /// Panics if `src == dst` or `bytes == 0`.
+    pub fn start_flow(&mut self, src: HostId, dst: HostId, bytes: u64, tag: u64) {
+        assert!(bytes > 0, "empty fluid flow");
+        let route = self.topo.route(src, dst);
+        let mut slots: Vec<usize> = route
+            .iter()
+            .map(|tx| self.topo.tx_params[tx.index()].serializer as usize)
+            .collect();
+        // A flow crossing the same slot twice (impossible on simple paths,
+        // but cheap to guard) must not double-count its demand.
+        slots.sort_unstable();
+        slots.dedup();
+        self.flows.push(Flow {
+            slots,
+            remaining_bytes: bytes as f64,
+            rate: 0.0,
+            tag,
+        });
+    }
+
+    /// Number of flows still active.
+    pub fn active_flows(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Progressive filling: repeatedly find the tightest serializer
+    /// (smallest fair share among unfrozen flows), freeze its flows at
+    /// that share, and remove its capacity.
+    fn recompute_rates(&mut self) {
+        let n_slots = self.capacity.len();
+        let mut residual = self.capacity.clone();
+        let mut unfrozen_on_slot = vec![0usize; n_slots];
+        let mut frozen: Vec<bool> = vec![false; self.flows.len()];
+        for flow in &self.flows {
+            for &s in &flow.slots {
+                unfrozen_on_slot[s] += 1;
+            }
+        }
+        let mut remaining_flows = self.flows.len();
+        while remaining_flows > 0 {
+            // Find the bottleneck slot.
+            let mut best_share = f64::INFINITY;
+            let mut best_slot = usize::MAX;
+            for s in 0..n_slots {
+                if unfrozen_on_slot[s] > 0 {
+                    let share = residual[s] / unfrozen_on_slot[s] as f64;
+                    if share < best_share {
+                        best_share = share;
+                        best_slot = s;
+                    }
+                }
+            }
+            if best_slot == usize::MAX {
+                // Flows exist but touch no capacitated slot — impossible
+                // by construction (every route has at least one hop).
+                unreachable!("active flow without a bottleneck");
+            }
+            // Freeze every unfrozen flow crossing the bottleneck.
+            for (i, flow) in self.flows.iter_mut().enumerate() {
+                if !frozen[i] && flow.slots.contains(&best_slot) {
+                    frozen[i] = true;
+                    flow.rate = best_share;
+                    remaining_flows -= 1;
+                    for &s in &flow.slots {
+                        residual[s] -= best_share;
+                        unfrozen_on_slot[s] -= 1;
+                    }
+                }
+            }
+            // Numerical guard: residuals may dip epsilon-negative.
+            for r in residual.iter_mut() {
+                if *r < 0.0 {
+                    *r = 0.0;
+                }
+            }
+        }
+    }
+
+    /// Runs all flows to completion, returning completions in time order.
+    pub fn run_to_completion(&mut self) -> Vec<FluidCompletion> {
+        let mut completions = Vec::with_capacity(self.flows.len());
+        while !self.flows.is_empty() {
+            self.recompute_rates();
+            // Earliest finishing flow at current rates.
+            let dt_secs = self
+                .flows
+                .iter()
+                .map(|f| f.remaining_bytes / f.rate)
+                .fold(f64::INFINITY, f64::min);
+            debug_assert!(dt_secs.is_finite() && dt_secs >= 0.0);
+            self.now_ns += dt_secs * 1e9;
+            let now = SimTime(self.now_ns.round() as u64);
+            let mut i = 0;
+            while i < self.flows.len() {
+                let f = &mut self.flows[i];
+                f.remaining_bytes -= f.rate * dt_secs;
+                // Anything within a byte of done is done (fp tolerance).
+                if f.remaining_bytes <= 1.0 {
+                    completions.push(FluidCompletion { tag: f.tag, at: now });
+                    self.flows.swap_remove(i);
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        completions.sort_by_key(|c| c.at);
+        completions
+    }
+
+    /// Convenience: the fluid completion time (seconds) of a uniform
+    /// All-to-All of `m` bytes per ordered pair among `hosts`.
+    pub fn alltoall_estimate(topo: &Topology, hosts: &[HostId], m: u64) -> f64 {
+        let mut net = FluidNet::new(topo);
+        let mut tag = 0;
+        for &a in hosts {
+            for &b in hosts {
+                if a != b {
+                    net.start_flow(a, b, m, tag);
+                    tag += 1;
+                }
+            }
+        }
+        net.run_to_completion()
+            .last()
+            .map(|c| c.at.as_secs_f64())
+            .unwrap_or(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{LinkConfig, SimConfig, SwitchConfig};
+    use crate::topology::TopologyBuilder;
+
+    fn star(n: usize) -> (Topology, Vec<HostId>) {
+        let mut b = TopologyBuilder::new();
+        let hosts = b.add_hosts(n);
+        let sw = b.add_switch(SwitchConfig::lossless_fabric());
+        for &h in &hosts {
+            b.link_host(h, sw, LinkConfig::gigabit_ethernet());
+        }
+        (b.build(&SimConfig::default()).unwrap(), hosts)
+    }
+
+    #[test]
+    fn single_flow_runs_at_line_rate() {
+        let (topo, hosts) = star(2);
+        let mut net = FluidNet::new(&topo);
+        net.start_flow(hosts[0], hosts[1], 125_000_000, 1);
+        let done = net.run_to_completion();
+        assert_eq!(done.len(), 1);
+        // 125 MB at 125 MB/s = 1 s.
+        assert!((done[0].at.as_secs_f64() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn two_flows_into_one_sink_halve() {
+        let (topo, hosts) = star(3);
+        let mut net = FluidNet::new(&topo);
+        net.start_flow(hosts[0], hosts[2], 125_000_000, 1);
+        net.start_flow(hosts[1], hosts[2], 125_000_000, 2);
+        let done = net.run_to_completion();
+        // Shared sink downlink: both at 62.5 MB/s → 2 s each.
+        for c in &done {
+            assert!((c.at.as_secs_f64() - 2.0).abs() < 1e-6, "{c:?}");
+        }
+    }
+
+    #[test]
+    fn short_flow_releases_bandwidth_to_long_flow() {
+        let (topo, hosts) = star(3);
+        let mut net = FluidNet::new(&topo);
+        net.start_flow(hosts[0], hosts[2], 125_000_000, 1); // long
+        net.start_flow(hosts[1], hosts[2], 62_500_000, 2); // half the size
+        let done = net.run_to_completion();
+        let short = done.iter().find(|c| c.tag == 2).unwrap();
+        let long = done.iter().find(|c| c.tag == 1).unwrap();
+        // Short: 62.5 MB at 62.5 MB/s = 1 s. Long: 62.5 MB in that first
+        // second, then the remaining 62.5 MB at full 125 MB/s = 0.5 s.
+        assert!((short.at.as_secs_f64() - 1.0).abs() < 1e-6);
+        assert!((long.at.as_secs_f64() - 1.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn max_min_protects_disjoint_flows() {
+        let (topo, hosts) = star(4);
+        let mut net = FluidNet::new(&topo);
+        net.start_flow(hosts[0], hosts[1], 125_000_000, 1);
+        net.start_flow(hosts[2], hosts[3], 125_000_000, 2);
+        let done = net.run_to_completion();
+        for c in &done {
+            assert!((c.at.as_secs_f64() - 1.0).abs() < 1e-6, "disjoint flows at line rate");
+        }
+    }
+
+    #[test]
+    fn alltoall_estimate_matches_receiver_bottleneck() {
+        let (topo, hosts) = star(8);
+        let m = 1_000_000u64;
+        let t = FluidNet::alltoall_estimate(&topo, &hosts, m);
+        // Every host receives 7 MB through a 125 MB/s downlink: 56 ms.
+        let ideal = 7.0 * m as f64 / 125e6;
+        assert!((t - ideal).abs() < ideal * 0.01, "{t} vs {ideal}");
+    }
+
+    #[test]
+    fn oversubscribed_trunk_shows_in_the_estimate() {
+        // Two 4-host edge switches joined by ONE gigabit trunk.
+        let mut b = TopologyBuilder::new();
+        let hosts = b.add_hosts(8);
+        let e0 = b.add_switch(SwitchConfig::lossless_fabric());
+        let e1 = b.add_switch(SwitchConfig::lossless_fabric());
+        for (i, &h) in hosts.iter().enumerate() {
+            b.link_host(h, if i < 4 { e0 } else { e1 }, LinkConfig::gigabit_ethernet());
+        }
+        b.link_switches(e0, e1, LinkConfig::gigabit_ethernet());
+        let topo = b.build(&SimConfig::default()).unwrap();
+        let m = 1_000_000u64;
+        let t = FluidNet::alltoall_estimate(&topo, &hosts, m);
+        // Cross traffic: 4×4 MB each way over one 125 MB/s trunk = 128 ms
+        // per direction — far above the 56 ms receiver bound.
+        let trunk_bound = 16.0 * m as f64 / 125e6;
+        assert!(t >= trunk_bound * 0.99, "{t} vs {trunk_bound}");
+    }
+
+    #[test]
+    fn half_duplex_bus_doubles_alltoall_cost() {
+        let build = |bus: bool| {
+            let mut b = TopologyBuilder::new();
+            let hosts = b.add_hosts(4);
+            let sw = b.add_switch(SwitchConfig::lossless_fabric());
+            for &h in &hosts {
+                b.link_host(h, sw, LinkConfig::myrinet_2000());
+            }
+            if bus {
+                b.host_io_bus(250e6, 500);
+            }
+            (b.build(&SimConfig::default()).unwrap(), hosts)
+        };
+        let (t0, h0) = build(false);
+        let (t1, h1) = build(true);
+        let m = 1_000_000;
+        let duplex = FluidNet::alltoall_estimate(&t0, &h0, m);
+        let half = FluidNet::alltoall_estimate(&t1, &h1, m);
+        let ratio = half / duplex;
+        assert!((ratio - 2.0).abs() < 0.05, "bus ratio = {ratio}");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty fluid flow")]
+    fn zero_byte_flow_rejected() {
+        let (topo, hosts) = star(2);
+        let mut net = FluidNet::new(&topo);
+        net.start_flow(hosts[0], hosts[1], 0, 1);
+    }
+}

@@ -1,0 +1,94 @@
+//! Packets and application-level notifications.
+
+use crate::ids::ConnId;
+use crate::time::SimTime;
+
+/// What a packet carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PacketKind {
+    /// A data segment: bytes `[seq, seq + len)` of the connection's stream.
+    Data,
+    /// A cumulative acknowledgement up to byte `seq` (len is 0).
+    Ack,
+}
+
+/// A packet in flight. Packets always belong to a connection and follow
+/// either its forward route (data) or reverse route (ACKs).
+#[derive(Debug, Clone, Copy)]
+pub struct Packet {
+    /// Owning connection.
+    pub conn: ConnId,
+    /// Data: first stream byte carried. Ack: cumulative ack offset.
+    pub seq: u64,
+    /// Payload length in bytes (0 for ACKs).
+    pub len: u32,
+    /// Data or ACK (ACKs travel the reverse route).
+    pub kind: PacketKind,
+    /// Next hop index on the route (incremented as the packet advances).
+    pub hop: u16,
+    /// Whether this data segment is a retransmission (Karn's rule).
+    pub retransmit: bool,
+}
+
+/// Events surfaced to the embedding application (the MPI layer).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Notification {
+    /// A whole application message has been received, in order, at the
+    /// destination host.
+    Delivered {
+        /// Connection the message traveled on.
+        conn: ConnId,
+        /// Application tag supplied at `send` time.
+        tag: u64,
+        /// Delivery completion time.
+        at: SimTime,
+    },
+    /// Every byte of an application message has been acknowledged back to
+    /// the sender (the send is complete in the blocking-MPI sense).
+    SendDone {
+        /// Connection the message traveled on.
+        conn: ConnId,
+        /// Application tag supplied at `send` time.
+        tag: u64,
+        /// Acknowledgement completion time.
+        at: SimTime,
+    },
+    /// A wakeup previously scheduled by the application.
+    Wakeup {
+        /// Caller-chosen token identifying the wakeup.
+        token: u64,
+        /// Fire time.
+        at: SimTime,
+    },
+}
+
+impl Notification {
+    /// The simulation time attached to the notification.
+    pub fn time(&self) -> SimTime {
+        match *self {
+            Notification::Delivered { at, .. }
+            | Notification::SendDone { at, .. }
+            | Notification::Wakeup { at, .. } => at,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn notification_time_accessor() {
+        let n = Notification::Wakeup {
+            token: 7,
+            at: SimTime(42),
+        };
+        assert_eq!(n.time(), SimTime(42));
+        let d = Notification::Delivered {
+            conn: ConnId::from_index(0),
+            tag: 1,
+            at: SimTime(9),
+        };
+        assert_eq!(d.time(), SimTime(9));
+    }
+}

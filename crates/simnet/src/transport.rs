@@ -1,0 +1,667 @@
+//! Per-connection transport state machines.
+//!
+//! Two transports share one skeleton (a reliable, windowed byte stream with
+//! message framing):
+//!
+//! * **TCP-like** (`TransportKind::Tcp`): slow start, AIMD congestion
+//!   avoidance, Jacobson RTT estimation, a retransmission timeout with a
+//!   200 ms floor and exponential backoff, and NewReno-style fast
+//!   retransmit/recovery on three duplicate ACKs. Packet loss at exhausted
+//!   switch buffers plus these timeouts are exactly the paper's contention
+//!   mechanism ("the slowdown observed in some connections is mostly related
+//!   to the time required to detect the loss of TCP packets and their
+//!   subsequent retransmission", §3).
+//! * **GM-like** (`TransportKind::Gm`): a fixed window, no congestion
+//!   control and no retransmission timer — the network is configured
+//!   lossless, as Myrinet's link-level backpressure guarantees.
+//!
+//! Methods mutate the connection and return [`SendActions`]/[`RecvActions`]
+//! describing packets to inject and notifications to raise; the engine
+//! applies them. This keeps the borrow graph trivial and the state machine
+//! unit-testable without a network.
+
+use crate::config::TransportKind;
+use crate::ids::{ConnId, HostId, TxId};
+use crate::time::SimTime;
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::Arc;
+
+/// A data segment the engine should inject at the connection's first hop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SegmentOut {
+    /// First stream byte of the segment.
+    pub seq: u64,
+    /// Payload length.
+    pub len: u32,
+    /// True if this is a retransmission (counted, and exempt from RTT
+    /// sampling per Karn's rule).
+    pub retransmit: bool,
+}
+
+/// Retransmission-timer command returned to the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TimerCmd {
+    /// Leave the timer as it is.
+    Keep,
+    /// (Re-)arm the timer at the given absolute deadline.
+    Arm(SimTime),
+    /// Disarm the timer (all data acknowledged).
+    Disarm,
+}
+
+/// Sender-side reaction to an event.
+#[derive(Debug, Default)]
+pub struct SendActions {
+    /// Segments to inject on the forward route.
+    pub segments: Vec<SegmentOut>,
+    /// Tags of messages whose final byte has just been acknowledged.
+    pub send_done: Vec<u64>,
+    /// Timer update.
+    pub timer: TimerCmd,
+    /// A fast retransmit was triggered (for counters).
+    pub fast_retransmit: bool,
+    /// A retransmission timeout was taken (for counters).
+    pub timeout: bool,
+}
+
+impl Default for TimerCmd {
+    fn default() -> Self {
+        TimerCmd::Keep
+    }
+}
+
+/// Receiver-side reaction to a data segment.
+#[derive(Debug, Default)]
+pub struct RecvActions {
+    /// Cumulative acknowledgement to emit on the reverse route.
+    pub ack: Option<u64>,
+    /// Tags of messages fully received, in order.
+    pub delivered: Vec<u64>,
+}
+
+/// One unidirectional transport connection between two hosts.
+///
+/// Holds both endpoints' state (the simulator is omniscient): the sender
+/// half lives at `src`, the receiver half at `dst`. Message framing is
+/// shared out of band — the application's `send` records byte boundaries
+/// that the receiver half uses to report whole-message deliveries, standing
+/// in for the MPI envelope.
+#[derive(Debug)]
+pub struct Connection {
+    /// Connection id (index in the engine's arena).
+    pub id: ConnId,
+    /// Sending host.
+    pub src: HostId,
+    /// Receiving host.
+    pub dst: HostId,
+    /// Forward route (data).
+    pub fwd_route: Arc<[TxId]>,
+    /// Reverse route (ACKs).
+    pub rev_route: Arc<[TxId]>,
+    kind: TransportKind,
+    mtu: u64,
+    max_window: u64,
+
+    // Sender half.
+    stream_len: u64,
+    snd_una: u64,
+    snd_nxt: u64,
+    cwnd: f64,
+    ssthresh: f64,
+    dupacks: u32,
+    in_recovery: bool,
+    recover: u64,
+    srtt_ns: f64,
+    rttvar_ns: f64,
+    rto_ns: u64,
+    has_rtt: bool,
+    rtt_probe: Option<(u64, SimTime)>,
+    /// Karn's rule across go-back-N: no RTT sampling below this sequence
+    /// (bytes that may have been transmitted more than once).
+    probe_floor: u64,
+    msgs_out: VecDeque<(u64, u64)>,
+    /// Engine bookkeeping: current timer deadline, if armed.
+    pub(crate) timer_deadline: Option<SimTime>,
+    /// Engine bookkeeping: a timer event is sitting in the queue.
+    pub(crate) timer_pushed: bool,
+    /// Engine bookkeeping: monotonic clamp for jittered data injections.
+    pub(crate) last_data_inject: SimTime,
+    /// Engine bookkeeping: monotonic clamp for jittered ACK injections.
+    pub(crate) last_ack_inject: SimTime,
+
+    // Receiver half.
+    rcv_nxt: u64,
+    ooo: BTreeMap<u64, u64>,
+    msgs_in: VecDeque<(u64, u64)>,
+}
+
+impl Connection {
+    /// Creates an idle connection.
+    pub fn new(
+        id: ConnId,
+        src: HostId,
+        dst: HostId,
+        fwd_route: Arc<[TxId]>,
+        rev_route: Arc<[TxId]>,
+        kind: TransportKind,
+    ) -> Self {
+        let mtu = kind.mtu() as u64;
+        let max_window = kind.window_bytes().max(mtu);
+        let (cwnd, rto_ns) = match kind {
+            TransportKind::Tcp(c) => (
+                (c.initial_cwnd_segments as u64 * mtu) as f64,
+                c.initial_rto_ns,
+            ),
+            TransportKind::Gm(_) => (max_window as f64, u64::MAX),
+        };
+        Self {
+            id,
+            src,
+            dst,
+            fwd_route,
+            rev_route,
+            kind,
+            mtu,
+            max_window,
+            stream_len: 0,
+            snd_una: 0,
+            snd_nxt: 0,
+            cwnd,
+            ssthresh: max_window as f64,
+            dupacks: 0,
+            in_recovery: false,
+            recover: 0,
+            srtt_ns: 0.0,
+            rttvar_ns: 0.0,
+            rto_ns,
+            has_rtt: false,
+            rtt_probe: None,
+            probe_floor: 0,
+            msgs_out: VecDeque::new(),
+            timer_deadline: None,
+            timer_pushed: false,
+            last_data_inject: SimTime::ZERO,
+            last_ack_inject: SimTime::ZERO,
+            rcv_nxt: 0,
+            ooo: BTreeMap::new(),
+            msgs_in: VecDeque::new(),
+        }
+    }
+
+    fn is_tcp(&self) -> bool {
+        matches!(self.kind, TransportKind::Tcp(_))
+    }
+
+    /// Bytes in flight (sent but unacknowledged).
+    pub fn flight(&self) -> u64 {
+        debug_assert!(self.snd_nxt >= self.snd_una, "frontier behind ack point");
+        self.snd_nxt.saturating_sub(self.snd_una)
+    }
+
+    /// True when every byte handed to `on_app_send` has been acknowledged.
+    pub fn quiescent(&self) -> bool {
+        self.snd_una == self.stream_len
+    }
+
+    /// Current congestion window in bytes (diagnostics).
+    pub fn cwnd_bytes(&self) -> u64 {
+        self.cwnd as u64
+    }
+
+    /// Current retransmission timeout in nanoseconds (diagnostics).
+    pub fn rto_nanos(&self) -> u64 {
+        self.rto_ns
+    }
+
+    fn effective_window(&self) -> u64 {
+        (self.cwnd as u64).min(self.max_window)
+    }
+
+    /// Application queues `len` bytes tagged `tag` on the stream.
+    pub fn on_app_send(&mut self, len: u64, tag: u64, now: SimTime) -> SendActions {
+        assert!(len > 0, "zero-length messages are framed by the MPI layer");
+        self.stream_len += len;
+        self.msgs_out.push_back((self.stream_len, tag));
+        self.msgs_in.push_back((self.stream_len, tag));
+        let mut actions = SendActions::default();
+        self.pump(now, &mut actions);
+        actions
+    }
+
+    /// Fills the window with new segments.
+    fn pump(&mut self, now: SimTime, actions: &mut SendActions) {
+        let had_flight = self.flight() > 0;
+        loop {
+            let remaining = self.stream_len - self.snd_nxt;
+            if remaining == 0 {
+                break;
+            }
+            let seg = remaining.min(self.mtu);
+            let flight = self.flight();
+            // A whole segment must fit in the window — except that an idle
+            // sender may always emit one segment, so a post-RTO congestion
+            // window below one MTU cannot deadlock the stream.
+            if flight > 0 && flight + seg > self.effective_window() {
+                break;
+            }
+            let len = seg as u32;
+            let seq = self.snd_nxt;
+            let retransmit = seq < self.probe_floor; // go-back-N resend
+            self.snd_nxt += len as u64;
+            if self.rtt_probe.is_none() && seq >= self.probe_floor {
+                self.rtt_probe = Some((self.snd_nxt, now));
+            }
+            actions.segments.push(SegmentOut {
+                seq,
+                len,
+                retransmit,
+            });
+        }
+        if !had_flight && self.flight() > 0 && self.is_tcp() {
+            actions.timer = TimerCmd::Arm(now + self.rto_ns);
+        }
+    }
+
+    /// Receiver half: a data segment arrived at `dst`.
+    pub fn on_data(&mut self, seq: u64, len: u32, _now: SimTime) -> RecvActions {
+        let end = seq + len as u64;
+        if end > self.rcv_nxt {
+            if seq <= self.rcv_nxt {
+                // In-order (possibly partially duplicate): advance.
+                self.rcv_nxt = end;
+                // Merge any out-of-order runs now contiguous.
+                while let Some((&start, &run_end)) = self.ooo.iter().next() {
+                    if start > self.rcv_nxt {
+                        break;
+                    }
+                    self.ooo.remove(&start);
+                    self.rcv_nxt = self.rcv_nxt.max(run_end);
+                }
+            } else {
+                // Out of order: record the run, coalescing overlaps lazily.
+                let entry = self.ooo.entry(seq).or_insert(end);
+                *entry = (*entry).max(end);
+            }
+        }
+        let mut actions = RecvActions {
+            ack: Some(self.rcv_nxt),
+            delivered: Vec::new(),
+        };
+        while let Some(&(msg_end, tag)) = self.msgs_in.front() {
+            if msg_end <= self.rcv_nxt {
+                self.msgs_in.pop_front();
+                actions.delivered.push(tag);
+            } else {
+                break;
+            }
+        }
+        actions
+    }
+
+    /// Sender half: a cumulative ACK arrived back at `src`.
+    pub fn on_ack(&mut self, ack: u64, now: SimTime) -> SendActions {
+        let mut actions = SendActions::default();
+        if ack > self.snd_una {
+            let bytes_acked = ack - self.snd_una;
+            self.snd_una = ack;
+            // After a go-back-N rewind, ACKs for the pre-timeout flight can
+            // overtake the rewound frontier; transmission resumes from the
+            // acknowledged point.
+            if self.snd_nxt < self.snd_una {
+                self.snd_nxt = self.snd_una;
+            }
+            self.dupacks = 0;
+            // Karn-compliant RTT sample.
+            if let Some((probe_end, sent_at)) = self.rtt_probe {
+                if ack >= probe_end {
+                    self.rtt_sample(now.since(sent_at));
+                    self.rtt_probe = None;
+                }
+            }
+            while let Some(&(msg_end, tag)) = self.msgs_out.front() {
+                if msg_end <= self.snd_una {
+                    self.msgs_out.pop_front();
+                    actions.send_done.push(tag);
+                } else {
+                    break;
+                }
+            }
+            if self.is_tcp() {
+                if self.in_recovery {
+                    if ack >= self.recover {
+                        self.in_recovery = false;
+                        self.cwnd = self.ssthresh;
+                    } else {
+                        // NewReno partial ACK: retransmit the next hole,
+                        // deflate by the acked amount, inflate by one MTU.
+                        let len = (self.snd_nxt - self.snd_una).min(self.mtu) as u32;
+                        if len > 0 {
+                            actions.segments.push(SegmentOut {
+                                seq: self.snd_una,
+                                len,
+                                retransmit: true,
+                            });
+                            self.rtt_probe = None;
+                        }
+                        self.cwnd = (self.cwnd - bytes_acked as f64 + self.mtu as f64)
+                            .max(self.mtu as f64);
+                    }
+                } else if self.cwnd < self.ssthresh {
+                    // Slow start.
+                    self.cwnd = (self.cwnd + bytes_acked as f64).min(self.max_window as f64);
+                } else {
+                    // Congestion avoidance: one MTU per window's worth.
+                    self.cwnd = (self.cwnd + self.mtu as f64 * self.mtu as f64 / self.cwnd)
+                        .min(self.max_window as f64);
+                }
+                actions.timer = if self.snd_una == self.snd_nxt {
+                    TimerCmd::Disarm
+                } else {
+                    TimerCmd::Arm(now + self.rto_ns)
+                };
+            }
+            self.pump(now, &mut actions);
+        } else if ack == self.snd_una && self.flight() > 0 && self.is_tcp() {
+            self.dupacks += 1;
+            let threshold = match self.kind {
+                TransportKind::Tcp(c) => c.dupack_threshold,
+                TransportKind::Gm(_) => u32::MAX,
+            };
+            if self.dupacks == threshold && !self.in_recovery {
+                // Fast retransmit + NewReno recovery.
+                let flight = self.flight() as f64;
+                self.ssthresh = (flight / 2.0).max(2.0 * self.mtu as f64);
+                self.cwnd = self.ssthresh + 3.0 * self.mtu as f64;
+                self.in_recovery = true;
+                self.recover = self.snd_nxt;
+                let len = (self.snd_nxt - self.snd_una).min(self.mtu) as u32;
+                actions.segments.push(SegmentOut {
+                    seq: self.snd_una,
+                    len,
+                    retransmit: true,
+                });
+                self.rtt_probe = None;
+                actions.fast_retransmit = true;
+                actions.timer = TimerCmd::Arm(now + self.rto_ns);
+            } else if self.in_recovery {
+                self.cwnd += self.mtu as f64;
+                self.pump(now, &mut actions);
+            }
+        }
+        actions
+    }
+
+    /// The retransmission timer fired.
+    pub fn on_rto(&mut self, now: SimTime) -> SendActions {
+        let mut actions = SendActions::default();
+        if self.flight() == 0 || !self.is_tcp() {
+            actions.timer = TimerCmd::Disarm;
+            return actions;
+        }
+        let (min_rto, max_rto) = match self.kind {
+            TransportKind::Tcp(c) => (c.min_rto_ns, c.max_rto_ns),
+            TransportKind::Gm(_) => unreachable!("GM never arms the timer"),
+        };
+        self.ssthresh = (self.flight() as f64 / 2.0).max(2.0 * self.mtu as f64);
+        self.cwnd = self.mtu as f64;
+        self.in_recovery = false;
+        self.dupacks = 0;
+        // Karn: no RTT samples from anything at or below the old frontier —
+        // those bytes may now be transmitted twice.
+        self.rtt_probe = None;
+        self.probe_floor = self.probe_floor.max(self.snd_nxt);
+        self.rto_ns = (self.rto_ns.saturating_mul(2)).clamp(min_rto, max_rto);
+        // Go-back-N: resume transmission from the first unacknowledged
+        // byte. Cumulative ACKs skip whatever the receiver already holds,
+        // and slow start refills the window without requiring a separate
+        // timeout per hole (serial-RTO starvation is not how TCP behaves).
+        self.snd_nxt = self.snd_una;
+        self.pump(now, &mut actions);
+        actions.timeout = true;
+        actions.timer = TimerCmd::Arm(now + self.rto_ns);
+        actions
+    }
+
+    fn rtt_sample(&mut self, sample_ns: u64) {
+        let sample = sample_ns as f64;
+        if !self.has_rtt {
+            self.srtt_ns = sample;
+            self.rttvar_ns = sample / 2.0;
+            self.has_rtt = true;
+        } else {
+            self.rttvar_ns = 0.75 * self.rttvar_ns + 0.25 * (self.srtt_ns - sample).abs();
+            self.srtt_ns = 0.875 * self.srtt_ns + 0.125 * sample;
+        }
+        if let TransportKind::Tcp(c) = self.kind {
+            let rto = self.srtt_ns + 4.0 * self.rttvar_ns;
+            self.rto_ns = (rto as u64).clamp(c.min_rto_ns, c.max_rto_ns);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{GmConfig, TcpConfig};
+
+    fn conn(kind: TransportKind) -> Connection {
+        let route: Arc<[TxId]> = Arc::from(vec![TxId::from_index(0)].into_boxed_slice());
+        Connection::new(
+            ConnId::from_index(0),
+            HostId::from_index(0),
+            HostId::from_index(1),
+            route.clone(),
+            route,
+            kind,
+        )
+    }
+
+    fn tcp() -> Connection {
+        conn(TransportKind::Tcp(TcpConfig::default()))
+    }
+
+    #[test]
+    fn initial_send_respects_initial_cwnd() {
+        let mut c = tcp();
+        let a = c.on_app_send(100_000, 1, SimTime::ZERO);
+        // initial cwnd = 2 segments.
+        assert_eq!(a.segments.len(), 2);
+        assert_eq!(a.segments[0].seq, 0);
+        assert_eq!(a.segments[1].seq, 1460);
+        assert!(matches!(a.timer, TimerCmd::Arm(_)));
+        assert_eq!(c.flight(), 2920);
+    }
+
+    #[test]
+    fn slow_start_doubles_per_rtt() {
+        let mut c = tcp();
+        let _ = c.on_app_send(1_000_000, 1, SimTime::ZERO);
+        let before = c.cwnd_bytes();
+        // Ack both initial segments.
+        let a = c.on_ack(2920, SimTime(1_000_000));
+        assert!(c.cwnd_bytes() >= before + 2920);
+        // Acking opened the window: roughly twice as many segments go out.
+        assert!(a.segments.len() >= 3, "got {}", a.segments.len());
+    }
+
+    #[test]
+    fn in_order_delivery_reports_messages() {
+        let mut c = tcp();
+        let _ = c.on_app_send(2000, 7, SimTime::ZERO);
+        let r1 = c.on_data(0, 1460, SimTime(10));
+        assert_eq!(r1.ack, Some(1460));
+        assert!(r1.delivered.is_empty());
+        let r2 = c.on_data(1460, 540, SimTime(20));
+        assert_eq!(r2.ack, Some(2000));
+        assert_eq!(r2.delivered, vec![7]);
+    }
+
+    #[test]
+    fn out_of_order_data_held_then_merged() {
+        let mut c = tcp();
+        let _ = c.on_app_send(4380, 9, SimTime::ZERO);
+        let r = c.on_data(1460, 1460, SimTime(10));
+        assert_eq!(r.ack, Some(0), "dup-ack for the hole");
+        let r = c.on_data(2920, 1460, SimTime(20));
+        assert_eq!(r.ack, Some(0));
+        let r = c.on_data(0, 1460, SimTime(30));
+        assert_eq!(r.ack, Some(4380), "hole filled merges the whole run");
+        assert_eq!(r.delivered, vec![9]);
+    }
+
+    #[test]
+    fn duplicate_data_reacked_not_redelivered() {
+        let mut c = tcp();
+        let _ = c.on_app_send(1460, 3, SimTime::ZERO);
+        let r1 = c.on_data(0, 1460, SimTime(10));
+        assert_eq!(r1.delivered, vec![3]);
+        let r2 = c.on_data(0, 1460, SimTime(20));
+        assert_eq!(r2.ack, Some(1460));
+        assert!(r2.delivered.is_empty());
+    }
+
+    #[test]
+    fn triple_dupack_triggers_fast_retransmit() {
+        let mut c = tcp();
+        let _ = c.on_app_send(100_000, 1, SimTime::ZERO);
+        let _ = c.on_ack(2920, SimTime(100)); // grow window a bit
+        let mut fast = false;
+        for i in 0..3 {
+            let a = c.on_ack(2920, SimTime(200 + i));
+            if a.fast_retransmit {
+                fast = true;
+                assert_eq!(a.segments.len(), 1);
+                assert!(a.segments[0].retransmit);
+                assert_eq!(a.segments[0].seq, 2920);
+            }
+        }
+        assert!(fast, "third duplicate ACK must fast-retransmit");
+    }
+
+    #[test]
+    fn rto_backs_off_and_retransmits_head() {
+        let mut c = tcp();
+        let _ = c.on_app_send(100_000, 1, SimTime::ZERO);
+        let rto_before = c.rto_nanos();
+        let a = c.on_rto(SimTime(rto_before));
+        assert!(a.timeout);
+        assert_eq!(a.segments.len(), 1);
+        assert!(a.segments[0].retransmit);
+        assert_eq!(a.segments[0].seq, 0);
+        assert_eq!(c.cwnd_bytes(), 1460);
+        assert!(c.rto_nanos() >= rto_before, "exponential backoff");
+    }
+
+    #[test]
+    fn rto_with_nothing_outstanding_disarms() {
+        let mut c = tcp();
+        let a = c.on_rto(SimTime(0));
+        assert!(!a.timeout);
+        assert_eq!(a.timer, TimerCmd::Disarm);
+    }
+
+    #[test]
+    fn send_done_reported_when_fully_acked() {
+        let mut c = tcp();
+        let _ = c.on_app_send(1000, 42, SimTime::ZERO);
+        let a = c.on_ack(1000, SimTime(500_000));
+        assert_eq!(a.send_done, vec![42]);
+        assert!(c.quiescent());
+        assert_eq!(a.timer, TimerCmd::Disarm);
+    }
+
+    #[test]
+    fn rtt_sample_updates_rto() {
+        let mut c = tcp();
+        let _ = c.on_app_send(1460, 1, SimTime::ZERO);
+        let _ = c.on_ack(1460, SimTime(50_000_000)); // 50 ms RTT
+        // RTO = srtt + 4*rttvar = 50ms + 4*25ms = 150ms → clamped to 200ms.
+        assert_eq!(c.rto_nanos(), 200_000_000);
+        let mut c2 = tcp();
+        let _ = c2.on_app_send(1460, 1, SimTime::ZERO);
+        let _ = c2.on_ack(1460, SimTime(200_000_000)); // 200 ms RTT
+        assert_eq!(c2.rto_nanos(), 600_000_000);
+    }
+
+    #[test]
+    fn gm_uses_full_window_immediately() {
+        let mut c = conn(TransportKind::Gm(GmConfig {
+            mtu: 4096,
+            window_bytes: 16 * 4096,
+        }));
+        let a = c.on_app_send(1_000_000, 1, SimTime::ZERO);
+        assert_eq!(a.segments.len(), 16, "fixed window fills at once");
+        assert_eq!(a.timer, TimerCmd::Keep, "GM never arms the RTO timer");
+    }
+
+    #[test]
+    fn gm_ack_advances_without_congestion_control() {
+        let mut c = conn(TransportKind::Gm(GmConfig::default()));
+        let _ = c.on_app_send(10 * 4096, 1, SimTime::ZERO);
+        let w = c.cwnd_bytes();
+        let a = c.on_ack(4096, SimTime(1000));
+        assert_eq!(c.cwnd_bytes(), w, "window is fixed");
+        assert_eq!(a.segments.len(), 0, "stream already fully in flight");
+        let a = c.on_ack(10 * 4096, SimTime(2000));
+        assert_eq!(a.send_done, vec![1]);
+    }
+
+    #[test]
+    fn multiple_messages_share_the_stream_in_order() {
+        let mut c = tcp();
+        let _ = c.on_app_send(1000, 1, SimTime::ZERO);
+        let _ = c.on_app_send(1000, 2, SimTime::ZERO);
+        let r = c.on_data(0, 1460, SimTime(10));
+        assert_eq!(r.delivered, vec![1]);
+        let r = c.on_data(1460, 540, SimTime(20));
+        assert_eq!(r.delivered, vec![2]);
+    }
+
+    #[test]
+    fn late_ack_after_go_back_n_does_not_wedge() {
+        let mut c = tcp();
+        let _ = c.on_app_send(100_000, 1, SimTime::ZERO);
+        let _ = c.on_ack(2920, SimTime(100)); // window opens, more in flight
+        let frontier = c.snd_nxt;
+        assert!(frontier > 2920);
+        // Timeout rewinds the frontier to snd_una.
+        let a = c.on_rto(SimTime(1_000_000_000));
+        assert!(a.timeout);
+        // A straggling ACK for the original flight overtakes the rewind.
+        let late_ack = frontier;
+        let a = c.on_ack(late_ack, SimTime(1_000_000_100));
+        assert!(c.flight() <= c.cwnd_bytes() + 1460);
+        assert!(!a.segments.is_empty(), "transmission resumes past the ack");
+        assert!(a.segments.iter().all(|s| s.seq >= late_ack));
+        // The stream must still be able to finish.
+        let _ = c.on_ack(100_000, SimTime(2_000_000_000));
+        assert!(c.quiescent());
+    }
+
+    #[test]
+    fn rto_rewinds_and_resends_from_una() {
+        let mut c = tcp();
+        let _ = c.on_app_send(100_000, 1, SimTime::ZERO);
+        let _ = c.on_ack(1460, SimTime(100));
+        let a = c.on_rto(SimTime(1_000_000_000));
+        assert!(a.timeout);
+        assert_eq!(a.segments.len(), 1, "cwnd=1 after timeout");
+        assert_eq!(a.segments[0].seq, 1460, "go-back-N restarts at snd_una");
+        assert!(a.segments[0].retransmit);
+    }
+
+    #[test]
+    fn recovery_exits_at_recover_point() {
+        let mut c = tcp();
+        let _ = c.on_app_send(100_000, 1, SimTime::ZERO);
+        let _ = c.on_ack(2920, SimTime(100));
+        for i in 0..3 {
+            let _ = c.on_ack(2920, SimTime(200 + i));
+        }
+        assert!(c.in_recovery);
+        let recover = c.recover;
+        let _ = c.on_ack(recover, SimTime(400));
+        assert!(!c.in_recovery);
+        assert_eq!(c.cwnd_bytes() as f64, c.ssthresh);
+    }
+}

@@ -1,0 +1,32 @@
+//! Statistics and least-squares machinery for the contention-model workspace.
+//!
+//! The paper fits its contention signature "through a linear regression with
+//! the Generalized Least Squares method, comparing at least four measurement
+//! points" (§8). This crate provides that machinery from scratch:
+//!
+//! * [`descriptive`] — batch and online (Welford) summaries, quantiles;
+//! * [`histogram`] — fixed-bin histograms for transmission-time distributions;
+//! * [`matrix`] — a small dense matrix with Cholesky and LU solves;
+//! * [`regression`] — ordinary, weighted and generalized least squares;
+//! * [`piecewise`] — the piecewise-affine fit with breakpoint search used to
+//!   recover the paper's `(γ, δ, M)` signature.
+//!
+//! Everything is `f64`-based and allocation-light; fitting a signature from a
+//! dozen measurement points is microseconds of work.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod descriptive;
+pub mod error;
+pub mod histogram;
+pub mod matrix;
+pub mod piecewise;
+pub mod regression;
+
+pub use descriptive::{OnlineStats, Summary};
+pub use error::StatsError;
+pub use histogram::Histogram;
+pub use matrix::Matrix;
+pub use piecewise::{PiecewiseAffineFit, PiecewiseSpec};
+pub use regression::{gls, ols, wls, LinearFit};

@@ -1,0 +1,45 @@
+//! Compares All-to-All algorithms under contention: the paper's Direct
+//! Exchange (blocking rounds and the post-all variant) against Bruck,
+//! pairwise exchange and a ring — on a contended Gigabit Ethernet fabric
+//! and on the lossless Myrinet fabric.
+//!
+//! ```text
+//! cargo run --release --example algorithm_comparison
+//! ```
+//!
+//! The motivating observation of the paper's introduction: algorithms tuned
+//! for message counts (Bruck) versus bandwidth (direct) trade places as
+//! message size grows, and contention shifts the crossover.
+
+use alltoall_contention::prelude::*;
+use simmpi::harness::alltoall_times;
+
+fn main() {
+    let n = 16; // power of two so pairwise exchange is legal
+    let algorithms = AllToAllAlgorithm::all();
+    let sizes = [1024u64, 16 * 1024, 128 * 1024, 1024 * 1024];
+
+    for preset in [ClusterPreset::gigabit_ethernet(), ClusterPreset::myrinet()] {
+        println!("\n== {} ({} ranks) ==", preset.name, n);
+        print!("{:>10}", "msg bytes");
+        for algo in &algorithms {
+            print!("{:>12}", algo.name());
+        }
+        println!();
+        for &m in &sizes {
+            print!("{:>10}", m);
+            for algo in &algorithms {
+                let mut world = preset.build_world(n, 42);
+                let times = alltoall_times(&mut world, *algo, m, 1, 2);
+                let mean = times.iter().sum::<f64>() / times.len() as f64;
+                print!("{:>11.4}s", mean);
+            }
+            println!();
+        }
+    }
+    println!(
+        "\nreading guide: Bruck wins at small sizes (fewer start-ups), the \
+         direct algorithms win at large sizes (no forwarding); contention \
+         compresses the direct algorithms' advantage on Ethernet."
+    );
+}

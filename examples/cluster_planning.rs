@@ -1,0 +1,82 @@
+//! Capacity planning with a contention signature: "my FFT does an
+//! All-to-All of 256 KiB per pair every iteration — how many nodes can I
+//! use before communication dominates, and what does an iteration cost?"
+//!
+//! ```text
+//! cargo run --release --example cluster_planning
+//! ```
+//!
+//! This is the use case the paper motivates: once a network's signature is
+//! known, predictions for any (n, m) cost a multiplication, not a cluster
+//! reservation.
+
+use alltoall_contention::prelude::*;
+
+/// A 3-D FFT-style workload: per-iteration compute scales as 1/n, the
+/// transpose is an All-to-All of `total_bytes / n²` per pair.
+struct FftWorkload {
+    total_bytes: u64,
+    compute_secs_single_node: f64,
+}
+
+impl FftWorkload {
+    fn alltoall_message(&self, n: usize) -> u64 {
+        (self.total_bytes / (n * n) as u64).max(1)
+    }
+
+    fn iteration_time(&self, n: usize, sig: &ContentionSignature) -> (f64, f64) {
+        let compute = self.compute_secs_single_node / n as f64;
+        let comm = sig.predict(n, self.alltoall_message(n));
+        (compute, comm)
+    }
+}
+
+fn main() {
+    // Calibrate each network once at a modest sample size.
+    let sizes = [64 * 1024u64, 128 * 1024, 256 * 1024, 512 * 1024, 1024 * 1024];
+    let workload = FftWorkload {
+        total_bytes: 1 << 30, // a 1 GiB grid
+        compute_secs_single_node: 20.0,
+    };
+
+    for preset in ClusterPreset::all() {
+        let report = match calibrate_report(&preset, 16, &sizes, 42) {
+            Ok(r) => r,
+            Err(e) => {
+                println!("{}: calibration failed: {e}", preset.name);
+                continue;
+            }
+        };
+        let sig = report.calibration.signature;
+        println!(
+            "\n== {} (gamma={:.2}, delta={:.2} ms) ==",
+            preset.name,
+            sig.gamma,
+            sig.delta_secs * 1e3
+        );
+        println!("{:>6} {:>12} {:>10} {:>10} {:>8}", "nodes", "msg/pair", "compute", "alltoall", "comm%");
+        let mut best = (0usize, f64::INFINITY);
+        for &n in &[4usize, 8, 16, 32, 64] {
+            if n > preset.max_hosts() {
+                continue;
+            }
+            let (compute, comm) = workload.iteration_time(n, &sig);
+            let total = compute + comm;
+            if total < best.1 {
+                best = (n, total);
+            }
+            println!(
+                "{:>6} {:>12} {:>9.2}s {:>9.2}s {:>7.0}%",
+                n,
+                workload.alltoall_message(n),
+                compute,
+                comm,
+                comm / total * 100.0
+            );
+        }
+        println!(
+            "best iteration time: {:.2} s at {} nodes (signature-aware sweet spot)",
+            best.1, best.0
+        );
+    }
+}

@@ -1,0 +1,80 @@
+//! The general total exchange problem (paper §5): an *irregular* exchange
+//! where every pair moves a different payload, its MED lower bounds
+//! (Claims 1–3), and the simulated completion on each cluster.
+//!
+//! ```text
+//! cargo run --release --example irregular_exchange
+//! ```
+//!
+//! The workload is a block-sparse transpose: heavy diagonal-adjacent
+//! blocks, light long-range blocks — the kind of matrix a stencil-ish
+//! application redistributes.
+
+use alltoall_contention::prelude::*;
+use contention_model::med::Med;
+use simmpi::irregular::ExchangeMatrix;
+
+fn block_sparse(n: usize, heavy: u64, light: u64) -> ExchangeMatrix {
+    let sizes = (0..n)
+        .map(|i| {
+            (0..n)
+                .map(|j| {
+                    if i == j {
+                        0
+                    } else if (i + 1) % n == j || (j + 1) % n == i {
+                        heavy
+                    } else {
+                        light
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    ExchangeMatrix::new(sizes)
+}
+
+fn main() {
+    let n = 12;
+    let matrix = block_sparse(n, 512 * 1024, 16 * 1024);
+
+    // MED bounds from the paper's §5.
+    let mut med = Med::new(n);
+    for i in 0..n {
+        for j in 0..n {
+            let b = matrix.bytes(i, j);
+            if b > 0 {
+                med.add_message(i, j, b);
+            }
+        }
+    }
+    println!("irregular exchange over {n} ranks:");
+    println!("  messages        : {}", med.message_count());
+    println!("  min start-ups   : {} (Claim 1: max(Δs, Δr))", med.min_startups());
+
+    for preset in ClusterPreset::all() {
+        let hockney = match measure_hockney(&preset, 42) {
+            Ok(h) => h,
+            Err(e) => {
+                println!("{}: hockney failed: {e}", preset.name);
+                continue;
+            }
+        };
+        let bound = med.time_lower_bound(&hockney);
+        let mut world = preset.build_world(n, 42);
+        let programs = matrix.nonblocking_programs();
+        let _warm = world.run(programs.clone());
+        let measured = world.run(programs).duration_secs();
+        println!(
+            "  {:<18} bound(Claim 3) = {:>8.4}s   measured = {:>8.4}s   ratio = {:>5.2}",
+            preset.name,
+            bound,
+            measured,
+            measured / bound
+        );
+    }
+    println!(
+        "\nreading guide: the ratio is each network's contention signature \
+         showing through an irregular workload; the bound comes from the \
+         busiest port (Claim 2), not from any schedule."
+    );
+}

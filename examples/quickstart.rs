@@ -1,0 +1,52 @@
+//! Quickstart: calibrate a contention signature on the simulated Gigabit
+//! Ethernet cluster and predict `MPI_Alltoall` completion times.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! This is the paper's §8 procedure end to end:
+//! 1. measure Hockney α/β with a ping-pong;
+//! 2. measure the All-to-All at one sample node count across message sizes;
+//! 3. fit the contention signature (γ, δ, M);
+//! 4. predict other (n, m) combinations and compare against fresh
+//!    measurements.
+
+use alltoall_contention::prelude::*;
+
+fn main() {
+    let preset = ClusterPreset::gigabit_ethernet();
+    let sample_n = 16; // keep the quickstart quick; the paper uses 40
+    let sizes = [64 * 1024u64, 128 * 1024, 256 * 1024, 512 * 1024, 1024 * 1024];
+
+    println!("calibrating on {} at n'={sample_n}...", preset.name);
+    let report = calibrate_report(&preset, sample_n, &sizes, 42).expect("calibration");
+    let cal = report.calibration;
+    println!(
+        "hockney: alpha = {:.1} us, beta = {:.3} ns/B ({:.1} MB/s)",
+        cal.hockney.alpha_secs * 1e6,
+        cal.hockney.beta_secs_per_byte * 1e9,
+        cal.hockney.bandwidth_bytes_per_sec() / 1e6
+    );
+    println!(
+        "signature: gamma = {:.3}, delta = {:.3} ms, M = {:?} (R^2 = {:.4})",
+        cal.signature.gamma,
+        cal.signature.delta_secs * 1e3,
+        cal.signature.cutoff_bytes,
+        cal.signature.fit_r_squared
+    );
+
+    // Predict at a node count we did NOT calibrate on, then verify.
+    let n = 24;
+    let m = 512 * 1024;
+    let predicted = cal.signature.predict(n, m);
+    println!("\npredicting n={n}, m={m}: {predicted:.3} s");
+    println!("(lower bound would claim {:.3} s)", cal.hockney.alltoall_lower_bound(n, m));
+
+    let cfg = SweepConfig { seed: 7, ..SweepConfig::default() };
+    let measured = contention_lab::runner::measure_alltoall_point(&preset, n, m, &cfg);
+    println!(
+        "measured: {measured:.3} s — prediction error {:+.1}%",
+        estimation_error_percent(measured, predicted)
+    );
+}

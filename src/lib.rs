@@ -1,0 +1,55 @@
+//! # alltoall-contention
+//!
+//! Facade crate for the reproduction of Steffenel, *Modeling Network
+//! Contention Effects on All-to-All Operations* (CLUSTER 2006).
+//!
+//! The workspace builds, from scratch:
+//!
+//! * [`simnet`] — a packet-level discrete-event network simulator with
+//!   TCP-like (lossy, retransmitting) and GM-like (lossless, backpressured)
+//!   transports, finite-buffer switches and oversubscribable uplinks;
+//! * [`simmpi`] — an MPI-like layer (eager/rendezvous point-to-point,
+//!   Direct Exchange and baseline All-to-All algorithms, timing harnesses);
+//! * [`contention_model`] — the paper's contribution: Hockney parameters,
+//!   total-exchange lower bounds, the §6 throughput-under-contention model
+//!   and the §7 contention-signature model `(γ, δ, M)`;
+//! * [`contention_lab`] — cluster presets (Fast Ethernet, Gigabit Ethernet,
+//!   Myrinet) and one experiment module per paper figure;
+//! * [`contention_stats`] — the statistics and GLS machinery underneath.
+//!
+//! ## Quickstart
+//!
+//! ```no_run
+//! use alltoall_contention::prelude::*;
+//!
+//! // Build the Gigabit Ethernet preset at 16 nodes and calibrate a
+//! // contention signature from simulated measurements.
+//! let preset = ClusterPreset::gigabit_ethernet();
+//! let calibration = calibrate_signature(&preset, 16, &default_sample_sizes(), 42);
+//! let signature = calibration.expect("calibration").signature;
+//! // Predict an All-to-All at 32 processes × 512 KiB messages.
+//! let t = signature.predict(32, 512 * 1024);
+//! println!("predicted completion: {t:.3} s");
+//! ```
+
+pub use contention_lab;
+pub use contention_model;
+pub use contention_stats;
+pub use simmpi;
+pub use simnet;
+
+/// Commonly used items, re-exported for examples and downstream users.
+pub mod prelude {
+    pub use contention_lab::presets::ClusterPreset;
+    pub use contention_lab::runner::{
+        calibrate_report, calibrate_signature, default_sample_sizes, measure_alltoall_curve,
+        measure_hockney, SweepConfig,
+    };
+    pub use contention_model::calibration::{Calibration, CalibrationInput};
+    pub use contention_model::hockney::HockneyParams;
+    pub use contention_model::metrics::{estimation_error_percent, AccuracyPoint};
+    pub use contention_model::models::CompletionModel;
+    pub use contention_model::signature::ContentionSignature;
+    pub use contention_model::throughput::ThroughputModel;
+    pub use simmpi::alltoall::AllToAllAlgorithm;
+}
