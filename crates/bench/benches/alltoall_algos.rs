@@ -36,7 +36,7 @@ fn bench_eager_threshold_ablation(c: &mut Criterion) {
     // simulate an 8-rank All-to-All at 16 KiB under different thresholds.
     let mut group = c.benchmark_group("eager_threshold");
     group.sample_size(10);
-    for threshold in [1u64 * 1024, 8 * 1024, 64 * 1024] {
+    for threshold in [1024u64, 8 * 1024, 64 * 1024] {
         group.bench_with_input(
             BenchmarkId::from_parameter(threshold),
             &threshold,

@@ -23,8 +23,11 @@ fn bench_bulk_transfer(c: &mut Criterion) {
         b.iter_batched(
             || {
                 let (mut sim, hosts) = star(2, SwitchConfig::lossless_fabric());
-                let conn =
-                    sim.open_connection(hosts[0], hosts[1], TransportKind::Tcp(TcpConfig::default()));
+                let conn = sim.open_connection(
+                    hosts[0],
+                    hosts[1],
+                    TransportKind::Tcp(TcpConfig::default()),
+                );
                 (sim, conn)
             },
             |(mut sim, conn)| {

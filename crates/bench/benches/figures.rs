@@ -83,8 +83,18 @@ fn bench_figures(c: &mut Criterion) {
     // stall noise averages out (below saturation the fit correctly
     // refuses), hence the per-preset n_fit.
     for (id, preset, n_fit, n_eval) in [
-        ("fig7_8_surface_fast_ethernet", ClusterPreset::fast_ethernet(), 8, 12),
-        ("fig10_11_surface_gigabit", ClusterPreset::gigabit_ethernet(), 16, 20),
+        (
+            "fig7_8_surface_fast_ethernet",
+            ClusterPreset::fast_ethernet(),
+            8,
+            12,
+        ),
+        (
+            "fig10_11_surface_gigabit",
+            ClusterPreset::gigabit_ethernet(),
+            16,
+            20,
+        ),
         ("fig13_14_surface_myrinet", ClusterPreset::myrinet(), 8, 12),
     ] {
         group.bench_function(id, |b| {
@@ -96,8 +106,7 @@ fn bench_figures(c: &mut Criterion) {
                     warmup: 0,
                     ..fit_cfg_for(SEED)
                 };
-                let measured =
-                    measure_alltoall_curve(&preset, n_eval, &[256 * 1024], &cfg)[0].1;
+                let measured = measure_alltoall_curve(&preset, n_eval, &[256 * 1024], &cfg)[0].1;
                 let predicted = report.calibration.signature.predict(n_eval, 256 * 1024);
                 contention_model::metrics::estimation_error_percent(measured, predicted)
             })

@@ -15,8 +15,7 @@ fn synth_samples(n: usize, gamma: f64, delta: f64, cut: u64) -> (HockneyParams, 
     let samples = sizes
         .iter()
         .map(|&m| {
-            let t = (n - 1) as f64
-                * (h.p2p_time(m) * gamma + if m >= cut { delta } else { 0.0 });
+            let t = (n - 1) as f64 * (h.p2p_time(m) * gamma + if m >= cut { delta } else { 0.0 });
             (m, t)
         })
         .collect();

@@ -1,0 +1,58 @@
+//! Batch-executor scaling: the same small scenario grid at 1/2/4 workers,
+//! so executor-parallelism regressions show up as a flat (non-decreasing)
+//! curve here.
+
+use contention_scenario::executor::{run_batch, BatchConfig};
+use contention_scenario::spec::{
+    LinkSpec, MpiSpec, ScenarioSpec, SweepSpec, SwitchSpec, TopologySpec, TransportSpec,
+    WorkloadSpec,
+};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+/// A grid of eight quick cells (4–6 ranks, 16–64 KiB) on a small star —
+/// enough work for sharding to matter, small enough for CI.
+fn small_grid() -> ScenarioSpec {
+    ScenarioSpec {
+        name: "bench-small-grid".into(),
+        description: "executor scaling benchmark".into(),
+        topology: TopologySpec::SingleSwitch {
+            hosts: 8,
+            link: LinkSpec::default(),
+            switch: SwitchSpec::default(),
+        },
+        transport: TransportSpec::default(),
+        mpi: MpiSpec::default(),
+        workload: WorkloadSpec::Uniform {
+            algorithm: "direct".into(),
+        },
+        sweep: SweepSpec {
+            nodes: vec![4, 5, 6, 8],
+            message_bytes: vec![16 * 1024, 64 * 1024],
+            warmup: 0,
+            reps: 1,
+        },
+    }
+}
+
+fn bench_worker_scaling(c: &mut Criterion) {
+    let spec = small_grid();
+    let mut group = c.benchmark_group("scenario_batch");
+    group.sample_size(10);
+    for workers in [1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(workers),
+            &workers,
+            |b, &workers| {
+                let cfg = BatchConfig {
+                    workers,
+                    base_seed: 42,
+                };
+                b.iter(|| run_batch(&spec, &cfg).expect("benchmark scenario runs"));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_worker_scaling);
+criterion_main!(benches);

@@ -176,10 +176,9 @@ mod tests {
             .collect();
         let sig = CollectiveSignature::fit(shape, h, 16, &samples).unwrap();
         assert!((sig.gamma - gamma).abs() < 1e-9);
-        assert!((sig.predict(32, 131_072)
-            - shape.lower_bound(&h, 32, 131_072) * gamma)
-            .abs()
-            < 1e-12);
+        assert!(
+            (sig.predict(32, 131_072) - shape.lower_bound(&h, 32, 131_072) * gamma).abs() < 1e-12
+        );
     }
 
     #[test]

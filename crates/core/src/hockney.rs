@@ -143,7 +143,10 @@ mod tests {
         let points = vec![(1000u64, 1.0), (2000u64, 0.5), (4000u64, 0.25)];
         assert!(matches!(
             HockneyParams::fit(&points),
-            Err(ModelError::NonPhysical { parameter: "beta", .. })
+            Err(ModelError::NonPhysical {
+                parameter: "beta",
+                ..
+            })
         ));
     }
 

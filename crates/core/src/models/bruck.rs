@@ -44,8 +44,6 @@ mod tests {
     fn scales_lower_bound() {
         let h = HockneyParams::new(1e-6, 1e-9);
         let model = BruckSlowdownModel::new(h, 2.5);
-        assert!(
-            (model.predict(10, 1000) - 2.5 * h.alltoall_lower_bound(10, 1000)).abs() < 1e-15
-        );
+        assert!((model.predict(10, 1000) - 2.5 * h.alltoall_lower_bound(10, 1000)).abs() < 1e-15);
     }
 }

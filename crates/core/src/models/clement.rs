@@ -47,8 +47,7 @@ impl CompletionModel for ClementModel {
             return 0.0;
         }
         let gamma = n as f64; // all processes share the medium
-        (n - 1) as f64
-            * (self.latency_secs + m as f64 * gamma / self.bandwidth_bytes_per_sec)
+        (n - 1) as f64 * (self.latency_secs + m as f64 * gamma / self.bandwidth_bytes_per_sec)
     }
 }
 

@@ -52,8 +52,8 @@ impl CompletionModel for LogGpModel {
         if n < 2 {
             return 0.0;
         }
-        let per_message = (self.overhead_secs + m as f64 * self.gap_per_byte_secs)
-            .max(self.gap_secs);
+        let per_message =
+            (self.overhead_secs + m as f64 * self.gap_per_byte_secs).max(self.gap_secs);
         (n - 1) as f64 * per_message + self.latency_secs + self.overhead_secs
     }
 }

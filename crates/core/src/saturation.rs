@@ -48,10 +48,7 @@ impl SaturationModel {
     /// Fits `(γ∞, n_half)` from measurements spanning several node counts:
     /// `(n, message bytes, seconds)` triples. Needs at least two distinct
     /// node counts and four points (same requirement as the signature).
-    pub fn fit(
-        hockney: HockneyParams,
-        samples: &[(usize, u64, f64)],
-    ) -> Result<Self, ModelError> {
+    pub fn fit(hockney: HockneyParams, samples: &[(usize, u64, f64)]) -> Result<Self, ModelError> {
         if samples.len() < 4 {
             return Err(ModelError::InsufficientSamples {
                 needed: 4,
@@ -70,7 +67,7 @@ impl SaturationModel {
         let mut ratios = Vec::with_capacity(samples.len());
         for &(n, m, t) in samples {
             let bound = hockney.alltoall_lower_bound(n, m);
-            if !(bound > 0.0) || !t.is_finite() || t <= 0.0 {
+            if !bound.is_finite() || bound <= 0.0 || !t.is_finite() || t <= 0.0 {
                 return Err(ModelError::InvalidInput("non-positive time or bound"));
             }
             ratios.push((n, t / bound));
@@ -98,7 +95,7 @@ impl SaturationModel {
                         e * e
                     })
                     .sum();
-                if best.map_or(true, |(b, _, _)| rss < b) {
+                if best.is_none_or(|(b, _, _)| rss < b) {
                     best = Some((rss, n_half, g));
                 }
             }

@@ -146,8 +146,8 @@ mod tests {
         let samples: Vec<(u64, f64)> = sizes
             .iter()
             .map(|&m| {
-                let t = (n - 1) as f64
-                    * (h.p2p_time(m) * gamma + if m >= cut { delta } else { 0.0 });
+                let t =
+                    (n - 1) as f64 * (h.p2p_time(m) * gamma + if m >= cut { delta } else { 0.0 });
                 (m, t)
             })
             .collect();

@@ -4,14 +4,16 @@
 
 use contention_lab::presets::ClusterPreset;
 use contention_lab::runner::{
-    calibrate_signature, default_sample_sizes, measure_alltoall_curve, measure_hockney,
-    SweepConfig,
+    calibrate_signature, default_sample_sizes, measure_alltoall_curve, measure_hockney, SweepConfig,
 };
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     if args.get(1).map(String::as_str) == Some("curve") {
-        let name = args.get(2).map(String::as_str).unwrap_or("gigabit-ethernet");
+        let name = args
+            .get(2)
+            .map(String::as_str)
+            .unwrap_or("gigabit-ethernet");
         let n: usize = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(40);
         let preset = ClusterPreset::all()
             .into_iter()
@@ -39,7 +41,10 @@ fn main() {
     if args.get(1).map(String::as_str) == Some("diag") {
         let name = args.get(2).map(String::as_str).unwrap_or("fast-ethernet");
         let n: usize = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(24);
-        let m: u64 = args.get(4).and_then(|s| s.parse().ok()).unwrap_or(1_048_576);
+        let m: u64 = args
+            .get(4)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(1_048_576);
         let preset = ClusterPreset::all()
             .into_iter()
             .find(|p| p.name == name)
@@ -51,7 +56,10 @@ fn main() {
         let s = world.sim().stats();
         let h = measure_hockney(&preset, 42).unwrap();
         let bound = h.alltoall_lower_bound(n, m);
-        println!("{name} n={n} m={m}: t={t:.4}s bound={bound:.4}s ratio={:.3}", t / bound);
+        println!(
+            "{name} n={n} m={m}: t={t:.4}s bound={bound:.4}s ratio={:.3}",
+            t / bound
+        );
         println!(
             "  data_pkts={} retx={} ({:.2}%) timeouts={} fast_rtx={} drops={} events={}M",
             s.data_packets_sent,
@@ -73,10 +81,7 @@ fn main() {
         return;
     }
     let which = args.get(1).map(String::as_str).unwrap_or("all");
-    let sample_n: usize = args
-        .get(2)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(0);
+    let sample_n: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(0);
     for preset in ClusterPreset::all() {
         if which != "all" && which != preset.name {
             continue;

@@ -67,7 +67,8 @@ pub fn run_generic(preset: &ClusterPreset, sample_n: usize, profile: &Profile) -
         Ok(r) => r,
         Err(e) => {
             let mut out = ExperimentOutput::default();
-            out.notes.push(format!("calibration failed on {}: {e}", preset.name));
+            out.notes
+                .push(format!("calibration failed on {}: {e}", preset.name));
             return out;
         }
     };
@@ -75,8 +76,17 @@ pub fn run_generic(preset: &ClusterPreset, sample_n: usize, profile: &Profile) -
     let sig = cal.signature;
 
     let mut table = Table::new(
-        format!("{} fit at n'={sample_n} (measured vs bound vs prediction)", preset.name),
-        &["message_bytes", "measured_s", "lower_bound_s", "prediction_s", "measured_over_bound"],
+        format!(
+            "{} fit at n'={sample_n} (measured vs bound vs prediction)",
+            preset.name
+        ),
+        &[
+            "message_bytes",
+            "measured_s",
+            "lower_bound_s",
+            "prediction_s",
+            "measured_over_bound",
+        ],
     );
     let mut meas_series = Vec::new();
     let mut bound_series = Vec::new();
@@ -98,9 +108,18 @@ pub fn run_generic(preset: &ClusterPreset, sample_n: usize, profile: &Profile) -
     }
     let chart = ascii_chart(
         &[
-            Series { label: "m measured".into(), points: meas_series },
-            Series { label: "b lower-bound".into(), points: bound_series },
-            Series { label: "p prediction".into(), points: pred_series },
+            Series {
+                label: "m measured".into(),
+                points: meas_series,
+            },
+            Series {
+                label: "b lower-bound".into(),
+                points: bound_series,
+            },
+            Series {
+                label: "p prediction".into(),
+                points: pred_series,
+            },
         ],
         64,
         16,

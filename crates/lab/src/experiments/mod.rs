@@ -177,7 +177,10 @@ mod tests {
     fn registry_covers_every_figure_and_params() {
         let ids: Vec<&str> = registry().iter().map(|e| e.id).collect();
         for fig in 2..=14 {
-            assert!(ids.contains(&format!("fig{fig}").as_str()), "fig{fig} missing");
+            assert!(
+                ids.contains(&format!("fig{fig}").as_str()),
+                "fig{fig} missing"
+            );
         }
         assert!(ids.contains(&"params"));
     }

@@ -60,8 +60,14 @@ pub fn run(profile: &Profile) -> ExperimentOutput {
         .collect();
     let chart = ascii_chart(
         &[
-            Series { label: "m measured".into(), points: pts },
-            Series { label: "l linear-ref".into(), points: linear },
+            Series {
+                label: "m measured".into(),
+                points: pts,
+            },
+            Series {
+                label: "l linear-ref".into(),
+                points: linear,
+            },
         ],
         64,
         14,

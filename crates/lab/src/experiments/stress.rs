@@ -18,7 +18,9 @@ use simmpi::harness::{stress_run, StressResult};
 pub fn connection_counts(scale: Scale) -> Vec<usize> {
     match scale {
         Scale::Quick => vec![1, 4, 8, 16, 24, 32, 48, 60],
-        Scale::Full => vec![1, 2, 4, 6, 8, 12, 16, 20, 24, 28, 32, 36, 40, 44, 48, 52, 56, 60],
+        Scale::Full => vec![
+            1, 2, 4, 6, 8, 12, 16, 20, 24, 28, 32, 36, 40, 44, 48, 52, 56, 60,
+        ],
     }
 }
 
@@ -46,8 +48,7 @@ pub fn stress_sweep(profile: &Profile) -> Vec<(usize, StressResult)> {
             let mut ranks: Vec<usize> = (0..2 * k).collect();
             let mut rng = rand::rngs::StdRng::seed_from_u64(profile.seed ^ 0xF00D ^ k as u64);
             ranks.shuffle(&mut rng);
-            let pairs: Vec<(usize, usize)> =
-                ranks.chunks(2).map(|c| (c[0], c[1])).collect();
+            let pairs: Vec<(usize, usize)> = ranks.chunks(2).map(|c| (c[0], c[1])).collect();
             (k, stress_run(&mut world, &pairs, bytes))
         })
         .collect()
@@ -77,7 +78,10 @@ pub fn run_fig2(profile: &Profile) -> ExperimentOutput {
         pts.push((*k as f64, s.mean));
     }
     let chart = ascii_chart(
-        &[Series { label: "B avg MB/s".into(), points: pts }],
+        &[Series {
+            label: "B avg MB/s".into(),
+            points: pts,
+        }],
         64,
         14,
     );
@@ -112,8 +116,14 @@ pub fn run_fig3(profile: &Profile) -> ExperimentOutput {
     }
     let chart = ascii_chart(
         &[
-            Series { label: ". individual".into(), points: individual },
-            Series { label: "A average".into(), points: average },
+            Series {
+                label: ". individual".into(),
+                points: individual,
+            },
+            Series {
+                label: "A average".into(),
+                points: average,
+            },
         ],
         64,
         16,

@@ -47,7 +47,13 @@ pub fn measure_surface(
     preset: &ClusterPreset,
     sample_n: usize,
     profile: &Profile,
-) -> Result<(Vec<AccuracyPoint>, contention_model::calibration::Calibration), String> {
+) -> Result<
+    (
+        Vec<AccuracyPoint>,
+        contention_model::calibration::Calibration,
+    ),
+    String,
+> {
     let report = calibrate_report(
         preset,
         sample_n,
@@ -89,8 +95,17 @@ fn run_generic(preset: &ClusterPreset, sample_n: usize, profile: &Profile) -> Ex
         }
     };
     let mut table = Table::new(
-        format!("{} prediction surface (signature from n'={sample_n})", preset.name),
-        &["nodes", "message_bytes", "measured_s", "predicted_s", "error_pct"],
+        format!(
+            "{} prediction surface (signature from n'={sample_n})",
+            preset.name
+        ),
+        &[
+            "nodes",
+            "message_bytes",
+            "measured_s",
+            "predicted_s",
+            "error_pct",
+        ],
     );
     for p in &points {
         table.push_row(vec![

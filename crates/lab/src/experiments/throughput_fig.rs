@@ -82,10 +82,20 @@ pub fn run(profile: &Profile) -> ExperimentOutput {
         }
     };
 
-    let curve = measure_alltoall_curve(&preset, n, &sizes(profile.scale), &fit_cfg_for(profile.seed));
+    let curve = measure_alltoall_curve(
+        &preset,
+        n,
+        &sizes(profile.scale),
+        &fit_cfg_for(profile.seed),
+    );
     let mut table = Table::new(
         "fig4: throughput-under-contention prediction at 40 processes (GbE)",
-        &["message_bytes", "measured_s", "synthetic_beta_pred_s", "lower_bound_s"],
+        &[
+            "message_bytes",
+            "measured_s",
+            "synthetic_beta_pred_s",
+            "lower_bound_s",
+        ],
     );
     let (mut meas, mut pred, mut bound) = (Vec::new(), Vec::new(), Vec::new());
     for (m, t) in curve {
@@ -103,9 +113,18 @@ pub fn run(profile: &Profile) -> ExperimentOutput {
     }
     let chart = ascii_chart(
         &[
-            Series { label: "m measured".into(), points: meas },
-            Series { label: "s synthetic-beta".into(), points: pred },
-            Series { label: "b lower-bound".into(), points: bound },
+            Series {
+                label: "m measured".into(),
+                points: meas,
+            },
+            Series {
+                label: "s synthetic-beta".into(),
+                points: pred,
+            },
+            Series {
+                label: "b lower-bound".into(),
+                points: bound,
+            },
         ],
         64,
         16,

@@ -100,12 +100,7 @@ pub fn measure_alltoall_curve(
 }
 
 /// Mean Direct Exchange completion at a single `(n, m)` point.
-pub fn measure_alltoall_point(
-    preset: &ClusterPreset,
-    n: usize,
-    m: u64,
-    cfg: &SweepConfig,
-) -> f64 {
+pub fn measure_alltoall_point(preset: &ClusterPreset, n: usize, m: u64, cfg: &SweepConfig) -> f64 {
     let mut world = preset.build_world(n, cfg.seed);
     let times = alltoall_times(&mut world, cfg.algorithm, m, cfg.warmup, cfg.reps);
     times.iter().sum::<f64>() / times.len() as f64
@@ -205,25 +200,29 @@ where
         return items.into_iter().map(f).collect();
     }
     let n = items.len();
-    let mut slots: Vec<Option<R>> = Vec::with_capacity(n);
-    slots.resize_with(n, || None);
-    let work: Vec<(usize, T)> = items.into_iter().enumerate().collect();
-    let queue = parking_lot::Mutex::new(work);
-    let results = parking_lot::Mutex::new(&mut slots);
-    crossbeam::scope(|scope| {
+    // LIFO work queue + per-slot results: order is restored by index, so
+    // the output never depends on worker scheduling.
+    let queue: std::sync::Mutex<Vec<(usize, T)>> =
+        std::sync::Mutex::new(items.into_iter().enumerate().collect());
+    let slots: Vec<std::sync::Mutex<Option<R>>> =
+        (0..n).map(|_| std::sync::Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
         for _ in 0..workers.min(n) {
-            scope.spawn(|_| loop {
-                let item = queue.lock().pop();
+            scope.spawn(|| loop {
+                let item = queue.lock().expect("queue lock").pop();
                 let Some((idx, item)) = item else { break };
                 let r = f(item);
-                results.lock()[idx] = Some(r);
+                *slots[idx].lock().expect("slot lock") = Some(r);
             });
         }
-    })
-    .expect("sweep workers do not panic");
+    });
     slots
         .into_iter()
-        .map(|s| s.expect("every slot filled"))
+        .map(|s| {
+            s.into_inner()
+                .expect("slot lock")
+                .expect("every slot filled")
+        })
         .collect()
 }
 

@@ -1,0 +1,285 @@
+//! `ctnsim` — run contention scenarios from the command line.
+//!
+//! ```text
+//! ctnsim list
+//! ctnsim run <name|file.toml>... [--workers N] [--seed S] [--format csv|json] [--out FILE]
+//! ctnsim sweep <name|file.toml> --nodes 4,8 --sizes 65536,262144 [--reps R] [--workers N]
+//! ctnsim show <name>
+//! ```
+
+use contention_scenario::executor::{run_batches, BatchConfig, BatchResult};
+use contention_scenario::registry;
+use contention_scenario::report;
+use contention_scenario::spec::ScenarioSpec;
+use std::process::ExitCode;
+
+const USAGE: &str = "ctnsim — contention scenario runner
+
+USAGE:
+    ctnsim list
+        Show the built-in scenarios.
+
+    ctnsim run <name|file.toml>... [OPTIONS]
+        Run one or more scenarios (built-in names or TOML spec files) and
+        emit per-cell results with model-error columns.
+
+    ctnsim sweep <name|file.toml> --nodes N1,N2 --sizes B1,B2 [OPTIONS]
+        Run a scenario with its grid replaced from the command line.
+
+    ctnsim show <name>
+        Print a built-in scenario as TOML (a template for custom specs).
+
+OPTIONS:
+    --workers N       Worker threads (default: available parallelism)
+    --seed S          Base seed (default 42); results are deterministic per
+                      (scenario, seed, cell) and independent of --workers
+    --format csv|json Output format (default csv)
+    --out FILE        Write the report to FILE instead of stdout
+    --reps R          Measured repetitions per cell (override)
+    --warmup W        Warm-up repetitions per cell (override)
+";
+
+fn fail(msg: impl std::fmt::Display) -> ExitCode {
+    eprintln!("ctnsim: {msg}");
+    ExitCode::FAILURE
+}
+
+struct Options {
+    workers: Option<usize>,
+    seed: u64,
+    format: String,
+    out: Option<String>,
+    nodes: Option<Vec<usize>>,
+    sizes: Option<Vec<u64>>,
+    reps: Option<usize>,
+    warmup: Option<usize>,
+    positional: Vec<String>,
+}
+
+fn parse_options(args: &[String]) -> Result<Options, String> {
+    let mut o = Options {
+        workers: None,
+        seed: 42,
+        format: "csv".into(),
+        out: None,
+        nodes: None,
+        sizes: None,
+        reps: None,
+        warmup: None,
+        positional: Vec::new(),
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value_of = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--workers" => {
+                o.workers = Some(
+                    value_of("--workers")?
+                        .parse()
+                        .map_err(|_| "--workers expects a positive integer".to_string())?,
+                )
+            }
+            "--seed" => {
+                o.seed = value_of("--seed")?
+                    .parse()
+                    .map_err(|_| "--seed expects an integer".to_string())?
+            }
+            "--format" => {
+                let f = value_of("--format")?;
+                if f != "csv" && f != "json" {
+                    return Err(format!("unknown format {f:?} (expected csv or json)"));
+                }
+                o.format = f;
+            }
+            "--out" => o.out = Some(value_of("--out")?),
+            "--nodes" => o.nodes = Some(parse_list(&value_of("--nodes")?, "--nodes")?),
+            "--sizes" => {
+                o.sizes = Some(
+                    parse_list(&value_of("--sizes")?, "--sizes")?
+                        .into_iter()
+                        .map(|v| v as u64)
+                        .collect(),
+                )
+            }
+            "--reps" => {
+                o.reps = Some(
+                    value_of("--reps")?
+                        .parse()
+                        .map_err(|_| "--reps expects a positive integer".to_string())?,
+                )
+            }
+            "--warmup" => {
+                o.warmup = Some(
+                    value_of("--warmup")?
+                        .parse()
+                        .map_err(|_| "--warmup expects an integer".to_string())?,
+                )
+            }
+            flag if flag.starts_with("--") => return Err(format!("unknown option {flag}")),
+            name => o.positional.push(name.to_string()),
+        }
+    }
+    Ok(o)
+}
+
+fn parse_list(text: &str, flag: &str) -> Result<Vec<usize>, String> {
+    text.split(',')
+        .map(|part| {
+            part.trim()
+                .parse::<usize>()
+                .map_err(|_| format!("{flag}: {part:?} is not a positive integer"))
+        })
+        .collect()
+}
+
+fn load_spec(name_or_path: &str) -> Result<ScenarioSpec, String> {
+    if let Some(spec) = registry::by_name(name_or_path) {
+        return Ok(spec);
+    }
+    if name_or_path.ends_with(".toml") {
+        let text = std::fs::read_to_string(name_or_path)
+            .map_err(|e| format!("cannot read {name_or_path}: {e}"))?;
+        return ScenarioSpec::from_toml_str(&text).map_err(|e| format!("{name_or_path}: {e}"));
+    }
+    Err(format!(
+        "unknown scenario {name_or_path:?}; `ctnsim list` shows built-ins, or pass a .toml file"
+    ))
+}
+
+fn emit(options: &Options, results: &[BatchResult]) -> Result<(), String> {
+    let text = match options.format.as_str() {
+        "json" => report::to_json(results),
+        _ => report::to_csv(results),
+    };
+    match &options.out {
+        Some(path) => {
+            std::fs::write(path, &text).map_err(|e| format!("cannot write {path}: {e}"))?;
+            let cells: usize = results.iter().map(|r| r.cells.len()).sum();
+            eprintln!(
+                "wrote {} scenario(s), {cells} cell(s) to {path}",
+                results.len()
+            );
+            Ok(())
+        }
+        None => {
+            print!("{text}");
+            Ok(())
+        }
+    }
+}
+
+fn cmd_list() -> ExitCode {
+    let all = registry::builtin();
+    println!("{:<28} {:>5}  DESCRIPTION", "NAME", "CELLS");
+    for spec in &all {
+        println!(
+            "{:<28} {:>5}  {}",
+            spec.name,
+            spec.sweep.nodes.len() * spec.sweep.message_bytes.len(),
+            spec.description
+        );
+    }
+    println!(
+        "\n{} scenarios; `ctnsim run <name>` executes one.",
+        all.len()
+    );
+    ExitCode::SUCCESS
+}
+
+fn run_specs(mut specs: Vec<ScenarioSpec>, options: &Options) -> ExitCode {
+    for spec in &mut specs {
+        if let Some(nodes) = &options.nodes {
+            spec.sweep.nodes = nodes.clone();
+        }
+        if let Some(sizes) = &options.sizes {
+            spec.sweep.message_bytes = sizes.clone();
+        }
+        if let Some(reps) = options.reps {
+            spec.sweep.reps = reps;
+        }
+        if let Some(warmup) = options.warmup {
+            spec.sweep.warmup = warmup;
+        }
+    }
+    let workers = options
+        .workers
+        .unwrap_or_else(contention_lab::runner::default_workers);
+    if workers == 0 {
+        return fail("--workers must be at least 1");
+    }
+    let cfg = BatchConfig {
+        workers,
+        base_seed: options.seed,
+    };
+    match run_batches(&specs, &cfg) {
+        Ok(results) => match emit(options, &results) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => fail(e),
+        },
+        Err(e) => fail(e),
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first().cloned() else {
+        eprint!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let options = match parse_options(&args[1..]) {
+        Ok(o) => o,
+        Err(e) => return fail(e),
+    };
+    match command.as_str() {
+        "list" => cmd_list(),
+        "show" => {
+            let Some(name) = options.positional.first() else {
+                return fail("show needs a scenario name");
+            };
+            match registry::by_name(name) {
+                Some(spec) => {
+                    print!("{}", spec.to_toml_string());
+                    ExitCode::SUCCESS
+                }
+                None => fail(format!("unknown built-in {name:?}")),
+            }
+        }
+        "run" => {
+            if options.positional.is_empty() {
+                return fail("run needs at least one scenario name or .toml file");
+            }
+            let mut specs = Vec::new();
+            for name in &options.positional {
+                match load_spec(name) {
+                    Ok(s) => specs.push(s),
+                    Err(e) => return fail(e),
+                }
+            }
+            run_specs(specs, &options)
+        }
+        "sweep" => {
+            let Some(name) = options.positional.first() else {
+                return fail("sweep needs a scenario name or .toml file");
+            };
+            if options.positional.len() > 1 {
+                return fail("sweep takes exactly one scenario");
+            }
+            if options.nodes.is_none() && options.sizes.is_none() {
+                return fail("sweep needs --nodes and/or --sizes overrides");
+            }
+            match load_spec(name) {
+                Ok(spec) => run_specs(vec![spec], &options),
+                Err(e) => fail(e),
+            }
+        }
+        "help" | "--help" | "-h" => {
+            print!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        other => fail(format!("unknown command {other:?}; see `ctnsim help`")),
+    }
+}

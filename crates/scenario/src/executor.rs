@@ -1,0 +1,291 @@
+//! The parallel batch executor: expands scenario × grid products into
+//! cells, shards them across worker threads, and attaches model-error
+//! columns.
+//!
+//! Determinism contract: a cell's result depends only on `(scenario name,
+//! base seed, n, message bytes)` — never on the worker count or schedule —
+//! so `--workers 1` and `--workers 8` produce byte-identical reports. The
+//! work queue is the generalization of `contention_lab::runner::
+//! parallel_map`, which it reuses: one flat queue across *all* scenarios
+//! of a batch, so a wide scenario cannot serialize a narrow one behind it.
+
+use crate::spec::{ScenarioSpec, SpecError};
+use crate::{topology, workload};
+use contention_lab::runner::parallel_map;
+use contention_model::hockney::HockneyParams;
+use contention_model::metrics::estimation_error_percent;
+use simmpi::harness::ping_pong;
+
+/// Executor configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchConfig {
+    /// Worker threads sharing the cell queue.
+    pub workers: usize,
+    /// Base seed; every cell derives its own stream.
+    pub base_seed: u64,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        Self {
+            workers: contention_lab::runner::default_workers(),
+            base_seed: 42,
+        }
+    }
+}
+
+/// One grid cell's measurements.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellResult {
+    /// Scenario name.
+    pub scenario: String,
+    /// Workload family (`uniform`, `incast`, …).
+    pub workload: String,
+    /// Topology family (`fat-tree`, `preset`, …).
+    pub topology: String,
+    /// Rank count.
+    pub n: usize,
+    /// Per-pair message size in bytes.
+    pub message_bytes: u64,
+    /// The cell's derived seed (reproduce with `ctnsim sweep … --seed`).
+    pub cell_seed: u64,
+    /// Mean simulated completion over the measured repetitions, seconds.
+    pub mean_secs: f64,
+    /// Fastest repetition, seconds.
+    pub min_secs: f64,
+    /// Slowest repetition, seconds.
+    pub max_secs: f64,
+    /// The MED lower bound under the scenario's Hockney fit, seconds.
+    pub model_secs: f64,
+    /// The paper's estimation error `(measured/estimated − 1)·100`.
+    pub error_percent: f64,
+}
+
+/// A whole scenario's results plus its calibration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchResult {
+    /// Scenario name.
+    pub scenario: String,
+    /// Fitted Hockney α in seconds (per-message startup).
+    pub alpha_secs: f64,
+    /// Fitted Hockney β in seconds/byte.
+    pub beta_secs_per_byte: f64,
+    /// One row per grid cell, in grid order (nodes-major).
+    pub cells: Vec<CellResult>,
+}
+
+/// SplitMix64-style mixing for per-cell seeds.
+fn mix(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+fn name_hash(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// The deterministic seed of one cell: a pure function of scenario name,
+/// base seed and the cell's coordinates (not its position in the grid, so
+/// adding grid points does not reseed existing ones).
+pub fn cell_seed(scenario: &str, base_seed: u64, n: usize, message_bytes: u64) -> u64 {
+    mix(base_seed
+        .wrapping_add(name_hash(scenario))
+        .wrapping_add(mix(n as u64).rotate_left(17))
+        .wrapping_add(mix(message_bytes).rotate_left(31)))
+}
+
+struct Cell {
+    spec_idx: usize,
+    n: usize,
+    message_bytes: u64,
+    seed: u64,
+}
+
+/// Measures the scenario's Hockney parameters: a 2-rank ping-pong on the
+/// scenario's own fabric across the standard fit sizes. Cheap (seconds of
+/// simulated time on two hosts) and faithful to the paper's procedure.
+pub fn calibrate_hockney(spec: &ScenarioSpec, base_seed: u64) -> Result<HockneyParams, SpecError> {
+    let sizes = [1024u64, 16 * 1024, 131_072, 524_288, 1_048_576];
+    let mut world = topology::build_world(spec, 2, mix(base_seed ^ name_hash(&spec.name)))?;
+    let points: Vec<(u64, f64)> = ping_pong(&mut world, 0, 1, &sizes, 3)
+        .into_iter()
+        .map(|p| (p.size, p.half_rtt_secs))
+        .collect();
+    HockneyParams::fit(&points)
+        .map_err(|e| SpecError::Invalid(format!("{}: Hockney fit failed: {e}", spec.name)))
+}
+
+fn run_cell(
+    spec: &ScenarioSpec,
+    cell: &Cell,
+    hockney: &HockneyParams,
+) -> Result<CellResult, SpecError> {
+    let mut world = topology::build_world(spec, cell.n, cell.seed)?;
+    let programs = workload::programs(&spec.workload, cell.n, cell.message_bytes, cell.seed);
+    for _ in 0..spec.sweep.warmup {
+        let _ = world.run(programs.clone());
+    }
+    let times: Vec<f64> = (0..spec.sweep.reps)
+        .map(|_| world.run(programs.clone()).duration_secs())
+        .collect();
+    let mean = times.iter().sum::<f64>() / times.len() as f64;
+    let min = times.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = times.iter().cloned().fold(0.0f64, f64::max);
+    let model = workload::model_bound(
+        &spec.workload,
+        cell.n,
+        cell.message_bytes,
+        cell.seed,
+        hockney,
+    );
+    Ok(CellResult {
+        scenario: spec.name.clone(),
+        workload: spec.workload.kind().to_string(),
+        topology: spec.topology.kind().to_string(),
+        n: cell.n,
+        message_bytes: cell.message_bytes,
+        cell_seed: cell.seed,
+        mean_secs: mean,
+        min_secs: min,
+        max_secs: max,
+        model_secs: model,
+        error_percent: estimation_error_percent(mean, model),
+    })
+}
+
+/// Runs one scenario's full grid. See [`run_batches`] for several at once.
+pub fn run_batch(spec: &ScenarioSpec, cfg: &BatchConfig) -> Result<BatchResult, SpecError> {
+    run_batches(std::slice::from_ref(spec), cfg).map(|mut v| v.remove(0))
+}
+
+/// Runs several scenarios as **one** flat cell queue over `cfg.workers`
+/// threads. Results come back grouped per scenario, each grid in
+/// deterministic nodes-major order regardless of worker count.
+pub fn run_batches(
+    specs: &[ScenarioSpec],
+    cfg: &BatchConfig,
+) -> Result<Vec<BatchResult>, SpecError> {
+    assert!(cfg.workers > 0, "need at least one worker");
+    for spec in specs {
+        spec.validate()?;
+    }
+    // Calibrations are tiny 2-rank sims; fold them into the same parallel
+    // queue as real cells would be overkill — run them first, in order.
+    let hockneys: Vec<HockneyParams> = specs
+        .iter()
+        .map(|s| calibrate_hockney(s, cfg.base_seed))
+        .collect::<Result<_, _>>()?;
+
+    let mut cells = Vec::new();
+    for (spec_idx, spec) in specs.iter().enumerate() {
+        for &n in &spec.sweep.nodes {
+            for &m in &spec.sweep.message_bytes {
+                cells.push(Cell {
+                    spec_idx,
+                    n,
+                    message_bytes: m,
+                    seed: cell_seed(&spec.name, cfg.base_seed, n, m),
+                });
+            }
+        }
+    }
+
+    let outcomes: Vec<Result<CellResult, SpecError>> = parallel_map(cells, cfg.workers, |cell| {
+        run_cell(&specs[cell.spec_idx], &cell, &hockneys[cell.spec_idx])
+    });
+
+    let mut results: Vec<BatchResult> = specs
+        .iter()
+        .zip(&hockneys)
+        .map(|(spec, h)| BatchResult {
+            scenario: spec.name.clone(),
+            alpha_secs: h.alpha_secs,
+            beta_secs_per_byte: h.beta_secs_per_byte,
+            cells: Vec::new(),
+        })
+        .collect();
+    // parallel_map preserves input order, so cells regroup deterministically.
+    let mut idx = 0usize;
+    for (spec_idx, spec) in specs.iter().enumerate() {
+        let cell_count = spec.sweep.nodes.len() * spec.sweep.message_bytes.len();
+        for _ in 0..cell_count {
+            results[spec_idx].cells.push(outcomes[idx].clone()?);
+            idx += 1;
+        }
+    }
+    Ok(results)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::by_name;
+
+    #[test]
+    fn worker_count_does_not_change_results() {
+        let spec = by_name("incast-burst").unwrap();
+        let cfg1 = BatchConfig {
+            workers: 1,
+            base_seed: 7,
+        };
+        let cfg4 = BatchConfig {
+            workers: 4,
+            base_seed: 7,
+        };
+        let r1 = run_batch(&spec, &cfg1).unwrap();
+        let r4 = run_batch(&spec, &cfg4).unwrap();
+        assert_eq!(r1, r4);
+        let csv1 = crate::report::to_csv(std::slice::from_ref(&r1));
+        let csv4 = crate::report::to_csv(std::slice::from_ref(&r4));
+        assert_eq!(csv1, csv4, "CSV must be byte-identical across workers");
+    }
+
+    #[test]
+    fn cell_seeds_are_stable_and_distinct() {
+        let a = cell_seed("x", 1, 4, 1024);
+        assert_eq!(a, cell_seed("x", 1, 4, 1024));
+        assert_ne!(a, cell_seed("x", 1, 8, 1024));
+        assert_ne!(a, cell_seed("x", 1, 4, 2048));
+        assert_ne!(a, cell_seed("y", 1, 4, 1024));
+        assert_ne!(a, cell_seed("x", 2, 4, 1024));
+    }
+
+    #[test]
+    fn batch_grid_is_complete_and_ordered() {
+        let spec = by_name("incast-burst").unwrap();
+        let r = run_batch(
+            &spec,
+            &BatchConfig {
+                workers: 2,
+                base_seed: 3,
+            },
+        )
+        .unwrap();
+        assert_eq!(
+            r.cells.len(),
+            spec.sweep.nodes.len() * spec.sweep.message_bytes.len()
+        );
+        let mut expected = Vec::new();
+        for &n in &spec.sweep.nodes {
+            for &m in &spec.sweep.message_bytes {
+                expected.push((n, m));
+            }
+        }
+        let got: Vec<(usize, u64)> = r.cells.iter().map(|c| (c.n, c.message_bytes)).collect();
+        assert_eq!(got, expected);
+        for c in &r.cells {
+            assert!(c.mean_secs > 0.0 && c.model_secs > 0.0);
+            assert!(c.min_secs <= c.mean_secs && c.mean_secs <= c.max_secs);
+            assert!(
+                c.mean_secs >= c.model_secs * 0.99,
+                "simulation beat the lower bound: {c:?}"
+            );
+        }
+    }
+}

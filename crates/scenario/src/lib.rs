@@ -1,0 +1,63 @@
+//! # contention-scenario — the declarative scenario engine
+//!
+//! The paper measures All-to-All contention on three fixed clusters; this
+//! crate turns that hard-coded world into data:
+//!
+//! * [`spec`] — [`ScenarioSpec`](spec::ScenarioSpec): topology, transport,
+//!   MPI overrides, workload and sweep grid as one declarative value, with
+//!   a TOML round-trip (see [`toml`], a dependency-free subset parser);
+//! * [`topology`] — spec → [`simmpi::World`], via the parameterized
+//!   generators in [`simnet::generate`] (single switch, star-of-switches,
+//!   oversubscribed two-level tree, k-ary fat-tree) or the paper's
+//!   calibrated presets;
+//! * [`workload`] — spec → per-rank programs: uniform All-to-All under any
+//!   registered algorithm, irregular [`ExchangeMatrix`] patterns (skewed,
+//!   sparse, permutation), incast/outcast, and barrier-separated
+//!   multi-phase mixes — each with its MED lower bound for the model-error
+//!   column;
+//! * [`executor`] — the parallel batch executor: one flat cell queue
+//!   across all scenarios, deterministic per-cell seeding (results are
+//!   byte-identical for any worker count);
+//! * [`report`] — deterministic CSV/JSON emitters;
+//! * [`registry`] — built-in scenarios, including the three paper
+//!   clusters re-expressed as specs.
+//!
+//! The `ctnsim` binary exposes all of it: `ctnsim list`, `ctnsim run
+//! <name|file.toml>`, `ctnsim sweep <name> --nodes … --sizes …`.
+//!
+//! ## Example
+//!
+//! ```
+//! use contention_scenario::executor::{run_batch, BatchConfig};
+//! use contention_scenario::registry;
+//!
+//! let spec = registry::by_name("incast-burst").expect("built-in");
+//! let cfg = BatchConfig { workers: 2, base_seed: 1 };
+//! let result = run_batch(&spec, &cfg).expect("runs");
+//! assert_eq!(result.cells.len(),
+//!            spec.sweep.nodes.len() * spec.sweep.message_bytes.len());
+//! ```
+//!
+//! [`ExchangeMatrix`]: simmpi::ExchangeMatrix
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod executor;
+pub mod registry;
+pub mod report;
+pub mod spec;
+pub mod toml;
+pub mod topology;
+pub mod workload;
+
+/// Commonly used items.
+pub mod prelude {
+    pub use crate::executor::{run_batch, run_batches, BatchConfig, BatchResult, CellResult};
+    pub use crate::registry;
+    pub use crate::report::{to_csv, to_json};
+    pub use crate::spec::{
+        LinkSpec, MpiSpec, ScenarioSpec, SpecError, SweepSpec, SwitchSpec, TopologySpec,
+        TransportSpec, WorkloadSpec,
+    };
+}

@@ -1,0 +1,282 @@
+//! The built-in scenario library: the paper's three clusters re-expressed
+//! as specs, plus fabrics and workloads the paper could not measure —
+//! multi-level trees with controlled oversubscription, fat-trees, and
+//! irregular exchanges.
+
+use crate::spec::{
+    LinkSpec, MpiSpec, ScenarioSpec, SweepSpec, SwitchSpec, TopologySpec, TransportSpec,
+    WorkloadSpec,
+};
+
+fn kib(n: u64) -> u64 {
+    n * 1024
+}
+
+fn paper_cluster(preset: &str, description: &str, nodes: Vec<usize>) -> ScenarioSpec {
+    ScenarioSpec {
+        name: format!("paper-{preset}"),
+        description: description.to_string(),
+        topology: TopologySpec::Preset {
+            preset: preset.to_string(),
+        },
+        // Preset topologies carry their own transport/MPI stacks; the
+        // transport field is ignored for them (kept at default).
+        transport: TransportSpec::default(),
+        mpi: MpiSpec::default(),
+        workload: WorkloadSpec::Uniform {
+            algorithm: "direct".into(),
+        },
+        sweep: SweepSpec {
+            nodes,
+            message_bytes: vec![kib(64), kib(256), kib(512)],
+            warmup: 1,
+            reps: 2,
+        },
+    }
+}
+
+/// All built-in scenarios, in presentation order.
+pub fn builtin() -> Vec<ScenarioSpec> {
+    let fast_link = LinkSpec {
+        bandwidth_bytes_per_sec: 125e6,
+        latency_ns: 20_000,
+    };
+    let small_switch = SwitchSpec {
+        shared_buffer_bytes: 256 * 1024,
+        per_port_cap_bytes: 64 * 1024,
+    };
+    let deep_switch = SwitchSpec {
+        shared_buffer_bytes: 4 * 1024 * 1024,
+        per_port_cap_bytes: 1024 * 1024,
+    };
+
+    vec![
+        paper_cluster(
+            "fast-ethernet",
+            "Steffenel's icluster2 Fast Ethernet testbed (Figs. 6-8) as a spec",
+            vec![8, 16, 24],
+        ),
+        paper_cluster(
+            "gigabit-ethernet",
+            "Steffenel's GdX Gigabit Ethernet testbed (Figs. 9-11) as a spec",
+            vec![8, 16, 24],
+        ),
+        paper_cluster(
+            "myrinet",
+            "Steffenel's icluster2 Myrinet 2000 testbed (Figs. 12-14) as a spec",
+            vec![8, 16],
+        ),
+        ScenarioSpec {
+            name: "fat-tree-uniform".into(),
+            description: "Uniform All-to-All on a 4-ary fat-tree: rearrangeably non-blocking, \
+                          contention comes from ECMP collisions, not capacity"
+                .into(),
+            topology: TopologySpec::FatTree {
+                k: 4,
+                hosts_per_edge: 4,
+                link: fast_link,
+                switch: small_switch,
+            },
+            transport: TransportSpec::Tcp {
+                window_bytes: kib(64),
+            },
+            mpi: MpiSpec::default(),
+            workload: WorkloadSpec::Uniform {
+                algorithm: "direct-nb".into(),
+            },
+            sweep: SweepSpec {
+                nodes: vec![8, 16],
+                message_bytes: vec![kib(64), kib(256)],
+                warmup: 1,
+                reps: 2,
+            },
+        },
+        ScenarioSpec {
+            name: "oversubscribed-tree-skewed".into(),
+            description: "Skewed irregular exchange over a 4:1 oversubscribed two-level tree \
+                          (the Oltchik-style partitioning stress: hot senders share thin uplinks)"
+                .into(),
+            topology: TopologySpec::Tree {
+                leaves: 4,
+                hosts_per_leaf: 6,
+                edge_link: fast_link,
+                oversubscription: 4.0,
+                uplinks_per_leaf: 1,
+                uplink_latency_ns: 10_000,
+                edge_switch: small_switch,
+                core_switch: small_switch,
+            },
+            transport: TransportSpec::Tcp {
+                window_bytes: kib(64),
+            },
+            mpi: MpiSpec::default(),
+            workload: WorkloadSpec::Skewed {
+                hot_ranks: 2,
+                factor: 4.0,
+                nonblocking: true,
+            },
+            sweep: SweepSpec {
+                nodes: vec![8, 16, 24],
+                message_bytes: vec![kib(32), kib(128)],
+                warmup: 1,
+                reps: 2,
+            },
+        },
+        ScenarioSpec {
+            name: "incast-burst".into(),
+            description: "All-to-one incast on a shallow-buffered switch: the paper's \u{a7}3 \
+                          buffer-exhaustion stress as a reusable scenario"
+                .into(),
+            topology: TopologySpec::SingleSwitch {
+                hosts: 16,
+                link: fast_link,
+                switch: small_switch,
+            },
+            transport: TransportSpec::Tcp {
+                window_bytes: kib(64),
+            },
+            mpi: MpiSpec::default(),
+            workload: WorkloadSpec::Incast { receivers: 1 },
+            sweep: SweepSpec {
+                nodes: vec![4, 8, 16],
+                message_bytes: vec![kib(128), kib(512)],
+                warmup: 0,
+                reps: 2,
+            },
+        },
+        ScenarioSpec {
+            name: "sparse-star".into(),
+            description: "Sparse (40%) irregular exchange over a star of switches — the Bienz \
+                          irregular-communication regime single-switch models miss"
+                .into(),
+            topology: TopologySpec::StarOfSwitches {
+                leaves: 3,
+                hosts_per_leaf: 8,
+                edge_link: fast_link,
+                uplink: LinkSpec {
+                    bandwidth_bytes_per_sec: 250e6,
+                    latency_ns: 10_000,
+                },
+                uplinks_per_leaf: 2,
+                edge_switch: small_switch,
+                core_switch: deep_switch,
+            },
+            transport: TransportSpec::Tcp {
+                window_bytes: kib(64),
+            },
+            mpi: MpiSpec::default(),
+            workload: WorkloadSpec::Sparse {
+                density: 0.4,
+                nonblocking: true,
+            },
+            sweep: SweepSpec {
+                nodes: vec![8, 16, 24],
+                message_bytes: vec![kib(64), kib(256)],
+                warmup: 1,
+                reps: 2,
+            },
+        },
+        ScenarioSpec {
+            name: "permutation-lossless".into(),
+            description: "Random permutation traffic on a lossless single switch: the \
+                          contention-free baseline every irregular pattern is judged against"
+                .into(),
+            topology: TopologySpec::SingleSwitch {
+                hosts: 24,
+                link: LinkSpec {
+                    bandwidth_bytes_per_sec: 250e6,
+                    latency_ns: 4_000,
+                },
+                switch: SwitchSpec {
+                    shared_buffer_bytes: u64::MAX / 4,
+                    per_port_cap_bytes: u64::MAX / 8,
+                },
+            },
+            transport: TransportSpec::Gm {
+                window_bytes: kib(1024),
+            },
+            mpi: MpiSpec {
+                hiccup_probability: Some(0.0),
+                ..MpiSpec::default()
+            },
+            workload: WorkloadSpec::Permutation,
+            sweep: SweepSpec {
+                nodes: vec![8, 16, 24],
+                message_bytes: vec![kib(256), kib(1024)],
+                warmup: 0,
+                reps: 2,
+            },
+        },
+        ScenarioSpec {
+            name: "mixed-phases-tree".into(),
+            description: "Multi-phase mix (permutation, then incast, then uniform) over an \
+                          oversubscribed tree — the shifting-bottleneck case single-pattern \
+                          models cannot fit"
+                .into(),
+            topology: TopologySpec::Tree {
+                leaves: 2,
+                hosts_per_leaf: 8,
+                edge_link: fast_link,
+                oversubscription: 2.0,
+                uplinks_per_leaf: 2,
+                uplink_latency_ns: 10_000,
+                edge_switch: small_switch,
+                core_switch: deep_switch,
+            },
+            transport: TransportSpec::Tcp {
+                window_bytes: kib(64),
+            },
+            mpi: MpiSpec::default(),
+            workload: WorkloadSpec::Phases {
+                phases: vec![
+                    WorkloadSpec::Permutation,
+                    WorkloadSpec::Incast { receivers: 2 },
+                    WorkloadSpec::Uniform {
+                        algorithm: "direct".into(),
+                    },
+                ],
+            },
+            sweep: SweepSpec {
+                nodes: vec![8, 16],
+                message_bytes: vec![kib(64), kib(128)],
+                warmup: 0,
+                reps: 2,
+            },
+        },
+    ]
+}
+
+/// Looks up a built-in scenario by name.
+pub fn by_name(name: &str) -> Option<ScenarioSpec> {
+    builtin().into_iter().find(|s| s.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_has_at_least_six_valid_unique_scenarios() {
+        let all = builtin();
+        assert!(all.len() >= 6, "only {} scenarios", all.len());
+        let mut names: Vec<&str> = all.iter().map(|s| s.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), all.len(), "duplicate scenario names");
+        for spec in &all {
+            spec.validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+        }
+    }
+
+    #[test]
+    fn paper_clusters_are_present() {
+        for name in [
+            "paper-fast-ethernet",
+            "paper-gigabit-ethernet",
+            "paper-myrinet",
+        ] {
+            assert!(by_name(name).is_some(), "{name} missing");
+        }
+    }
+}

@@ -1,0 +1,187 @@
+//! Deterministic CSV and JSON emitters for batch results.
+//!
+//! Floats are formatted with Rust's shortest-round-trip `Display`, so the
+//! same numbers always produce the same bytes — the executor's
+//! worker-count-independence guarantee extends to the report files.
+
+use crate::executor::BatchResult;
+use std::fmt::Write as _;
+
+/// RFC-4180 quoting: fields containing commas, quotes or newlines are
+/// wrapped in double quotes with inner quotes doubled (scenario names are
+/// user-controlled via TOML specs).
+fn csv_field(s: &str) -> String {
+    if s.contains([',', '"', '\n', '\r']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// CSV with one row per cell and a fixed header.
+pub fn to_csv(results: &[BatchResult]) -> String {
+    let mut out = String::from(
+        "scenario,topology,workload,n,message_bytes,cell_seed,mean_secs,min_secs,max_secs,model_secs,error_percent\n",
+    );
+    for batch in results {
+        for c in &batch.cells {
+            let _ = writeln!(
+                out,
+                "{},{},{},{},{},{},{},{},{},{},{}",
+                csv_field(&c.scenario),
+                csv_field(&c.topology),
+                csv_field(&c.workload),
+                c.n,
+                c.message_bytes,
+                c.cell_seed,
+                c.mean_secs,
+                c.min_secs,
+                c.max_secs,
+                c.model_secs,
+                c.error_percent
+            );
+        }
+    }
+    out
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        let s = format!("{v}");
+        // JSON numbers must not be bare "inf"/"NaN"; finite values are fine
+        // as Rust prints them.
+        s
+    } else {
+        "null".to_string()
+    }
+}
+
+/// JSON: an array of scenario objects with calibration and cell rows.
+pub fn to_json(results: &[BatchResult]) -> String {
+    let mut out = String::from("[\n");
+    for (bi, batch) in results.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "  {{\"scenario\": {}, \"alpha_secs\": {}, \"beta_secs_per_byte\": {}, \"cells\": [",
+            json_str(&batch.scenario),
+            json_f64(batch.alpha_secs),
+            json_f64(batch.beta_secs_per_byte)
+        );
+        for (ci, c) in batch.cells.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "    {{\"topology\": {}, \"workload\": {}, \"n\": {}, \"message_bytes\": {}, \
+                 \"cell_seed\": {}, \"mean_secs\": {}, \"min_secs\": {}, \"max_secs\": {}, \
+                 \"model_secs\": {}, \"error_percent\": {}}}{}",
+                json_str(&c.topology),
+                json_str(&c.workload),
+                c.n,
+                c.message_bytes,
+                c.cell_seed,
+                json_f64(c.mean_secs),
+                json_f64(c.min_secs),
+                json_f64(c.max_secs),
+                json_f64(c.model_secs),
+                json_f64(c.error_percent),
+                if ci + 1 < batch.cells.len() { "," } else { "" }
+            );
+        }
+        let _ = writeln!(
+            out,
+            "  ]}}{}",
+            if bi + 1 < results.len() { "," } else { "" }
+        );
+    }
+    out.push_str("]\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::CellResult;
+
+    fn sample() -> Vec<BatchResult> {
+        vec![BatchResult {
+            scenario: "s".into(),
+            alpha_secs: 5e-5,
+            beta_secs_per_byte: 8e-9,
+            cells: vec![CellResult {
+                scenario: "s".into(),
+                workload: "uniform".into(),
+                topology: "single-switch".into(),
+                n: 4,
+                message_bytes: 65536,
+                cell_seed: 99,
+                mean_secs: 0.0125,
+                min_secs: 0.012,
+                max_secs: 0.013,
+                model_secs: 0.01,
+                error_percent: 25.0,
+            }],
+        }]
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let csv = to_csv(&sample());
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("scenario,topology,workload,n,"));
+        assert!(lines[1].starts_with("s,single-switch,uniform,4,65536,99,0.0125,"));
+    }
+
+    #[test]
+    fn csv_quotes_hostile_scenario_names() {
+        let mut results = sample();
+        results[0].cells[0].scenario = "a,b \"c\"".into();
+        let csv = to_csv(&results);
+        let row = csv.lines().nth(1).unwrap();
+        assert!(row.starts_with("\"a,b \"\"c\"\"\",single-switch,"));
+        // Field count is preserved: count commas outside quotes.
+        let mut in_quotes = false;
+        let fields = row
+            .chars()
+            .filter(|&c| {
+                if c == '"' {
+                    in_quotes = !in_quotes;
+                }
+                c == ',' && !in_quotes
+            })
+            .count()
+            + 1;
+        assert_eq!(fields, 11);
+    }
+
+    #[test]
+    fn json_is_structurally_sound() {
+        let json = to_json(&sample());
+        assert!(json.starts_with("[\n"));
+        assert!(json.trim_end().ends_with(']'));
+        assert_eq!(json.matches("\"cells\"").count(), 1);
+        assert_eq!(json.matches("\"mean_secs\"").count(), 1);
+        // Balanced braces/brackets.
+        let opens = json.matches(['{', '[']).count();
+        let closes = json.matches(['}', ']']).count();
+        assert_eq!(opens, closes);
+    }
+}

@@ -1,0 +1,158 @@
+//! Turns a [`TopologySpec`] into a runnable [`World`].
+
+use crate::spec::{ScenarioSpec, SpecError, TopologySpec};
+use contention_lab::presets::ClusterPreset;
+use simmpi::prelude::*;
+use simnet::generate::{self, FatTreeParams, Generated, TreeParams};
+use simnet::prelude::*;
+
+fn preset_by_name(name: &str) -> Result<ClusterPreset, SpecError> {
+    ClusterPreset::all()
+        .into_iter()
+        .find(|p| p.name == name)
+        .ok_or_else(|| {
+            SpecError::Invalid(format!(
+                "unknown preset {name:?} (expected one of {:?})",
+                ClusterPreset::all().map(|p| p.name)
+            ))
+        })
+}
+
+/// Host capacity of a topology spec.
+pub fn capacity(t: &TopologySpec) -> Result<usize, SpecError> {
+    Ok(match t {
+        TopologySpec::Preset { preset } => preset_by_name(preset)?.max_hosts(),
+        TopologySpec::SingleSwitch { hosts, .. } => *hosts,
+        TopologySpec::StarOfSwitches {
+            leaves,
+            hosts_per_leaf,
+            ..
+        }
+        | TopologySpec::Tree {
+            leaves,
+            hosts_per_leaf,
+            ..
+        } => leaves * hosts_per_leaf,
+        TopologySpec::FatTree {
+            k, hosts_per_edge, ..
+        } => FatTreeParams {
+            k: *k,
+            hosts_per_edge: *hosts_per_edge,
+            link: LinkConfig::gigabit_ethernet(),
+            switch: SwitchConfig::commodity_ethernet(),
+        }
+        .capacity(),
+    })
+}
+
+fn generated(t: &TopologySpec) -> Result<Generated, SpecError> {
+    Ok(match t {
+        TopologySpec::Preset { .. } => unreachable!("presets build through ClusterPreset"),
+        TopologySpec::SingleSwitch {
+            hosts,
+            link,
+            switch,
+        } => generate::single_switch(*hosts, link.to_config(), switch.to_config()),
+        TopologySpec::StarOfSwitches {
+            leaves,
+            hosts_per_leaf,
+            edge_link,
+            uplink,
+            uplinks_per_leaf,
+            edge_switch,
+            core_switch,
+        } => generate::star_of_switches(
+            *leaves,
+            *hosts_per_leaf,
+            edge_link.to_config(),
+            uplink.to_config(),
+            *uplinks_per_leaf,
+            edge_switch.to_config(),
+            core_switch.to_config(),
+        ),
+        TopologySpec::Tree {
+            leaves,
+            hosts_per_leaf,
+            edge_link,
+            oversubscription,
+            uplinks_per_leaf,
+            uplink_latency_ns,
+            edge_switch,
+            core_switch,
+        } => generate::two_level_tree(&TreeParams {
+            leaves: *leaves,
+            hosts_per_leaf: *hosts_per_leaf,
+            edge_link: edge_link.to_config(),
+            uplinks_per_leaf: *uplinks_per_leaf,
+            oversubscription: *oversubscription,
+            uplink_latency_ns: *uplink_latency_ns,
+            edge_switch: edge_switch.to_config(),
+            core_switch: core_switch.to_config(),
+        }),
+        TopologySpec::FatTree {
+            k,
+            hosts_per_edge,
+            link,
+            switch,
+        } => generate::fat_tree(&FatTreeParams {
+            k: *k,
+            hosts_per_edge: *hosts_per_edge,
+            link: link.to_config(),
+            switch: switch.to_config(),
+        }),
+    })
+}
+
+/// Builds an `n`-rank world for the scenario, with every stochastic
+/// element seeded from `seed`. Ranks scatter round-robin across edge
+/// switches, matching the presets' placement policy.
+///
+/// # Panics
+/// Panics if `n` exceeds the spec's capacity (callers validate first).
+pub fn build_world(spec: &ScenarioSpec, n: usize, seed: u64) -> Result<World, SpecError> {
+    if let TopologySpec::Preset { preset } = &spec.topology {
+        // Presets carry their own MPI stack; apply the spec's overrides on
+        // top before building.
+        let mut preset = preset_by_name(preset)?;
+        preset.mpi = spec.mpi.apply(preset.mpi);
+        return Ok(preset.build_world(n, seed));
+    }
+    let g = generated(&spec.topology)?;
+    let ranks = g.scattered_hosts(n);
+    let sim_config = SimConfig {
+        seed,
+        ..SimConfig::default()
+    };
+    let topo = g
+        .builder
+        .build(&sim_config)
+        .map_err(|e| SpecError::Invalid(format!("topology failed to build: {e}")))?;
+    let sim = Simulator::new(topo, sim_config);
+    let mpi = simmpi::MpiConfig {
+        seed: seed ^ 0x5A5A_5A5A,
+        ..spec.mpi.apply(simmpi::MpiConfig::default())
+    };
+    Ok(World::new(sim, ranks, mpi, spec.transport.to_kind()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::builtin;
+
+    #[test]
+    fn capacities_are_positive_for_all_builtins() {
+        for spec in builtin() {
+            assert!(capacity(&spec.topology).unwrap() >= 2, "{}", spec.name);
+        }
+    }
+
+    #[test]
+    fn worlds_build_for_all_builtins() {
+        for spec in builtin() {
+            let n = *spec.sweep.nodes.iter().min().unwrap();
+            let world = build_world(&spec, n, 7).unwrap();
+            assert_eq!(world.n_ranks(), n, "{}", spec.name);
+        }
+    }
+}

@@ -192,7 +192,11 @@ mod tests {
                             _ => 0,
                         })
                         .sum();
-                    assert_eq!(recv_count, usize::from(i != root), "n={n} root={root} i={i}");
+                    assert_eq!(
+                        recv_count,
+                        usize::from(i != root),
+                        "n={n} root={root} i={i}"
+                    );
                 }
                 // Total sends = n−1 (each rank informed once).
                 let total_sends: usize = progs

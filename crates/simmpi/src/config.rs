@@ -50,7 +50,7 @@ impl Default for MpiConfig {
             hiccup_probability: 0.0,
             hiccup_mean_ns: 0,
             rep_gap_ns: 1_000_000,
-            seed: 0xA11_70_A11,
+            seed: 0xA117_0A11,
         }
     }
 }

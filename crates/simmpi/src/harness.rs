@@ -81,18 +81,18 @@ impl StressResult {
     /// Mean per-connection throughput in bytes/second ("average bandwidth"
     /// in the paper's Fig. 2 sense: the mean of individual throughputs).
     pub fn mean_throughput(&self) -> f64 {
-        let sum: f64 = self
-            .times_secs
-            .iter()
-            .map(|&t| self.bytes as f64 / t)
-            .sum();
+        let sum: f64 = self.times_secs.iter().map(|&t| self.bytes as f64 / t).sum();
         sum / self.times_secs.len() as f64
     }
 
     /// Slowest over fastest connection time — the straggler factor the
     /// paper reads off Fig. 3 (≈ 6× under saturation).
     pub fn straggler_factor(&self) -> f64 {
-        let min = self.times_secs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let min = self
+            .times_secs
+            .iter()
+            .cloned()
+            .fold(f64::INFINITY, f64::min);
         let max = self.times_secs.iter().cloned().fold(0.0, f64::max);
         max / min
     }

@@ -39,8 +39,8 @@
 pub mod alltoall;
 pub mod collectives;
 pub mod config;
-pub mod irregular;
 pub mod harness;
+pub mod irregular;
 pub mod ops;
 pub mod world;
 
@@ -49,10 +49,8 @@ pub mod prelude {
     pub use crate::alltoall::AllToAllAlgorithm;
     pub use crate::collectives::Collective;
     pub use crate::config::MpiConfig;
+    pub use crate::harness::{alltoall_times, ping_pong, stress_run, PingPongPoint, StressResult};
     pub use crate::irregular::ExchangeMatrix;
-    pub use crate::harness::{
-        alltoall_times, ping_pong, stress_run, PingPongPoint, StressResult,
-    };
     pub use crate::ops::{Op, Rank};
     pub use crate::world::{RunResult, World};
 }

@@ -198,7 +198,10 @@ mod tests {
     #[test]
     fn presets_have_expected_rates() {
         assert_eq!(LinkConfig::fast_ethernet().bandwidth_bytes_per_sec, 12.5e6);
-        assert_eq!(LinkConfig::gigabit_ethernet().bandwidth_bytes_per_sec, 125e6);
+        assert_eq!(
+            LinkConfig::gigabit_ethernet().bandwidth_bytes_per_sec,
+            125e6
+        );
         assert_eq!(LinkConfig::myrinet_2000().bandwidth_bytes_per_sec, 250e6);
     }
 

@@ -140,16 +140,12 @@ impl Simulator {
     /// # Panics
     /// Panics if `src == dst` (self-messages never touch the network; the
     /// MPI layer handles them locally).
-    pub fn open_connection(
-        &mut self,
-        src: HostId,
-        dst: HostId,
-        kind: TransportKind,
-    ) -> ConnId {
+    pub fn open_connection(&mut self, src: HostId, dst: HostId, kind: TransportKind) -> ConnId {
         let id = ConnId::from_index(self.conns.len());
         let fwd = self.topo.route(src, dst);
         let rev = self.topo.route(dst, src);
-        self.conns.push(Connection::new(id, src, dst, fwd, rev, kind));
+        self.conns
+            .push(Connection::new(id, src, dst, fwd, rev, kind));
         id
     }
 
@@ -308,12 +304,14 @@ impl Simulator {
                 PacketKind::Data => conn.dst,
                 PacketKind::Ack => conn.src,
             };
-            self.queue.push(arrive_at, Event::HostDelivery { host, pkt });
+            self.queue
+                .push(arrive_at, Event::HostDelivery { host, pkt });
         } else {
             let next_tx = route[pkt.hop as usize + 1];
             let mut pkt = pkt;
             pkt.hop += 1;
-            self.queue.push(arrive_at, Event::Arrival { tx: next_tx, pkt });
+            self.queue
+                .push(arrive_at, Event::Arrival { tx: next_tx, pkt });
         }
         // Keep the wire busy: serve the next queued packet on this slot.
         self.begin_service(params.serializer as usize);
@@ -467,7 +465,12 @@ mod tests {
     use crate::config::{GmConfig, LinkConfig, SwitchConfig, TcpConfig};
     use crate::topology::TopologyBuilder;
 
-    fn star_sim(n: usize, link: LinkConfig, sw: SwitchConfig, cfg: SimConfig) -> (Simulator, Vec<HostId>) {
+    fn star_sim(
+        n: usize,
+        link: LinkConfig,
+        sw: SwitchConfig,
+        cfg: SimConfig,
+    ) -> (Simulator, Vec<HostId>) {
         let mut b = TopologyBuilder::new();
         let hosts = b.add_hosts(n);
         let switch = b.add_switch(sw);
@@ -487,9 +490,14 @@ mod tests {
 
     #[test]
     fn single_transfer_completes_and_is_delivered() {
-        let (mut sim, hosts) =
-            star_sim(2, LinkConfig::gigabit_ethernet(), SwitchConfig::commodity_ethernet(), quiet_config());
-        let conn = sim.open_connection(hosts[0], hosts[1], TransportKind::Tcp(TcpConfig::default()));
+        let (mut sim, hosts) = star_sim(
+            2,
+            LinkConfig::gigabit_ethernet(),
+            SwitchConfig::commodity_ethernet(),
+            quiet_config(),
+        );
+        let conn =
+            sim.open_connection(hosts[0], hosts[1], TransportKind::Tcp(TcpConfig::default()));
         sim.send(conn, 1_000_000, 7);
         let mut delivered_at = None;
         let mut send_done_at = None;
@@ -511,7 +519,11 @@ mod tests {
         assert!(s >= d, "last ACK returns after last delivery");
         assert!(sim.all_quiescent());
         assert_eq!(sim.stats().messages_delivered, 1);
-        assert_eq!(sim.stats().packets_dropped, 0, "uncontended star must not drop");
+        assert_eq!(
+            sim.stats().packets_dropped,
+            0,
+            "uncontended star must not drop"
+        );
     }
 
     #[test]
@@ -519,9 +531,14 @@ mod tests {
         // 10 MB over GbE through one switch: two serialization hops at
         // 125 MB/s ≈ 80 ms dominated by the slower of the two (pipelined),
         // so expect ~80 ms plus protocol ramp-up, well under 160 ms.
-        let (mut sim, hosts) =
-            star_sim(2, LinkConfig::gigabit_ethernet(), SwitchConfig::commodity_ethernet(), quiet_config());
-        let conn = sim.open_connection(hosts[0], hosts[1], TransportKind::Tcp(TcpConfig::default()));
+        let (mut sim, hosts) = star_sim(
+            2,
+            LinkConfig::gigabit_ethernet(),
+            SwitchConfig::commodity_ethernet(),
+            quiet_config(),
+        );
+        let conn =
+            sim.open_connection(hosts[0], hosts[1], TransportKind::Tcp(TcpConfig::default()));
         sim.send(conn, 10_000_000, 1);
         let mut done = SimTime::ZERO;
         while let Some(n) = sim.poll() {
@@ -532,7 +549,10 @@ mod tests {
         let secs = done.as_secs_f64();
         let ideal = 10_000_000.0 / 125e6;
         assert!(secs > ideal, "cannot beat line rate: {secs} vs {ideal}");
-        assert!(secs < ideal * 1.5, "should be near line rate: {secs} vs {ideal}");
+        assert!(
+            secs < ideal * 1.5,
+            "should be near line rate: {secs} vs {ideal}"
+        );
     }
 
     #[test]
@@ -567,28 +587,50 @@ mod tests {
         }
         sim.run_until_idle();
         assert!(sim.all_quiescent(), "TCP must recover from all losses");
-        assert!(sim.stats().packets_dropped > 0, "incast must overflow the pool");
+        assert!(
+            sim.stats().packets_dropped > 0,
+            "incast must overflow the pool"
+        );
         assert!(sim.stats().retransmissions > 0);
         assert_eq!(sim.stats().messages_delivered, 8);
     }
 
     #[test]
     fn wakeups_fire_in_order() {
-        let (mut sim, _) =
-            star_sim(2, LinkConfig::gigabit_ethernet(), SwitchConfig::commodity_ethernet(), quiet_config());
+        let (mut sim, _) = star_sim(
+            2,
+            LinkConfig::gigabit_ethernet(),
+            SwitchConfig::commodity_ethernet(),
+            quiet_config(),
+        );
         sim.schedule_wakeup(SimTime(500), 2);
         sim.schedule_wakeup(SimTime(100), 1);
         let n1 = sim.poll().unwrap();
         let n2 = sim.poll().unwrap();
-        assert_eq!(n1, Notification::Wakeup { token: 1, at: SimTime(100) });
-        assert_eq!(n2, Notification::Wakeup { token: 2, at: SimTime(500) });
+        assert_eq!(
+            n1,
+            Notification::Wakeup {
+                token: 1,
+                at: SimTime(100)
+            }
+        );
+        assert_eq!(
+            n2,
+            Notification::Wakeup {
+                token: 2,
+                at: SimTime(500)
+            }
+        );
         assert!(sim.poll().is_none());
     }
 
     #[test]
     fn determinism_same_seed_same_result() {
         let run = |seed: u64| {
-            let cfg = SimConfig { seed, ..SimConfig::default() };
+            let cfg = SimConfig {
+                seed,
+                ..SimConfig::default()
+            };
             let (mut sim, hosts) = star_sim(
                 6,
                 LinkConfig::gigabit_ethernet(),
@@ -599,8 +641,11 @@ mod tests {
                 cfg,
             );
             for i in 0..5 {
-                let conn =
-                    sim.open_connection(hosts[i], hosts[5], TransportKind::Tcp(TcpConfig::default()));
+                let conn = sim.open_connection(
+                    hosts[i],
+                    hosts[5],
+                    TransportKind::Tcp(TcpConfig::default()),
+                );
                 sim.send(conn, 500_000, i as u64);
             }
             sim.run_until_idle();
@@ -620,8 +665,12 @@ mod tests {
     fn two_flows_share_a_bottleneck_fairly() {
         // Both senders target the same receiver: its NIC downlink is the
         // bottleneck, so each flow should get roughly half the bandwidth.
-        let (mut sim, hosts) =
-            star_sim(3, LinkConfig::gigabit_ethernet(), SwitchConfig::lossless_fabric(), quiet_config());
+        let (mut sim, hosts) = star_sim(
+            3,
+            LinkConfig::gigabit_ethernet(),
+            SwitchConfig::lossless_fabric(),
+            quiet_config(),
+        );
         let c0 = sim.open_connection(hosts[0], hosts[2], TransportKind::Tcp(TcpConfig::default()));
         let c1 = sim.open_connection(hosts[1], hosts[2], TransportKind::Tcp(TcpConfig::default()));
         sim.send(c0, 4_000_000, 0);
@@ -641,9 +690,14 @@ mod tests {
 
     #[test]
     fn messages_on_same_connection_deliver_in_order() {
-        let (mut sim, hosts) =
-            star_sim(2, LinkConfig::gigabit_ethernet(), SwitchConfig::commodity_ethernet(), quiet_config());
-        let conn = sim.open_connection(hosts[0], hosts[1], TransportKind::Tcp(TcpConfig::default()));
+        let (mut sim, hosts) = star_sim(
+            2,
+            LinkConfig::gigabit_ethernet(),
+            SwitchConfig::commodity_ethernet(),
+            quiet_config(),
+        );
+        let conn =
+            sim.open_connection(hosts[0], hosts[1], TransportKind::Tcp(TcpConfig::default()));
         for tag in 0..5 {
             sim.send(conn, 100_000, tag);
         }
@@ -674,8 +728,10 @@ mod tests {
             }
             let cfg = quiet_config();
             let mut sim = Simulator::new(b.build(&cfg).unwrap(), cfg);
-            let c0 = sim.open_connection(hosts[0], hosts[1], TransportKind::Gm(GmConfig::default()));
-            let c1 = sim.open_connection(hosts[1], hosts[0], TransportKind::Gm(GmConfig::default()));
+            let c0 =
+                sim.open_connection(hosts[0], hosts[1], TransportKind::Gm(GmConfig::default()));
+            let c1 =
+                sim.open_connection(hosts[1], hosts[0], TransportKind::Gm(GmConfig::default()));
             sim.send(c0, 4_000_000, 0);
             sim.send(c1, 4_000_000, 1);
             let mut last = SimTime::ZERO;
@@ -698,9 +754,14 @@ mod tests {
     fn control_band_overtakes_bulk_at_host_nic() {
         // Host 0 has a deep bulk backlog to host 1. An ACK that host 0 owes
         // host 2 (for data received from host 2) must not wait behind it.
-        let (mut sim, hosts) =
-            star_sim(3, LinkConfig::fast_ethernet(), SwitchConfig::lossless_fabric(), quiet_config());
-        let bulk = sim.open_connection(hosts[0], hosts[1], TransportKind::Tcp(TcpConfig::default()));
+        let (mut sim, hosts) = star_sim(
+            3,
+            LinkConfig::fast_ethernet(),
+            SwitchConfig::lossless_fabric(),
+            quiet_config(),
+        );
+        let bulk =
+            sim.open_connection(hosts[0], hosts[1], TransportKind::Tcp(TcpConfig::default()));
         let incoming =
             sim.open_connection(hosts[2], hosts[0], TransportKind::Tcp(TcpConfig::default()));
         // Fill host 0's NIC with bulk (window's worth ≈ 5 ms of FastE wire).
@@ -733,11 +794,13 @@ mod tests {
         let (mut sim, hosts) = star_sim(4, LinkConfig::gigabit_ethernet(), sw, quiet_config());
         // Hosts 0 and 1 both blast host 2 (congests the switch→h2 port).
         for i in 0..2 {
-            let c = sim.open_connection(hosts[i], hosts[2], TransportKind::Tcp(TcpConfig::default()));
+            let c =
+                sim.open_connection(hosts[i], hosts[2], TransportKind::Tcp(TcpConfig::default()));
             sim.send(c, 2_000_000, i as u64);
         }
         // Host 3 receives from host 2 — reverse direction, different port.
-        let clean = sim.open_connection(hosts[2], hosts[3], TransportKind::Tcp(TcpConfig::default()));
+        let clean =
+            sim.open_connection(hosts[2], hosts[3], TransportKind::Tcp(TcpConfig::default()));
         sim.send(clean, 2_000_000, 9);
         let mut clean_done = None;
         while let Some(n) = sim.poll() {
@@ -772,7 +835,11 @@ mod tests {
         }
         let mut sim = Simulator::new(b.build(&cfg).unwrap(), cfg);
         for i in 0..12 {
-            let c = sim.open_connection(hosts[i], hosts[12], TransportKind::Tcp(TcpConfig::default()));
+            let c = sim.open_connection(
+                hosts[i],
+                hosts[12],
+                TransportKind::Tcp(TcpConfig::default()),
+            );
             sim.send(c, 1_000_000, i as u64);
         }
         sim.run_until_idle();
@@ -785,9 +852,14 @@ mod tests {
 
     #[test]
     fn stats_track_packets() {
-        let (mut sim, hosts) =
-            star_sim(2, LinkConfig::gigabit_ethernet(), SwitchConfig::commodity_ethernet(), quiet_config());
-        let conn = sim.open_connection(hosts[0], hosts[1], TransportKind::Tcp(TcpConfig::default()));
+        let (mut sim, hosts) = star_sim(
+            2,
+            LinkConfig::gigabit_ethernet(),
+            SwitchConfig::commodity_ethernet(),
+            quiet_config(),
+        );
+        let conn =
+            sim.open_connection(hosts[0], hosts[1], TransportKind::Tcp(TcpConfig::default()));
         sim.send(conn, 14_600, 1); // exactly 10 MSS
         sim.run_until_idle();
         assert_eq!(sim.stats().data_packets_sent, 10);

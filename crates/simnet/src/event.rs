@@ -124,7 +124,9 @@ mod tests {
         q.push(SimTime(30), Event::AppWakeup { token: 3 });
         q.push(SimTime(10), Event::AppWakeup { token: 1 });
         q.push(SimTime(20), Event::AppWakeup { token: 2 });
-        let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|(t, _)| t.as_nanos()).collect();
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|(t, _)| t.as_nanos())
+            .collect();
         assert_eq!(order, vec![10, 20, 30]);
     }
 

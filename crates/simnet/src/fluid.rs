@@ -169,7 +169,10 @@ impl<'a> FluidNet<'a> {
                 f.remaining_bytes -= f.rate * dt_secs;
                 // Anything within a byte of done is done (fp tolerance).
                 if f.remaining_bytes <= 1.0 {
-                    completions.push(FluidCompletion { tag: f.tag, at: now });
+                    completions.push(FluidCompletion {
+                        tag: f.tag,
+                        at: now,
+                    });
                     self.flows.swap_remove(i);
                 } else {
                     i += 1;
@@ -263,7 +266,10 @@ mod tests {
         net.start_flow(hosts[2], hosts[3], 125_000_000, 2);
         let done = net.run_to_completion();
         for c in &done {
-            assert!((c.at.as_secs_f64() - 1.0).abs() < 1e-6, "disjoint flows at line rate");
+            assert!(
+                (c.at.as_secs_f64() - 1.0).abs() < 1e-6,
+                "disjoint flows at line rate"
+            );
         }
     }
 
@@ -285,7 +291,11 @@ mod tests {
         let e0 = b.add_switch(SwitchConfig::lossless_fabric());
         let e1 = b.add_switch(SwitchConfig::lossless_fabric());
         for (i, &h) in hosts.iter().enumerate() {
-            b.link_host(h, if i < 4 { e0 } else { e1 }, LinkConfig::gigabit_ethernet());
+            b.link_host(
+                h,
+                if i < 4 { e0 } else { e1 },
+                LinkConfig::gigabit_ethernet(),
+            );
         }
         b.link_switches(e0, e1, LinkConfig::gigabit_ethernet());
         let topo = b.build(&SimConfig::default()).unwrap();

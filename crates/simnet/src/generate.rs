@@ -1,0 +1,396 @@
+//! Parameterized topology generators.
+//!
+//! The paper measures three hand-built single-core clusters; the scenario
+//! engine (`contention-scenario`) needs whole *families* of fabrics. Each
+//! generator returns a [`Generated`]: a ready-to-`build` [`TopologyBuilder`]
+//! plus the host ids grouped by their edge switch, so callers can place
+//! ranks (packed or scattered) and inspect the structure.
+//!
+//! Generators provided:
+//!
+//! * [`single_switch`] — `n` hosts on one switch (the paper's Myrinet /
+//!   small-job shape);
+//! * [`star_of_switches`] — leaf switches around one core, with explicit
+//!   uplink parameters (the paper's Fast Ethernet shape);
+//! * [`two_level_tree`] — leaf switches under one core where the uplink
+//!   capacity is **derived from an oversubscription ratio**: total host
+//!   bandwidth per leaf = `oversubscription ×` total uplink bandwidth;
+//! * [`fat_tree`] — a k-ary fat-tree (k pods of k/2 edge + k/2 aggregation
+//!   switches, (k/2)² cores) with a configurable number of hosts per edge
+//!   switch.
+
+use crate::config::{LinkConfig, SwitchConfig};
+use crate::ids::{HostId, SwitchId};
+use crate::topology::TopologyBuilder;
+
+/// A generator's output: the builder (not yet built, so callers can still
+/// attach a host I/O bus or extra links) plus structural metadata.
+pub struct Generated {
+    /// The assembled builder.
+    pub builder: TopologyBuilder,
+    /// All hosts in creation order.
+    pub hosts: Vec<HostId>,
+    /// Hosts grouped by the edge switch they attach to.
+    pub host_groups: Vec<Vec<HostId>>,
+    /// Edge (leaf) switches.
+    pub edge_switches: Vec<SwitchId>,
+    /// Aggregation switches (fat-tree only; empty otherwise).
+    pub agg_switches: Vec<SwitchId>,
+    /// Core switches (empty for a single switch).
+    pub core_switches: Vec<SwitchId>,
+}
+
+impl Generated {
+    /// Total host capacity.
+    pub fn capacity(&self) -> usize {
+        self.hosts.len()
+    }
+
+    /// The first `n` hosts taken round-robin across edge switches — the
+    /// scatter placement a batch scheduler produces and the placement the
+    /// paper's presets use.
+    ///
+    /// # Panics
+    /// Panics if `n` exceeds [`Generated::capacity`].
+    pub fn scattered_hosts(&self, n: usize) -> Vec<HostId> {
+        assert!(
+            n <= self.capacity(),
+            "{n} ranks exceed the fabric's {} hosts",
+            self.capacity()
+        );
+        let mut picked = Vec::with_capacity(n);
+        let mut depth = 0;
+        while picked.len() < n {
+            for group in &self.host_groups {
+                if picked.len() == n {
+                    break;
+                }
+                if let Some(&h) = group.get(depth) {
+                    picked.push(h);
+                }
+            }
+            depth += 1;
+        }
+        picked
+    }
+}
+
+/// `n` hosts on a single switch.
+///
+/// # Panics
+/// Panics if `n == 0`.
+pub fn single_switch(n: usize, link: LinkConfig, switch: SwitchConfig) -> Generated {
+    assert!(n > 0, "single_switch needs at least one host");
+    let mut b = TopologyBuilder::new();
+    let hosts = b.add_hosts(n);
+    let sw = b.add_switch(switch);
+    for &h in &hosts {
+        b.link_host(h, sw, link);
+    }
+    Generated {
+        builder: b,
+        host_groups: vec![hosts.clone()],
+        hosts,
+        edge_switches: vec![sw],
+        agg_switches: Vec::new(),
+        core_switches: Vec::new(),
+    }
+}
+
+/// `leaves` leaf switches of `hosts_per_leaf` hosts each around one core
+/// switch, `uplinks_per_leaf` parallel uplinks per leaf with explicit
+/// `uplink` parameters.
+///
+/// # Panics
+/// Panics if any count is zero.
+pub fn star_of_switches(
+    leaves: usize,
+    hosts_per_leaf: usize,
+    edge_link: LinkConfig,
+    uplink: LinkConfig,
+    uplinks_per_leaf: usize,
+    edge_switch: SwitchConfig,
+    core_switch: SwitchConfig,
+) -> Generated {
+    assert!(leaves > 0 && hosts_per_leaf > 0 && uplinks_per_leaf > 0);
+    let mut b = TopologyBuilder::new();
+    let hosts = b.add_hosts(leaves * hosts_per_leaf);
+    let edges: Vec<SwitchId> = (0..leaves).map(|_| b.add_switch(edge_switch)).collect();
+    let core = b.add_switch(core_switch);
+    let mut host_groups = vec![Vec::with_capacity(hosts_per_leaf); leaves];
+    for (i, &h) in hosts.iter().enumerate() {
+        let leaf = i / hosts_per_leaf;
+        b.link_host(h, edges[leaf], edge_link);
+        host_groups[leaf].push(h);
+    }
+    for &e in &edges {
+        for _ in 0..uplinks_per_leaf {
+            b.link_switches(e, core, uplink);
+        }
+    }
+    Generated {
+        builder: b,
+        hosts,
+        host_groups,
+        edge_switches: edges,
+        agg_switches: Vec::new(),
+        core_switches: vec![core],
+    }
+}
+
+/// Parameters of an oversubscribed two-level tree (see [`two_level_tree`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TreeParams {
+    /// Number of leaf switches.
+    pub leaves: usize,
+    /// Hosts attached to each leaf.
+    pub hosts_per_leaf: usize,
+    /// Host ↔ leaf link.
+    pub edge_link: LinkConfig,
+    /// Parallel uplinks from each leaf to the core.
+    pub uplinks_per_leaf: usize,
+    /// Oversubscription ratio: total host bandwidth under a leaf divided
+    /// by the leaf's total uplink bandwidth. `1.0` is non-blocking; the
+    /// paper's GdX trunks are ≈ 3:1.
+    pub oversubscription: f64,
+    /// Extra one-way latency of each uplink, nanoseconds.
+    pub uplink_latency_ns: u64,
+    /// Leaf switch buffering.
+    pub edge_switch: SwitchConfig,
+    /// Core switch buffering.
+    pub core_switch: SwitchConfig,
+}
+
+impl TreeParams {
+    /// The derived per-uplink bandwidth in bytes/second.
+    pub fn uplink_bandwidth(&self) -> f64 {
+        self.hosts_per_leaf as f64 * self.edge_link.bandwidth_bytes_per_sec
+            / (self.oversubscription * self.uplinks_per_leaf as f64)
+    }
+}
+
+/// A two-level tree whose uplink capacity is derived from
+/// [`TreeParams::oversubscription`].
+///
+/// # Panics
+/// Panics if any count is zero or the ratio is not a positive finite
+/// number.
+pub fn two_level_tree(p: &TreeParams) -> Generated {
+    assert!(p.leaves > 0 && p.hosts_per_leaf > 0 && p.uplinks_per_leaf > 0);
+    assert!(
+        p.oversubscription.is_finite() && p.oversubscription > 0.0,
+        "oversubscription must be positive and finite"
+    );
+    let uplink = LinkConfig {
+        bandwidth_bytes_per_sec: p.uplink_bandwidth(),
+        latency_ns: p.uplink_latency_ns,
+    };
+    star_of_switches(
+        p.leaves,
+        p.hosts_per_leaf,
+        p.edge_link,
+        uplink,
+        p.uplinks_per_leaf,
+        p.edge_switch,
+        p.core_switch,
+    )
+}
+
+/// Parameters of a k-ary fat-tree (see [`fat_tree`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FatTreeParams {
+    /// Arity: `k` pods, `k/2` edge and `k/2` aggregation switches per pod,
+    /// `(k/2)²` core switches. Must be even and ≥ 2.
+    pub k: usize,
+    /// Hosts per edge switch (the canonical fat-tree uses `k/2`).
+    pub hosts_per_edge: usize,
+    /// Link used at every level (fat-trees are bandwidth-uniform).
+    pub link: LinkConfig,
+    /// Buffering used for every switch.
+    pub switch: SwitchConfig,
+}
+
+impl FatTreeParams {
+    /// Total host capacity: `k · (k/2) · hosts_per_edge`.
+    pub fn capacity(&self) -> usize {
+        self.k * (self.k / 2) * self.hosts_per_edge
+    }
+}
+
+/// A k-ary fat-tree: every pod's edge switches connect to all of the pod's
+/// aggregation switches; aggregation switch `j` of every pod connects to
+/// core group `j` (cores `j·k/2 .. (j+1)·k/2`). Same-edge pairs are 2 hops,
+/// same-pod pairs 4 hops, cross-pod pairs 6 hops; equal-cost paths are
+/// spread by the builder's deterministic ECMP hashing.
+///
+/// # Panics
+/// Panics if `k` is odd or zero, or `hosts_per_edge == 0`.
+pub fn fat_tree(p: &FatTreeParams) -> Generated {
+    assert!(
+        p.k >= 2 && p.k.is_multiple_of(2),
+        "fat-tree arity must be even, got {}",
+        p.k
+    );
+    assert!(p.hosts_per_edge > 0);
+    let half = p.k / 2;
+    let mut b = TopologyBuilder::new();
+    let hosts = b.add_hosts(p.capacity());
+
+    let mut edge_switches = Vec::with_capacity(p.k * half);
+    let mut agg_switches = Vec::with_capacity(p.k * half);
+    for _pod in 0..p.k {
+        for _ in 0..half {
+            edge_switches.push(b.add_switch(p.switch));
+        }
+        for _ in 0..half {
+            agg_switches.push(b.add_switch(p.switch));
+        }
+    }
+    let core_switches: Vec<SwitchId> = (0..half * half).map(|_| b.add_switch(p.switch)).collect();
+
+    // Hosts onto edge switches, filling edge by edge.
+    let mut host_groups = vec![Vec::with_capacity(p.hosts_per_edge); p.k * half];
+    for (i, &h) in hosts.iter().enumerate() {
+        let edge = i / p.hosts_per_edge;
+        b.link_host(h, edge_switches[edge], p.link);
+        host_groups[edge].push(h);
+    }
+
+    for pod in 0..p.k {
+        for e in 0..half {
+            for a in 0..half {
+                b.link_switches(
+                    edge_switches[pod * half + e],
+                    agg_switches[pod * half + a],
+                    p.link,
+                );
+            }
+        }
+        for a in 0..half {
+            for c in 0..half {
+                b.link_switches(
+                    agg_switches[pod * half + a],
+                    core_switches[a * half + c],
+                    p.link,
+                );
+            }
+        }
+    }
+
+    Generated {
+        builder: b,
+        hosts,
+        host_groups,
+        edge_switches,
+        agg_switches,
+        core_switches,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SimConfig;
+    use crate::topology::Endpoint;
+
+    fn gbe() -> LinkConfig {
+        LinkConfig::gigabit_ethernet()
+    }
+
+    fn sw() -> SwitchConfig {
+        SwitchConfig::commodity_ethernet()
+    }
+
+    #[test]
+    fn single_switch_is_a_star() {
+        let g = single_switch(5, gbe(), sw());
+        assert_eq!(g.capacity(), 5);
+        let topo = g.builder.build(&SimConfig::default()).unwrap();
+        assert_eq!(topo.hop_count(g.hosts[0], g.hosts[4]), 2);
+    }
+
+    #[test]
+    fn star_of_switches_routes_via_core() {
+        let g = star_of_switches(3, 4, gbe(), gbe(), 2, sw(), sw());
+        assert_eq!(g.capacity(), 12);
+        assert_eq!(g.host_groups.len(), 3);
+        let (h0, h1, h4) = (g.hosts[0], g.hosts[1], g.hosts[4]);
+        let topo = g.builder.build(&SimConfig::default()).unwrap();
+        assert_eq!(topo.hop_count(h0, h1), 2, "same leaf");
+        assert_eq!(topo.hop_count(h0, h4), 4, "via core");
+    }
+
+    #[test]
+    fn tree_uplink_bandwidth_implements_oversubscription() {
+        let p = TreeParams {
+            leaves: 4,
+            hosts_per_leaf: 8,
+            edge_link: gbe(),
+            uplinks_per_leaf: 2,
+            oversubscription: 4.0,
+            uplink_latency_ns: 10_000,
+            edge_switch: sw(),
+            core_switch: sw(),
+        };
+        // 8 hosts × 125 MB/s = 1 GB/s under each leaf; 4:1 oversubscribed
+        // over 2 uplinks → 125 MB/s each.
+        assert!((p.uplink_bandwidth() - 125e6).abs() < 1.0);
+        let g = two_level_tree(&p);
+        let topo = g.builder.build(&SimConfig::default()).unwrap();
+        assert_eq!(topo.hop_count(g.hosts[0], g.hosts[31]), 4);
+    }
+
+    #[test]
+    fn fat_tree_structure_and_hop_classes() {
+        let p = FatTreeParams {
+            k: 4,
+            hosts_per_edge: 2,
+            link: gbe(),
+            switch: sw(),
+        };
+        let g = fat_tree(&p);
+        assert_eq!(g.capacity(), 16);
+        assert_eq!(g.edge_switches.len(), 8);
+        assert_eq!(g.agg_switches.len(), 8);
+        assert_eq!(g.core_switches.len(), 4);
+        let hosts = g.hosts.clone();
+        let topo = g.builder.build(&SimConfig::default()).unwrap();
+        assert_eq!(topo.hop_count(hosts[0], hosts[1]), 2, "same edge");
+        assert_eq!(topo.hop_count(hosts[0], hosts[2]), 4, "same pod");
+        assert_eq!(topo.hop_count(hosts[0], hosts[15]), 6, "cross pod");
+        // Last hop of any route terminates at the destination host.
+        let route = topo.route(hosts[0], hosts[15]);
+        assert_eq!(
+            topo.tx_params[route[5].index()].to,
+            Endpoint::Host(hosts[15])
+        );
+    }
+
+    #[test]
+    fn scattered_hosts_interleave_groups() {
+        let g = star_of_switches(3, 4, gbe(), gbe(), 1, sw(), sw());
+        let picked = g.scattered_hosts(5);
+        // Round-robin over leaves: leaf0[0], leaf1[0], leaf2[0], leaf0[1], leaf1[1].
+        assert_eq!(
+            picked,
+            vec![
+                g.host_groups[0][0],
+                g.host_groups[1][0],
+                g.host_groups[2][0],
+                g.host_groups[0][1],
+                g.host_groups[1][1],
+            ]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "arity must be even")]
+    fn odd_fat_tree_rejected() {
+        let _ = fat_tree(&FatTreeParams {
+            k: 3,
+            hosts_per_edge: 2,
+            link: gbe(),
+            switch: sw(),
+        });
+    }
+}

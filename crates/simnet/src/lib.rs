@@ -46,6 +46,7 @@ pub mod config;
 pub mod engine;
 pub mod event;
 pub mod fluid;
+pub mod generate;
 pub mod ids;
 pub mod packet;
 pub mod stats;

@@ -286,9 +286,7 @@ impl TopologyBuilder {
             };
             let ns_per_byte = 1e9 / edge.config.bandwidth_bytes_per_sec;
             let first_tx_index = tx_params.len() as u32;
-            for (k, (from, to_node)) in [(edge.a, edge.b), (edge.b, edge.a)]
-                .into_iter()
-                .enumerate()
+            for (k, (from, to_node)) in [(edge.a, edge.b), (edge.b, edge.a)].into_iter().enumerate()
             {
                 let (from_i, to_i) = (node_idx(from), node_idx(to_node));
                 let tx = TxId::from_index(tx_params.len());
@@ -310,8 +308,8 @@ impl TopologyBuilder {
         }
         let n_serializers = tx_params.len();
 
-        for h in 0..n_hosts {
-            if adjacency[h].is_empty() {
+        for (h, adj) in adjacency.iter().take(n_hosts).enumerate() {
+            if adj.is_empty() {
                 return Err(TopologyError::DisconnectedHost(HostId::from_index(h)));
             }
         }
@@ -495,7 +493,9 @@ mod tests {
     #[test]
     fn empty_topology_is_an_error() {
         assert_eq!(
-            TopologyBuilder::new().build(&SimConfig::default()).unwrap_err(),
+            TopologyBuilder::new()
+                .build(&SimConfig::default())
+                .unwrap_err(),
             TopologyError::Empty
         );
     }

@@ -39,9 +39,10 @@ pub struct SegmentOut {
 }
 
 /// Retransmission-timer command returned to the engine.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum TimerCmd {
     /// Leave the timer as it is.
+    #[default]
     Keep,
     /// (Re-)arm the timer at the given absolute deadline.
     Arm(SimTime),
@@ -62,12 +63,6 @@ pub struct SendActions {
     pub fast_retransmit: bool,
     /// A retransmission timeout was taken (for counters).
     pub timeout: bool,
-}
-
-impl Default for TimerCmd {
-    fn default() -> Self {
-        TimerCmd::Keep
-    }
 }
 
 /// Receiver-side reaction to a data segment.
@@ -343,8 +338,8 @@ impl Connection {
                             });
                             self.rtt_probe = None;
                         }
-                        self.cwnd = (self.cwnd - bytes_acked as f64 + self.mtu as f64)
-                            .max(self.mtu as f64);
+                        self.cwnd =
+                            (self.cwnd - bytes_acked as f64 + self.mtu as f64).max(self.mtu as f64);
                     }
                 } else if self.cwnd < self.ssthresh {
                     // Slow start.
@@ -575,7 +570,7 @@ mod tests {
         let mut c = tcp();
         let _ = c.on_app_send(1460, 1, SimTime::ZERO);
         let _ = c.on_ack(1460, SimTime(50_000_000)); // 50 ms RTT
-        // RTO = srtt + 4*rttvar = 50ms + 4*25ms = 150ms → clamped to 200ms.
+                                                     // RTO = srtt + 4*rttvar = 50ms + 4*25ms = 150ms → clamped to 200ms.
         assert_eq!(c.rto_nanos(), 200_000_000);
         let mut c2 = tcp();
         let _ = c2.on_app_send(1460, 1, SimTime::ZERO);

@@ -1,0 +1,171 @@
+//! Property-based tests of the topology generators: every generated
+//! fabric must be a valid routable topology with the structural invariants
+//! its parameters promise.
+
+use proptest::prelude::*;
+use simnet::generate::{fat_tree, two_level_tree, FatTreeParams, TreeParams};
+use simnet::ids::HostId;
+use simnet::prelude::*;
+use simnet::topology::Endpoint;
+
+fn gbe() -> LinkConfig {
+    LinkConfig::gigabit_ethernet()
+}
+
+fn sw() -> SwitchConfig {
+    SwitchConfig::commodity_ethernet()
+}
+
+/// Sum of link bandwidths (bytes/sec) of all transmitters owned by pool
+/// `pool` whose packets land on `to`.
+fn bandwidth_into(topo: &Topology, pool: usize, to: Endpoint) -> f64 {
+    topo.tx_params
+        .iter()
+        .filter(|tx| tx.pool.index() == pool && tx.to == to)
+        .map(|tx| 1e9 / tx.ns_per_byte)
+        .sum()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Fat-trees for k ∈ {2, 4} and 2–8 hosts per edge: every pair routes,
+    /// route lengths are symmetric, and hop counts land exactly in the
+    /// {2, 4, 6} classes the tree depth dictates.
+    #[test]
+    fn fat_tree_routes_respect_depth_classes(
+        k_half in 1usize..3,       // k ∈ {2, 4}
+        hosts_per_edge in 2usize..9,
+        seed in 0u64..100,
+    ) {
+        let k = 2 * k_half;
+        let p = FatTreeParams { k, hosts_per_edge, link: gbe(), switch: sw() };
+        let g = fat_tree(&p);
+        prop_assert_eq!(g.capacity(), k * (k / 2) * hosts_per_edge);
+        prop_assert_eq!(g.edge_switches.len(), k * k / 2);
+        prop_assert_eq!(g.agg_switches.len(), k * k / 2);
+        prop_assert_eq!(g.core_switches.len(), (k / 2) * (k / 2));
+        let hosts = g.hosts.clone();
+        let cfg = SimConfig { seed, ..SimConfig::default() };
+        let topo = g.builder.build(&cfg).unwrap();
+        let edge_of = |h: HostId| h.index() / hosts_per_edge;
+        let pod_of = |h: HostId| edge_of(h) / (k / 2);
+        for &a in &hosts {
+            for &b in &hosts {
+                if a == b {
+                    continue;
+                }
+                let fwd = topo.hop_count(a, b);
+                let rev = topo.hop_count(b, a);
+                prop_assert_eq!(fwd, rev, "asymmetric {} vs {}", a, b);
+                let expected = if edge_of(a) == edge_of(b) {
+                    2
+                } else if pod_of(a) == pod_of(b) {
+                    4
+                } else {
+                    6
+                };
+                prop_assert_eq!(fwd, expected, "{} -> {}", a, b);
+            }
+        }
+    }
+
+    /// Two-level trees: valid for any leaf/host/uplink mix, hop counts in
+    /// {2, 4}, and the generated uplink capacity implements exactly the
+    /// requested oversubscription ratio.
+    #[test]
+    fn tree_oversubscription_matches_spec(
+        leaves in 2usize..6,
+        hosts_per_leaf in 2usize..9,
+        uplinks_per_leaf in 1usize..4,
+        oversub_x4 in 2u32..33,    // ratio ∈ [0.5, 8.25) in 0.25 steps
+        seed in 0u64..100,
+    ) {
+        let oversubscription = oversub_x4 as f64 / 4.0;
+        let p = TreeParams {
+            leaves,
+            hosts_per_leaf,
+            edge_link: gbe(),
+            uplinks_per_leaf,
+            oversubscription,
+            uplink_latency_ns: 10_000,
+            edge_switch: sw(),
+            core_switch: sw(),
+        };
+        let g = two_level_tree(&p);
+        let hosts = g.hosts.clone();
+        let n_hosts = hosts.len();
+        let core = *g.core_switches.first().unwrap();
+        let leaf_switches = g.edge_switches.clone();
+        let cfg = SimConfig { seed, ..SimConfig::default() };
+        let topo = g.builder.build(&cfg).unwrap();
+
+        // Hop classes and symmetry.
+        let leaf_of = |h: HostId| h.index() / hosts_per_leaf;
+        for &a in &hosts {
+            for &b in &hosts {
+                if a == b {
+                    continue;
+                }
+                let fwd = topo.hop_count(a, b);
+                prop_assert_eq!(fwd, topo.hop_count(b, a));
+                let expected = if leaf_of(a) == leaf_of(b) { 2 } else { 4 };
+                prop_assert_eq!(fwd, expected, "{} -> {}", a, b);
+            }
+        }
+
+        // Reconstruct the ratio from the built fabric: per leaf, host-link
+        // bandwidth into the leaf over uplink bandwidth into the core.
+        for (li, leaf) in leaf_switches.iter().enumerate() {
+            let leaf_pool = n_hosts + leaf.index();
+            let up = bandwidth_into(&topo, leaf_pool, Endpoint::Switch(core));
+            let down: f64 = hosts[li * hosts_per_leaf..(li + 1) * hosts_per_leaf]
+                .iter()
+                .map(|h| bandwidth_into(&topo, h.index(), Endpoint::Switch(*leaf)))
+                .sum();
+            let measured = down / up;
+            prop_assert!(
+                (measured - oversubscription).abs() < 1e-6 * oversubscription,
+                "leaf {}: measured {} vs spec {}",
+                li,
+                measured,
+                oversubscription
+            );
+        }
+    }
+
+    /// Scattered placement covers the first n hosts without repetition and
+    /// spreads across leaves like the presets' round-robin.
+    #[test]
+    fn scattered_placement_is_a_partial_permutation(
+        leaves in 2usize..6,
+        hosts_per_leaf in 2usize..9,
+        take_fraction in 1usize..5,
+    ) {
+        let p = TreeParams {
+            leaves,
+            hosts_per_leaf,
+            edge_link: gbe(),
+            uplinks_per_leaf: 1,
+            oversubscription: 2.0,
+            uplink_latency_ns: 0,
+            edge_switch: sw(),
+            core_switch: sw(),
+        };
+        let g = two_level_tree(&p);
+        let n = (g.capacity() * take_fraction / 4).clamp(1, g.capacity());
+        let picked = g.scattered_hosts(n);
+        prop_assert_eq!(picked.len(), n);
+        let mut seen = std::collections::HashSet::new();
+        for h in &picked {
+            prop_assert!(seen.insert(*h), "duplicate host {}", h);
+        }
+        // The first `leaves` picks are all on distinct leaves.
+        let distinct_leaves: std::collections::HashSet<usize> = picked
+            .iter()
+            .take(leaves)
+            .map(|h| h.index() / hosts_per_leaf)
+            .collect();
+        prop_assert_eq!(distinct_leaves.len(), picked.len().min(leaves));
+    }
+}

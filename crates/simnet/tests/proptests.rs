@@ -5,12 +5,7 @@ use proptest::prelude::*;
 use simnet::prelude::*;
 
 /// A random one- or two-switch topology with `n` hosts.
-fn build_topology(
-    n: usize,
-    two_tier: bool,
-    buffer_kb: u64,
-    seed: u64,
-) -> (Simulator, Vec<HostId>) {
+fn build_topology(n: usize, two_tier: bool, buffer_kb: u64, seed: u64) -> (Simulator, Vec<HostId>) {
     let mut b = TopologyBuilder::new();
     let hosts = b.add_hosts(n);
     let sw_cfg = SwitchConfig {
@@ -22,7 +17,11 @@ fn build_topology(
         let e1 = b.add_switch(sw_cfg);
         let core = b.add_switch(sw_cfg);
         for (i, &h) in hosts.iter().enumerate() {
-            b.link_host(h, if i % 2 == 0 { e0 } else { e1 }, LinkConfig::gigabit_ethernet());
+            b.link_host(
+                h,
+                if i % 2 == 0 { e0 } else { e1 },
+                LinkConfig::gigabit_ethernet(),
+            );
         }
         b.link_switches(e0, core, LinkConfig::gigabit_ethernet());
         b.link_switches(e1, core, LinkConfig::gigabit_ethernet());

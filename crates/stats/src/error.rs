@@ -40,7 +40,10 @@ impl fmt::Display for StatsError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             StatsError::InsufficientData { needed, got } => {
-                write!(f, "insufficient data: need at least {needed} points, got {got}")
+                write!(
+                    f,
+                    "insufficient data: need at least {needed} points, got {got}"
+                )
             }
             StatsError::LengthMismatch { left, right } => {
                 write!(f, "length mismatch: {left} vs {right}")

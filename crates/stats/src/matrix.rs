@@ -105,9 +105,9 @@ impl Matrix {
             });
         }
         let mut out = vec![0.0; self.rows];
-        for i in 0..self.rows {
+        for (i, o) in out.iter_mut().enumerate() {
             let row = &self.data[i * self.cols..(i + 1) * self.cols];
-            out[i] = row.iter().zip(v).map(|(a, b)| a * b).sum();
+            *o = row.iter().zip(v).map(|(a, b)| a * b).sum();
         }
         Ok(out)
     }
@@ -200,8 +200,7 @@ impl Matrix {
             perm.swap(col, pivot);
             let prow = perm[col];
             let pval = a[prow * n + col];
-            for row in (col + 1)..n {
-                let r = perm[row];
+            for &r in &perm[(col + 1)..n] {
                 let factor = a[r * n + col] / pval;
                 a[r * n + col] = 0.0;
                 if factor != 0.0 {
@@ -282,7 +281,10 @@ mod tests {
     #[test]
     fn cholesky_rejects_indefinite() {
         let m = Matrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]).unwrap();
-        assert_eq!(m.cholesky_solve(&[1.0, 1.0]), Err(StatsError::SingularMatrix));
+        assert_eq!(
+            m.cholesky_solve(&[1.0, 1.0]),
+            Err(StatsError::SingularMatrix)
+        );
     }
 
     #[test]

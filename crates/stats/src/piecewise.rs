@@ -264,7 +264,13 @@ mod tests {
             .enumerate()
             .map(|(i, (&mi, &li))| {
                 let noise = if i % 2 == 0 { 1.002 } else { 0.998 };
-                (1.02 * li + if mi >= 3.0 * 8192.0 { 0.008 * 23.0 } else { 0.0 }) * noise
+                (1.02 * li
+                    + if mi >= 3.0 * 8192.0 {
+                        0.008 * 23.0
+                    } else {
+                        0.0
+                    })
+                    * noise
             })
             .collect();
         let fit = fit_piecewise(&spec(&m, &l, &s, &obs), true).unwrap();

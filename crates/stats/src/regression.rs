@@ -92,7 +92,7 @@ pub fn wls(design: &Matrix, y: &[f64], weights: &[f64]) -> Result<LinearFit, Sta
         });
     }
     for (i, &w) in weights.iter().enumerate() {
-        if !(w > 0.0) || !w.is_finite() {
+        if !w.is_finite() || w <= 0.0 {
             return Err(StatsError::InvalidWeight { index: i });
         }
     }
@@ -261,8 +261,7 @@ mod tests {
     #[test]
     fn collinear_design_rejected() {
         // Second column is 2× the first.
-        let design =
-            Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0], vec![3.0, 6.0]]).unwrap();
+        let design = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0], vec![3.0, 6.0]]).unwrap();
         assert_eq!(
             ols(&design, &[1.0, 2.0, 3.0]),
             Err(StatsError::SingularMatrix)

@@ -33,7 +33,13 @@ impl FftWorkload {
 
 fn main() {
     // Calibrate each network once at a modest sample size.
-    let sizes = [64 * 1024u64, 128 * 1024, 256 * 1024, 512 * 1024, 1024 * 1024];
+    let sizes = [
+        64 * 1024u64,
+        128 * 1024,
+        256 * 1024,
+        512 * 1024,
+        1024 * 1024,
+    ];
     let workload = FftWorkload {
         total_bytes: 1 << 30, // a 1 GiB grid
         compute_secs_single_node: 20.0,
@@ -54,7 +60,10 @@ fn main() {
             sig.gamma,
             sig.delta_secs * 1e3
         );
-        println!("{:>6} {:>12} {:>10} {:>10} {:>8}", "nodes", "msg/pair", "compute", "alltoall", "comm%");
+        println!(
+            "{:>6} {:>12} {:>10} {:>10} {:>8}",
+            "nodes", "msg/pair", "compute", "alltoall", "comm%"
+        );
         let mut best = (0usize, f64::INFINITY);
         for &n in &[4usize, 8, 16, 32, 64] {
             if n > preset.max_hosts() {

@@ -18,7 +18,10 @@ use simmpi::collectives::Collective;
 fn main() {
     let sizes = [32 * 1024u64, 128 * 1024, 512 * 1024];
     let pairs: [(Collective, CollectiveShape); 4] = [
-        (Collective::Broadcast { root: 0 }, CollectiveShape::Broadcast),
+        (
+            Collective::Broadcast { root: 0 },
+            CollectiveShape::Broadcast,
+        ),
         (Collective::Scatter { root: 0 }, CollectiveShape::Scatter),
         (Collective::Gather { root: 0 }, CollectiveShape::Gather),
         (Collective::AllGatherRing, CollectiveShape::AllGather),

@@ -49,7 +49,10 @@ fn main() {
     }
     println!("irregular exchange over {n} ranks:");
     println!("  messages        : {}", med.message_count());
-    println!("  min start-ups   : {} (Claim 1: max(Δs, Δr))", med.min_startups());
+    println!(
+        "  min start-ups   : {} (Claim 1: max(Δs, Δr))",
+        med.min_startups()
+    );
 
     for preset in ClusterPreset::all() {
         let hockney = match measure_hockney(&preset, 42) {

@@ -17,7 +17,13 @@ use alltoall_contention::prelude::*;
 fn main() {
     let preset = ClusterPreset::gigabit_ethernet();
     let sample_n = 16; // keep the quickstart quick; the paper uses 40
-    let sizes = [64 * 1024u64, 128 * 1024, 256 * 1024, 512 * 1024, 1024 * 1024];
+    let sizes = [
+        64 * 1024u64,
+        128 * 1024,
+        256 * 1024,
+        512 * 1024,
+        1024 * 1024,
+    ];
 
     println!("calibrating on {} at n'={sample_n}...", preset.name);
     let report = calibrate_report(&preset, sample_n, &sizes, 42).expect("calibration");
@@ -41,9 +47,15 @@ fn main() {
     let m = 512 * 1024;
     let predicted = cal.signature.predict(n, m);
     println!("\npredicting n={n}, m={m}: {predicted:.3} s");
-    println!("(lower bound would claim {:.3} s)", cal.hockney.alltoall_lower_bound(n, m));
+    println!(
+        "(lower bound would claim {:.3} s)",
+        cal.hockney.alltoall_lower_bound(n, m)
+    );
 
-    let cfg = SweepConfig { seed: 7, ..SweepConfig::default() };
+    let cfg = SweepConfig {
+        seed: 7,
+        ..SweepConfig::default()
+    };
     let measured = contention_lab::runner::measure_alltoall_point(&preset, n, m, &cfg);
     println!(
         "measured: {measured:.3} s — prediction error {:+.1}%",

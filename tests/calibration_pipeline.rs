@@ -101,7 +101,10 @@ fn gigabit_shows_more_contention_than_fast_ethernet() {
     // n'=40 over 100-run averages); at integration-test scale we compare
     // the raw measured-over-bound ratios instead, which are robust.
     let m = 512 * 1024;
-    let cfg = SweepConfig { seed: 5, ..SweepConfig::default() };
+    let cfg = SweepConfig {
+        seed: 5,
+        ..SweepConfig::default()
+    };
     let ratio = |preset: &ClusterPreset| {
         let h = measure_hockney(preset, 5).unwrap();
         let t = contention_lab::runner::measure_alltoall_point(preset, 10, m, &cfg);
@@ -130,7 +133,10 @@ fn signature_predicts_unseen_node_count() {
     };
     let measured = contention_lab::runner::measure_alltoall_point(&preset, 12, m, &cfg);
     let err = estimation_error_percent(measured, predicted);
-    assert!(err.abs() < 40.0, "error {err}% (measured {measured}, predicted {predicted})");
+    assert!(
+        err.abs() < 40.0,
+        "error {err}% (measured {measured}, predicted {predicted})"
+    );
 }
 
 #[test]

@@ -25,9 +25,13 @@ fn fluid_lower_bounds_the_packet_engine_everywhere() {
         for &(n, m) in &[(4usize, 262_144u64), (8, 131_072)] {
             let fluid = fluid_alltoall(&preset, n, m);
             let mut world = preset.build_world(n, 5);
-            let packet =
-                alltoall_times(&mut world, AllToAllAlgorithm::DirectExchangeNonblocking, m, 0, 1)
-                    [0];
+            let packet = alltoall_times(
+                &mut world,
+                AllToAllAlgorithm::DirectExchangeNonblocking,
+                m,
+                0,
+                1,
+            )[0];
             assert!(
                 packet > fluid * 0.98,
                 "{}: packet {packet} beat fluid {fluid} at n={n} m={m}",
@@ -46,11 +50,16 @@ fn fluid_and_packet_agree_on_lossless_fabric() {
     let (n, m) = (8usize, 524_288u64);
     let fluid = fluid_alltoall(&preset, n, m);
     let mut world = preset.build_world(n, 9);
-    let packet =
-        alltoall_times(&mut world, AllToAllAlgorithm::DirectExchangeNonblocking, m, 1, 2)
-            .iter()
-            .sum::<f64>()
-            / 2.0;
+    let packet = alltoall_times(
+        &mut world,
+        AllToAllAlgorithm::DirectExchangeNonblocking,
+        m,
+        1,
+        2,
+    )
+    .iter()
+    .sum::<f64>()
+        / 2.0;
     let ratio = packet / fluid;
     assert!(ratio > 1.0, "packet can't beat fluid: {ratio}");
     assert!(ratio < 1.35, "lossless packet vs fluid diverged: {ratio}");
@@ -64,11 +73,16 @@ fn fluid_gap_reveals_protocol_contention_on_ethernet() {
     let (n, m) = (16usize, 524_288u64);
     let fluid = fluid_alltoall(&preset, n, m);
     let mut world = preset.build_world(n, 13);
-    let packet =
-        alltoall_times(&mut world, AllToAllAlgorithm::DirectExchangeNonblocking, m, 0, 2)
-            .iter()
-            .sum::<f64>()
-            / 2.0;
+    let packet = alltoall_times(
+        &mut world,
+        AllToAllAlgorithm::DirectExchangeNonblocking,
+        m,
+        0,
+        2,
+    )
+    .iter()
+    .sum::<f64>()
+        / 2.0;
     assert!(
         packet > fluid * 1.5,
         "expected protocol contention: packet {packet} vs fluid {fluid}"

@@ -15,7 +15,13 @@ fn lossless_alltoall_never_beats_proposition_1() {
     for n in [4usize, 8] {
         for m in [64 * 1024u64, 512 * 1024] {
             let mut w = preset.build_world(n, 5);
-            let t = alltoall_times(&mut w, AllToAllAlgorithm::DirectExchangeNonblocking, m, 0, 1)[0];
+            let t = alltoall_times(
+                &mut w,
+                AllToAllAlgorithm::DirectExchangeNonblocking,
+                m,
+                0,
+                1,
+            )[0];
             let bound = h.alltoall_lower_bound(n, m);
             assert!(
                 t >= bound * 0.95,
@@ -59,8 +65,20 @@ fn alltoall_time_scales_with_message_size_when_bandwidth_bound() {
     // bandwidth-bound regime (Myrinet: lossless, no stall quantization).
     let preset = ClusterPreset::myrinet();
     let mut w = preset.build_world(8, 21);
-    let t1 = alltoall_times(&mut w, AllToAllAlgorithm::DirectExchangeNonblocking, 128 * 1024, 1, 2);
-    let t2 = alltoall_times(&mut w, AllToAllAlgorithm::DirectExchangeNonblocking, 256 * 1024, 1, 2);
+    let t1 = alltoall_times(
+        &mut w,
+        AllToAllAlgorithm::DirectExchangeNonblocking,
+        128 * 1024,
+        1,
+        2,
+    );
+    let t2 = alltoall_times(
+        &mut w,
+        AllToAllAlgorithm::DirectExchangeNonblocking,
+        256 * 1024,
+        1,
+        2,
+    );
     let m1: f64 = t1.iter().sum::<f64>() / t1.len() as f64;
     let m2: f64 = t2.iter().sum::<f64>() / t2.len() as f64;
     assert!(m2 > m1 * 1.6, "size doubling: {m1} -> {m2}");
@@ -79,7 +97,10 @@ fn bruck_beats_direct_for_tiny_messages_on_fast_ethernet() {
     let bruck = alltoall_times(&mut w2, AllToAllAlgorithm::Bruck, m, 1, 2);
     let d: f64 = direct.iter().sum::<f64>() / direct.len() as f64;
     let b: f64 = bruck.iter().sum::<f64>() / bruck.len() as f64;
-    assert!(b < d, "bruck {b} should beat direct {d} at 256-byte messages");
+    assert!(
+        b < d,
+        "bruck {b} should beat direct {d} at 256-byte messages"
+    );
 }
 
 #[test]
@@ -88,21 +109,29 @@ fn direct_beats_bruck_for_large_messages() {
     let preset = ClusterPreset::myrinet();
     let m = 512 * 1024;
     let mut w1 = preset.build_world(8, 37);
-    let direct =
-        alltoall_times(&mut w1, AllToAllAlgorithm::DirectExchangeNonblocking, m, 1, 2);
+    let direct = alltoall_times(
+        &mut w1,
+        AllToAllAlgorithm::DirectExchangeNonblocking,
+        m,
+        1,
+        2,
+    );
     let mut w2 = preset.build_world(8, 37);
     let bruck = alltoall_times(&mut w2, AllToAllAlgorithm::Bruck, m, 1, 2);
     let d: f64 = direct.iter().sum::<f64>() / direct.len() as f64;
     let b: f64 = bruck.iter().sum::<f64>() / bruck.len() as f64;
-    assert!(d < b, "direct {d} should beat bruck {b} at 512 KiB messages");
+    assert!(
+        d < b,
+        "direct {d} should beat bruck {b} at 512 KiB messages"
+    );
 }
 
 #[test]
 fn whole_pipeline_is_deterministic() {
     let run = || {
         let preset = ClusterPreset::myrinet();
-        let cal = calibrate_signature(&preset, 6, &[65_536, 131_072, 262_144, 524_288], 1234)
-            .unwrap();
+        let cal =
+            calibrate_signature(&preset, 6, &[65_536, 131_072, 262_144, 524_288], 1234).unwrap();
         (cal.signature.gamma, cal.signature.delta_secs)
     };
     assert_eq!(run(), run());

@@ -1,0 +1,127 @@
+//! Minimal in-repo substitute for `proptest` (the build environment cannot
+//! reach crates.io). It keeps the crate's *testing semantics* — randomized
+//! inputs drawn from strategies, a deterministic per-test stream, multiple
+//! cases per test, `prop_assert*` failure reporting with the failing case
+//! index — but does **not** implement shrinking or persistence. The API
+//! surface is exactly what this workspace's test suites use:
+//!
+//! * `proptest! { #![proptest_config(...)] #[test] fn f(x in strat, ..) {..} }`
+//! * numeric `Range`/`RangeInclusive` strategies, tuples (arity 2–4),
+//!   `any::<T>()`, `Just`, `.prop_map(..)`
+//! * `prop::collection::{vec, btree_set}`
+//! * `prop_assert!`, `prop_assert_eq!`, `prop_assert_ne!`, `prop_assume!`
+//!
+//! Replace with the real crate by repointing the workspace dependency.
+
+#![forbid(unsafe_code)]
+
+pub mod collection;
+pub mod sample;
+pub mod strategy;
+pub mod test_runner;
+
+/// Namespace mirror of the real crate's `prop` re-export module, so
+/// `prop::collection::vec(..)` works after a prelude glob import.
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::sample;
+    pub use crate::strategy;
+}
+
+/// Everything a test file needs.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Declares property tests. Each function runs `config.cases` times with
+/// fresh samples from its strategies; the first failing case panics with
+/// the case index and the generated inputs' debug output omitted (no
+/// shrinking in this substitute).
+#[macro_export]
+macro_rules! proptest {
+    (@impl ($cfg:expr); $( $(#[$attr:meta])* fn $name:ident ( $($arg:ident in $strat:expr),* $(,)? ) $body:block )*) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let __config: $crate::test_runner::ProptestConfig = $cfg;
+                for __case in 0..__config.cases {
+                    let mut __rng = $crate::test_runner::rng_for(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        __case,
+                    );
+                    $(let $arg = $crate::strategy::Strategy::sample_one(&($strat), &mut __rng);)*
+                    let __result = (|| -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                        $body
+                        Ok(())
+                    })();
+                    if let Err(e) = __result {
+                        panic!(
+                            "proptest {} failed at case {}/{}: {}",
+                            stringify!($name),
+                            __case,
+                            __config.cases,
+                            e
+                        );
+                    }
+                }
+            }
+        )*
+    };
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl ($cfg); $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl ($crate::test_runner::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Fails the current case unless the two values compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(*a == *b, "{:?} != {:?}", a, b);
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(*a == *b, $($fmt)*);
+    }};
+}
+
+/// Fails the current case if the two values compare equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(*a != *b, "{:?} == {:?}", a, b);
+    }};
+}
+
+/// Skips the rest of the current case unless `cond` holds (the substitute
+/// counts the case as passed rather than resampling).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Ok(());
+        }
+    };
+}

@@ -1,0 +1,28 @@
+//! Choosing among explicit alternatives.
+
+use crate::strategy::Strategy;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+
+/// Strategy drawing one of a fixed set of values.
+#[derive(Debug, Clone)]
+pub struct Select<T: Clone> {
+    choices: Vec<T>,
+}
+
+impl<T: Clone + std::fmt::Debug> Strategy for Select<T> {
+    type Value = T;
+
+    fn sample_one(&self, rng: &mut StdRng) -> T {
+        self.choices
+            .choose(rng)
+            .expect("select needs at least one choice")
+            .clone()
+    }
+}
+
+/// Uniformly selects one element of `choices`.
+pub fn select<T: Clone + std::fmt::Debug>(choices: Vec<T>) -> Select<T> {
+    assert!(!choices.is_empty(), "select needs at least one choice");
+    Select { choices }
+}

@@ -1,0 +1,65 @@
+//! Self-checks of the substitute harness: properties actually run, draw
+//! varying inputs, and report failures.
+
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn ranges_respect_bounds(n in 2usize..40, f in 0.5f64..2.0, b in any::<bool>()) {
+        prop_assert!((2..40).contains(&n));
+        prop_assert!((0.5..2.0).contains(&f));
+        let _ = b;
+    }
+
+    #[test]
+    fn collections_respect_sizes(
+        v in prop::collection::vec((0usize..8, 1u64..100), 1..12),
+        s in prop::collection::btree_set(-50i64..50, 3..10),
+        exact in prop::collection::vec(0.0f64..1.0, 4),
+    ) {
+        prop_assert!((1..12).contains(&v.len()));
+        prop_assert!(s.len() <= 10);
+        prop_assert_eq!(exact.len(), 4);
+    }
+
+    #[test]
+    fn mapped_and_selected_strategies_compose(
+        row in (0.0f64..1.0, 0.0f64..1.0).prop_map(|(x, y)| vec![1.0, x, y]),
+        pick in prop::sample::select(vec![512u64, 1024, 2048]),
+    ) {
+        prop_assert_eq!(row.len(), 3);
+        prop_assert!([512u64, 1024, 2048].contains(&pick));
+    }
+}
+
+#[test]
+fn failing_property_panics() {
+    let result = std::panic::catch_unwind(|| {
+        proptest! {
+            fn always_fails(x in 0u64..10) {
+                prop_assert!(x > 100, "x was {}", x);
+            }
+        }
+        always_fails();
+    });
+    assert!(result.is_err(), "a failing property must panic");
+}
+
+#[test]
+fn inputs_vary_across_cases() {
+    let mut seen = std::collections::HashSet::new();
+    for case in 0..32 {
+        let mut rng = proptest::test_runner::rng_for("inputs_vary", case);
+        seen.insert(proptest::strategy::Strategy::sample_one(
+            &(0u64..1_000_000),
+            &mut rng,
+        ));
+    }
+    assert!(
+        seen.len() > 20,
+        "expected diverse samples, got {}",
+        seen.len()
+    );
+}

@@ -1,0 +1,17 @@
+//! Minimal in-repo substitute for `serde`, present because the build
+//! environment cannot reach crates.io. It provides the two trait names and
+//! the derive macros so `#[derive(Serialize, Deserialize)]` compiles; the
+//! traits are blanket-implemented markers. Nothing in this repo serializes
+//! through serde yet — structured output (JSON/CSV/TOML) is hand-rolled in
+//! `contention-scenario` and `contention-lab`. Swap for the real crate by
+//! pointing the workspace dependency at a registry version.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

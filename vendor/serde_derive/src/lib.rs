@@ -1,0 +1,18 @@
+//! No-op substitute for `serde_derive`, used because the build environment
+//! has no access to crates.io. The repo only ever *derives* the serde
+//! traits (no code serializes through them yet), so the derives expand to
+//! nothing. Replace with the real crate when a registry is available.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
