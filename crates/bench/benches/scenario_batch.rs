@@ -1,6 +1,7 @@
-//! Batch-executor scaling: the same small scenario grid at 1/2/4 workers,
-//! so executor-parallelism regressions show up as a flat (non-decreasing)
-//! curve here.
+//! Batch-executor scaling: the same small scenario grid at 1/2/4/8
+//! workers, so executor-parallelism regressions show up as a flat
+//! (non-decreasing) curve here. Cost-aware scheduling and the calibration
+//! cache both land in this number.
 
 use contention_scenario::executor::{run_batch, BatchConfig};
 use contention_scenario::spec::{
@@ -38,7 +39,7 @@ fn bench_worker_scaling(c: &mut Criterion) {
     let spec = small_grid();
     let mut group = c.benchmark_group("scenario_batch");
     group.sample_size(10);
-    for workers in [1usize, 2, 4] {
+    for workers in [1usize, 2, 4, 8] {
         group.bench_with_input(
             BenchmarkId::from_parameter(workers),
             &workers,
@@ -46,6 +47,7 @@ fn bench_worker_scaling(c: &mut Criterion) {
                 let cfg = BatchConfig {
                     workers,
                     base_seed: 42,
+                    ..Default::default()
                 };
                 b.iter(|| run_batch(&spec, &cfg).expect("benchmark scenario runs"));
             },

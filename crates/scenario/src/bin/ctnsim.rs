@@ -7,7 +7,7 @@
 //! ctnsim show <name>
 //! ```
 
-use contention_scenario::executor::{run_batches, BatchConfig, BatchResult};
+use contention_scenario::executor::{run_batches, BatchConfig, BatchResult, ModelKind};
 use contention_scenario::registry;
 use contention_scenario::report;
 use contention_scenario::spec::ScenarioSpec;
@@ -33,6 +33,10 @@ OPTIONS:
     --workers N       Worker threads (default: available parallelism)
     --seed S          Base seed (default 42); results are deterministic per
                       (scenario, seed, cell) and independent of --workers
+    --model NAME      Predictor behind the model_secs/error_percent
+                      columns: med (default; the MED lower bound),
+                      signature (fitted (γ, δ, M) contention signature) or
+                      saturation (γ(n) ramp for half-saturated networks)
     --format csv|json Output format (default csv)
     --out FILE        Write the report to FILE instead of stdout
     --reps R          Measured repetitions per cell (override)
@@ -47,6 +51,7 @@ fn fail(msg: impl std::fmt::Display) -> ExitCode {
 struct Options {
     workers: Option<usize>,
     seed: u64,
+    model: ModelKind,
     format: String,
     out: Option<String>,
     nodes: Option<Vec<usize>>,
@@ -60,6 +65,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
     let mut o = Options {
         workers: None,
         seed: 42,
+        model: ModelKind::Med,
         format: "csv".into(),
         out: None,
         nodes: None,
@@ -87,6 +93,12 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 o.seed = value_of("--seed")?
                     .parse()
                     .map_err(|_| "--seed expects an integer".to_string())?
+            }
+            "--model" => {
+                let name = value_of("--model")?;
+                o.model = ModelKind::parse(&name).ok_or_else(|| {
+                    format!("unknown model {name:?} (expected med, signature or saturation)")
+                })?;
             }
             "--format" => {
                 let f = value_of("--format")?;
@@ -214,6 +226,7 @@ fn run_specs(mut specs: Vec<ScenarioSpec>, options: &Options) -> ExitCode {
     let cfg = BatchConfig {
         workers,
         base_seed: options.seed,
+        model: options.model,
     };
     match run_batches(&specs, &cfg) {
         Ok(results) => match emit(options, &results) {

@@ -8,13 +8,70 @@
 //! work queue is the generalization of `contention_lab::runner::
 //! parallel_map`, which it reuses: one flat queue across *all* scenarios
 //! of a batch, so a wide scenario cannot serialize a narrow one behind it.
+//!
+//! Two schedule-level optimizations ride on top of that contract (neither
+//! can change a single output byte):
+//!
+//! * **cost-aware ordering** — cells vary ~100× in simulation cost, so the
+//!   queue is sorted by a predicted cost key (`rounds · n² ·
+//!   ceil(m/mtu) · reps`) and the workers start the most expensive cells
+//!   first. The classic LPT heuristic: the makespan is no longer hostage
+//!   to a megabyte-grid cell popping last. Results are regrouped into
+//!   grid order afterwards.
+//! * **calibration caching** — `calibrate_hockney` is a pure function of
+//!   the fabric (topology + transport + MPI overrides) and its derived
+//!   seed; a process-wide cache keyed by (fabric fingerprint, seed) means
+//!   repeated batches over the same specs (benches, `run_batch` loops,
+//!   duplicate specs on one command line) fit once. The seed is
+//!   name-derived, so distinct-named specs intentionally never share a
+//!   fit — that is what keeps reports byte-identical.
 
 use crate::spec::{ScenarioSpec, SpecError};
 use crate::{topology, workload};
 use contention_lab::runner::parallel_map;
 use contention_model::hockney::HockneyParams;
 use contention_model::metrics::estimation_error_percent;
+use contention_model::saturation::SaturationModel;
+use contention_model::signature::ContentionSignature;
 use simmpi::harness::ping_pong;
+use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock};
+
+/// Which completion-time predictor fills the `model_secs` column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ModelKind {
+    /// The MED lower bound (Claims 1–3) under the fitted Hockney
+    /// parameters — the paper's distance-from-bound baseline.
+    #[default]
+    Med,
+    /// The contention signature (§7): `γ · MED + (n−1)·δ` above the fitted
+    /// cutoff, calibrated on the scenario's own fabric.
+    Signature,
+    /// The saturation-ramp model: `MED · γ(n)` with γ ramping from 1 to
+    /// γ∞ as the node count saturates the fabric.
+    Saturation,
+}
+
+impl ModelKind {
+    /// Parses the CLI's `--model` value.
+    pub fn parse(name: &str) -> Option<Self> {
+        match name {
+            "med" => Some(ModelKind::Med),
+            "signature" => Some(ModelKind::Signature),
+            "saturation" => Some(ModelKind::Saturation),
+            _ => None,
+        }
+    }
+
+    /// The stable CLI name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ModelKind::Med => "med",
+            ModelKind::Signature => "signature",
+            ModelKind::Saturation => "saturation",
+        }
+    }
+}
 
 /// Executor configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -23,6 +80,8 @@ pub struct BatchConfig {
     pub workers: usize,
     /// Base seed; every cell derives its own stream.
     pub base_seed: u64,
+    /// Predictor behind the `model_secs` / `error_percent` columns.
+    pub model: ModelKind,
 }
 
 impl Default for BatchConfig {
@@ -30,6 +89,7 @@ impl Default for BatchConfig {
         Self {
             workers: contention_lab::runner::default_workers(),
             base_seed: 42,
+            model: ModelKind::Med,
         }
     }
 }
@@ -55,7 +115,8 @@ pub struct CellResult {
     pub min_secs: f64,
     /// Slowest repetition, seconds.
     pub max_secs: f64,
-    /// The MED lower bound under the scenario's Hockney fit, seconds.
+    /// The selected model's prediction (the MED lower bound under the
+    /// scenario's Hockney fit by default), seconds.
     pub model_secs: f64,
     /// The paper's estimation error `(measured/estimated − 1)·100`.
     pub error_percent: f64,
@@ -82,12 +143,7 @@ fn mix(mut x: u64) -> u64 {
 }
 
 fn name_hash(name: &str) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for b in name.bytes() {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01B3);
-    }
-    h
+    crate::spec::fnv1a(name.as_bytes())
 }
 
 /// The deterministic seed of one cell: a pure function of scenario name,
@@ -102,29 +158,191 @@ pub fn cell_seed(scenario: &str, base_seed: u64, n: usize, message_bytes: u64) -
 
 struct Cell {
     spec_idx: usize,
+    /// Position in the deterministic nodes-major output order.
+    flat_idx: usize,
     n: usize,
     message_bytes: u64,
     seed: u64,
 }
 
+/// Predicted relative cost of a cell: `rounds · n² · packets-per-pair ·
+/// measured repetitions`. Only the *ordering* matters (longest cells are
+/// started first), so crude is fine; `u128` keeps megabyte × high-n grids
+/// from overflowing.
+fn cell_cost(spec: &ScenarioSpec, cell: &Cell) -> u128 {
+    let mtu = spec.transport.to_kind().mtu().max(1) as u64;
+    let packets = cell.message_bytes.div_ceil(mtu).max(1);
+    let rounds = match &spec.workload {
+        crate::spec::WorkloadSpec::Phases { phases } => phases.len().max(1),
+        _ => 1,
+    } as u128;
+    let reps = (spec.sweep.warmup + spec.sweep.reps).max(1) as u128;
+    rounds * (cell.n as u128) * (cell.n as u128) * packets as u128 * reps
+}
+
+/// Process-wide memo of Hockney fits keyed by `(fabric fingerprint,
+/// calibration seed)`. The fit is a pure function of that key, so a hit
+/// is byte-for-byte the fit a fresh run would produce.
+fn calibration_cache() -> &'static Mutex<HashMap<(u64, u64), HockneyParams>> {
+    static CACHE: OnceLock<Mutex<HashMap<(u64, u64), HockneyParams>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
 /// Measures the scenario's Hockney parameters: a 2-rank ping-pong on the
 /// scenario's own fabric across the standard fit sizes. Cheap (seconds of
 /// simulated time on two hosts) and faithful to the paper's procedure.
+/// Fits are memoized per (fabric, seed); see [`calibration_cache`].
 pub fn calibrate_hockney(spec: &ScenarioSpec, base_seed: u64) -> Result<HockneyParams, SpecError> {
+    let seed = mix(base_seed ^ name_hash(&spec.name));
+    let key = (spec.fabric_fingerprint(), seed);
+    if let Some(hit) = calibration_cache().lock().expect("cache lock").get(&key) {
+        return Ok(*hit);
+    }
     let sizes = [1024u64, 16 * 1024, 131_072, 524_288, 1_048_576];
-    let mut world = topology::build_world(spec, 2, mix(base_seed ^ name_hash(&spec.name)))?;
+    let mut world = topology::build_world(spec, 2, seed)?;
     let points: Vec<(u64, f64)> = ping_pong(&mut world, 0, 1, &sizes, 3)
         .into_iter()
         .map(|p| (p.size, p.half_rtt_secs))
         .collect();
-    HockneyParams::fit(&points)
-        .map_err(|e| SpecError::Invalid(format!("{}: Hockney fit failed: {e}", spec.name)))
+    let fit = HockneyParams::fit(&points)
+        .map_err(|e| SpecError::Invalid(format!("{}: Hockney fit failed: {e}", spec.name)))?;
+    calibration_cache()
+        .lock()
+        .expect("cache lock")
+        .insert(key, fit);
+    Ok(fit)
+}
+
+/// A per-scenario prediction context: the Hockney fit plus whatever extra
+/// calibration the selected model needs.
+#[derive(Clone, Copy)]
+enum ModelCtx {
+    Med,
+    Signature(ContentionSignature),
+    Saturation(SaturationModel),
+}
+
+/// Memo of signature/saturation fits, keyed like [`calibration_cache`]
+/// plus the model kind. These calibrations run whole sample All-to-Alls
+/// (~100× a ping-pong), so repeated batches benefit even more than the
+/// Hockney fit does. Sound because the fit depends only on the fabric
+/// (its capacity-derived sample sizes included) and the derived seed —
+/// never on the sweep grid.
+#[allow(clippy::type_complexity)]
+fn model_cache() -> &'static Mutex<HashMap<(u64, u64, &'static str), ModelCtx>> {
+    static CACHE: OnceLock<Mutex<HashMap<(u64, u64, &'static str), ModelCtx>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Uniform direct All-to-All completion times on the scenario's fabric —
+/// the sample measurements the signature and saturation fits regress on
+/// (the paper's §8 procedure: the signature belongs to the *network*, so
+/// it is always fitted on the uniform exchange).
+fn sample_alltoall(
+    spec: &ScenarioSpec,
+    n: usize,
+    sizes: &[u64],
+    seed: u64,
+) -> Result<Vec<(u64, f64)>, SpecError> {
+    let algo = workload::algorithm_by_name("direct").expect("built-in algorithm");
+    let mut world = topology::build_world(spec, n, seed)?;
+    Ok(sizes
+        .iter()
+        .map(|&m| (m, world.run(algo.programs(n, m)).duration_secs()))
+        .collect())
+}
+
+fn model_ctx(
+    spec: &ScenarioSpec,
+    hockney: HockneyParams,
+    base_seed: u64,
+    model: ModelKind,
+) -> Result<ModelCtx, SpecError> {
+    if matches!(model, ModelKind::Med) {
+        return Ok(ModelCtx::Med);
+    }
+    let seed = mix(base_seed ^ name_hash(&spec.name) ^ 0x5160_2A7E);
+    let key = (spec.fabric_fingerprint(), seed, model.name());
+    if let Some(hit) = model_cache().lock().expect("cache lock").get(&key) {
+        return Ok(*hit);
+    }
+    let fit_err = |e: contention_model::error::ModelError| {
+        SpecError::Invalid(format!("{}: {} fit failed: {e}", spec.name, model.name()))
+    };
+    let capacity = topology::capacity(&spec.topology)?;
+    let ctx = match model {
+        ModelKind::Med => unreachable!("handled above"),
+        ModelKind::Signature => {
+            // One sample node count (the paper's n′), ≥4 message sizes.
+            // Derived from the fabric's capacity — never from the sweep
+            // grid — so the same (scenario, seed, n, m) cell keeps the
+            // same prediction no matter what else the grid contains.
+            let sample_n = capacity.clamp(2, 8);
+            let sizes = [64 * 1024u64, 128 * 1024, 256 * 1024, 512 * 1024, 1_048_576];
+            let samples = sample_alltoall(spec, sample_n, &sizes, seed)?;
+            ContentionSignature::fit(hockney, sample_n, &samples)
+                .map(ModelCtx::Signature)
+                .map_err(fit_err)?
+        }
+        ModelKind::Saturation => {
+            // Several node counts so the γ(n) ramp is identifiable. On
+            // tiny fabrics the standard rungs collapse to [2]; fall back
+            // to the capacity itself so any ≥3-host topology still fits.
+            let mut ladder: Vec<usize> = [2usize, 4, 8]
+                .into_iter()
+                .filter(|&n| n <= capacity)
+                .collect();
+            if ladder.len() < 2 && capacity >= 3 && !ladder.contains(&capacity) {
+                ladder.push(capacity);
+            }
+            if ladder.len() < 2 {
+                return Err(SpecError::Invalid(format!(
+                    "{}: topology capacity {capacity} too small for a saturation fit",
+                    spec.name
+                )));
+            }
+            let sizes = [128 * 1024u64, 512 * 1024, 1_048_576];
+            let mut samples = Vec::with_capacity(ladder.len() * sizes.len());
+            for &n in &ladder {
+                for (m, t) in sample_alltoall(spec, n, &sizes, mix(seed ^ n as u64))? {
+                    samples.push((n, m, t));
+                }
+            }
+            SaturationModel::fit(hockney, &samples)
+                .map(ModelCtx::Saturation)
+                .map_err(fit_err)?
+        }
+    };
+    model_cache().lock().expect("cache lock").insert(key, ctx);
+    Ok(ctx)
+}
+
+impl ModelCtx {
+    /// The selected model's completion-time prediction for one cell. Every
+    /// predictor scales the workload's MED bound, so irregular exchanges
+    /// are handled uniformly; for the uniform All-to-All the signature
+    /// form reduces exactly to the paper's eq. 5.
+    fn predict(&self, med_bound: f64, n: usize, m: u64) -> f64 {
+        match self {
+            ModelCtx::Med => med_bound,
+            ModelCtx::Signature(sig) => {
+                let delta = if sig.delta_active(m) {
+                    (n.saturating_sub(1)) as f64 * sig.delta_secs
+                } else {
+                    0.0
+                };
+                med_bound * sig.gamma + delta
+            }
+            ModelCtx::Saturation(sat) => med_bound * sat.gamma_at(n),
+        }
+    }
 }
 
 fn run_cell(
     spec: &ScenarioSpec,
     cell: &Cell,
     hockney: &HockneyParams,
+    ctx: &ModelCtx,
 ) -> Result<CellResult, SpecError> {
     let mut world = topology::build_world(spec, cell.n, cell.seed)?;
     let programs = workload::programs(&spec.workload, cell.n, cell.message_bytes, cell.seed);
@@ -137,13 +355,14 @@ fn run_cell(
     let mean = times.iter().sum::<f64>() / times.len() as f64;
     let min = times.iter().cloned().fold(f64::INFINITY, f64::min);
     let max = times.iter().cloned().fold(0.0f64, f64::max);
-    let model = workload::model_bound(
+    let med_bound = workload::model_bound(
         &spec.workload,
         cell.n,
         cell.message_bytes,
         cell.seed,
         hockney,
     );
+    let model = ctx.predict(med_bound, cell.n, cell.message_bytes);
     Ok(CellResult {
         scenario: spec.name.clone(),
         workload: spec.workload.kind().to_string(),
@@ -166,7 +385,8 @@ pub fn run_batch(spec: &ScenarioSpec, cfg: &BatchConfig) -> Result<BatchResult, 
 
 /// Runs several scenarios as **one** flat cell queue over `cfg.workers`
 /// threads. Results come back grouped per scenario, each grid in
-/// deterministic nodes-major order regardless of worker count.
+/// deterministic nodes-major order regardless of worker count or the
+/// cost-aware execution schedule.
 pub fn run_batches(
     specs: &[ScenarioSpec],
     cfg: &BatchConfig,
@@ -175,30 +395,71 @@ pub fn run_batches(
     for spec in specs {
         spec.validate()?;
     }
-    // Calibrations are tiny 2-rank sims; fold them into the same parallel
-    // queue as real cells would be overkill — run them first, in order.
+    // Calibrations are tiny 2-rank sims (and memoized across batches);
+    // folding them into the parallel queue would be overkill — run them
+    // first, in order.
     let hockneys: Vec<HockneyParams> = specs
         .iter()
         .map(|s| calibrate_hockney(s, cfg.base_seed))
         .collect::<Result<_, _>>()?;
+    // Model calibrations run whole sample All-to-Alls (unlike the cheap
+    // ping-pongs above), so uncached fits shard across the workers; the
+    // memo cache covers repeated batches over the same specs.
+    let ctxs: Vec<ModelCtx> = parallel_map(
+        specs.iter().zip(&hockneys).collect::<Vec<_>>(),
+        cfg.workers,
+        |(s, &h)| model_ctx(s, h, cfg.base_seed, cfg.model),
+    )
+    .into_iter()
+    .collect::<Result<_, _>>()?;
 
     let mut cells = Vec::new();
+    let mut flat_idx = 0usize;
     for (spec_idx, spec) in specs.iter().enumerate() {
         for &n in &spec.sweep.nodes {
             for &m in &spec.sweep.message_bytes {
                 cells.push(Cell {
                     spec_idx,
+                    flat_idx,
                     n,
                     message_bytes: m,
                     seed: cell_seed(&spec.name, cfg.base_seed, n, m),
                 });
+                flat_idx += 1;
             }
         }
     }
+    let total = cells.len();
+
+    // Cost-aware schedule: `parallel_map`'s shared queue pops from the
+    // *end* of the vector, so sorting by ascending cost hands workers the
+    // most expensive cells first (longest-processing-time order). Ties
+    // keep descending flat order so equal-cost cells still pop in grid
+    // order. Purely a schedule change: results are re-scattered into
+    // `flat_idx` order below, so output bytes cannot depend on it.
+    cells.sort_by(|a, b| {
+        cell_cost(&specs[a.spec_idx], a)
+            .cmp(&cell_cost(&specs[b.spec_idx], b))
+            .then(b.flat_idx.cmp(&a.flat_idx))
+    });
+    let schedule: Vec<usize> = cells.iter().map(|c| c.flat_idx).collect();
 
     let outcomes: Vec<Result<CellResult, SpecError>> = parallel_map(cells, cfg.workers, |cell| {
-        run_cell(&specs[cell.spec_idx], &cell, &hockneys[cell.spec_idx])
+        run_cell(
+            &specs[cell.spec_idx],
+            &cell,
+            &hockneys[cell.spec_idx],
+            &ctxs[cell.spec_idx],
+        )
     });
+
+    // Scatter back to deterministic nodes-major order, consuming the
+    // outcomes by value (no per-cell clone), and surface the first error
+    // in grid order.
+    let mut slots: Vec<Option<Result<CellResult, SpecError>>> = (0..total).map(|_| None).collect();
+    for (idx, outcome) in schedule.into_iter().zip(outcomes) {
+        slots[idx] = Some(outcome);
+    }
 
     let mut results: Vec<BatchResult> = specs
         .iter()
@@ -207,16 +468,18 @@ pub fn run_batches(
             scenario: spec.name.clone(),
             alpha_secs: h.alpha_secs,
             beta_secs_per_byte: h.beta_secs_per_byte,
-            cells: Vec::new(),
+            cells: Vec::with_capacity(spec.sweep.nodes.len() * spec.sweep.message_bytes.len()),
         })
         .collect();
-    // parallel_map preserves input order, so cells regroup deterministically.
-    let mut idx = 0usize;
+    let mut slot_iter = slots.into_iter();
     for (spec_idx, spec) in specs.iter().enumerate() {
         let cell_count = spec.sweep.nodes.len() * spec.sweep.message_bytes.len();
         for _ in 0..cell_count {
-            results[spec_idx].cells.push(outcomes[idx].clone()?);
-            idx += 1;
+            let outcome = slot_iter
+                .next()
+                .flatten()
+                .expect("every flat slot is filled exactly once");
+            results[spec_idx].cells.push(outcome?);
         }
     }
     Ok(results)
@@ -233,10 +496,12 @@ mod tests {
         let cfg1 = BatchConfig {
             workers: 1,
             base_seed: 7,
+            model: ModelKind::Med,
         };
         let cfg4 = BatchConfig {
             workers: 4,
             base_seed: 7,
+            model: ModelKind::Med,
         };
         let r1 = run_batch(&spec, &cfg1).unwrap();
         let r4 = run_batch(&spec, &cfg4).unwrap();
@@ -264,6 +529,7 @@ mod tests {
             &BatchConfig {
                 workers: 2,
                 base_seed: 3,
+                model: ModelKind::Med,
             },
         )
         .unwrap();
@@ -285,6 +551,112 @@ mod tests {
             assert!(
                 c.mean_secs >= c.model_secs * 0.99,
                 "simulation beat the lower bound: {c:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn calibration_cache_is_transparent() {
+        let spec = by_name("incast-burst").unwrap();
+        let a = calibrate_hockney(&spec, 123).unwrap();
+        let b = calibrate_hockney(&spec, 123).unwrap();
+        assert_eq!(a, b, "memoized fit must equal the fresh fit");
+        let c = calibrate_hockney(&spec, 124).unwrap();
+        assert_ne!(a, c, "different seed must not hit the same cache entry");
+    }
+
+    #[test]
+    fn cost_key_orders_big_cells_first() {
+        let spec = by_name("incast-burst").unwrap();
+        let small = Cell {
+            spec_idx: 0,
+            flat_idx: 0,
+            n: 4,
+            message_bytes: 128 * 1024,
+            seed: 0,
+        };
+        let big = Cell {
+            spec_idx: 0,
+            flat_idx: 1,
+            n: 16,
+            message_bytes: 512 * 1024,
+            seed: 0,
+        };
+        assert!(cell_cost(&spec, &big) > cell_cost(&spec, &small));
+    }
+
+    #[test]
+    fn signature_prediction_is_independent_of_the_sweep_grid() {
+        // The signature is a property of the network: the same (scenario,
+        // seed, n, m) cell must get the same prediction no matter what
+        // other grid points ride along.
+        let base = by_name("incast-burst").unwrap();
+        let cfg = BatchConfig {
+            workers: 1,
+            base_seed: 11,
+            model: ModelKind::Signature,
+        };
+        let mut narrow = base.clone();
+        narrow.sweep.nodes = vec![4];
+        narrow.sweep.message_bytes = vec![64 * 1024];
+        narrow.sweep.reps = 1;
+        narrow.sweep.warmup = 0;
+        let mut wide = base.clone();
+        wide.sweep.nodes = vec![4, 16];
+        wide.sweep.message_bytes = vec![64 * 1024];
+        wide.sweep.reps = 1;
+        wide.sweep.warmup = 0;
+        let narrow_r = run_batch(&narrow, &cfg).unwrap();
+        let wide_r = run_batch(&wide, &cfg).unwrap();
+        assert_eq!(
+            narrow_r.cells[0], wide_r.cells[0],
+            "widening the grid must not move an existing cell's prediction"
+        );
+    }
+
+    #[test]
+    fn signature_and_saturation_models_produce_finite_errors() {
+        let mut spec = by_name("incast-burst").unwrap();
+        // One cheap cell is enough to exercise the predictors.
+        spec.sweep.nodes = vec![4];
+        spec.sweep.message_bytes = vec![64 * 1024];
+        spec.sweep.reps = 1;
+        spec.sweep.warmup = 0;
+        let med = run_batch(
+            &spec,
+            &BatchConfig {
+                workers: 1,
+                base_seed: 5,
+                model: ModelKind::Med,
+            },
+        )
+        .unwrap();
+        for model in [ModelKind::Signature, ModelKind::Saturation] {
+            let r = run_batch(
+                &spec,
+                &BatchConfig {
+                    workers: 1,
+                    base_seed: 5,
+                    model,
+                },
+            )
+            .unwrap();
+            let cell = &r.cells[0];
+            assert!(
+                cell.model_secs.is_finite() && cell.model_secs > 0.0,
+                "{}: {cell:?}",
+                model.name()
+            );
+            assert!(cell.error_percent.is_finite());
+            // The measured columns must not depend on the model choice.
+            assert_eq!(cell.mean_secs, med.cells[0].mean_secs, "{}", model.name());
+            // Contention-aware predictors never undercut the lower bound.
+            assert!(
+                cell.model_secs >= med.cells[0].model_secs * 0.999,
+                "{}: {} < MED {}",
+                model.name(),
+                cell.model_secs,
+                med.cells[0].model_secs
             );
         }
     }

@@ -32,7 +32,7 @@
 //! use contention_scenario::registry;
 //!
 //! let spec = registry::by_name("incast-burst").expect("built-in");
-//! let cfg = BatchConfig { workers: 2, base_seed: 1 };
+//! let cfg = BatchConfig { workers: 2, base_seed: 1, ..Default::default() };
 //! let result = run_batch(&spec, &cfg).expect("runs");
 //! assert_eq!(result.cells.len(),
 //!            spec.sweep.nodes.len() * spec.sweep.message_bytes.len());
@@ -53,7 +53,9 @@ pub mod workload;
 
 /// Commonly used items.
 pub mod prelude {
-    pub use crate::executor::{run_batch, run_batches, BatchConfig, BatchResult, CellResult};
+    pub use crate::executor::{
+        run_batch, run_batches, BatchConfig, BatchResult, CellResult, ModelKind,
+    };
     pub use crate::registry;
     pub use crate::report::{to_csv, to_json};
     pub use crate::spec::{

@@ -363,6 +363,17 @@ fn invalid(msg: impl Into<String>) -> SpecError {
     SpecError::Invalid(msg.into())
 }
 
+/// FNV-1a over `bytes` — the crate's one hashing primitive (fingerprints,
+/// name-derived seeds).
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
 fn validate_link(l: &LinkSpec, what: &str) -> Result<(), SpecError> {
     if !(l.bandwidth_bytes_per_sec.is_finite() && l.bandwidth_bytes_per_sec > 0.0) {
         return Err(invalid(format!(
@@ -560,6 +571,23 @@ impl ScenarioSpec {
                 None => SweepSpec::default(),
             },
         })
+    }
+
+    /// A stable fingerprint of the calibration-relevant spec parts: the
+    /// fabric (topology), transport and MPI overrides — everything a
+    /// calibration's outcome can depend on besides its seed. Specs that
+    /// differ only in name, workload or sweep grid share it. The
+    /// executor's calibration caches key on (fingerprint, seed); since
+    /// seeds are name-derived (byte-identity), the fingerprint's job in
+    /// that key is to keep *same-named* specs with different fabrics
+    /// (edited TOML files, sweep overrides) from wrongly sharing a fit.
+    pub fn fabric_fingerprint(&self) -> u64 {
+        let mut fabric = BTreeMap::new();
+        fabric.insert("topology".to_string(), encode_topology(&self.topology));
+        fabric.insert("transport".to_string(), encode_transport(&self.transport));
+        fabric.insert("mpi".to_string(), encode_mpi(&self.mpi));
+        let encoded = toml::serialize(&Value::Table(fabric));
+        fnv1a(encoded.as_bytes())
     }
 
     fn to_value(&self) -> Value {

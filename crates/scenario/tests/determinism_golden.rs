@@ -1,0 +1,39 @@
+//! Scheduler-determinism goldens: `run_batches` output must be
+//! byte-identical across worker counts *and* match a report captured from
+//! the engine before the hot-path overhaul (interned routes, lane-heap
+//! event queue, pooled bands, cost-aware scheduling). The golden file is
+//! the regression oracle for the refactor's "no behavioral change"
+//! guarantee — regenerate it only for an *intentional* semantic change:
+//!
+//! ```text
+//! ctnsim run incast-burst --workers 1 \
+//!     --out crates/scenario/tests/golden/incast-burst_seed42_workers_any.csv
+//! ```
+
+use contention_scenario::executor::{run_batches, BatchConfig};
+use contention_scenario::registry::by_name;
+use contention_scenario::report::to_csv;
+
+/// Captured at the pre-refactor engine (seed 42, any worker count).
+const GOLDEN: &str = include_str!("golden/incast-burst_seed42_workers_any.csv");
+
+#[test]
+fn report_is_byte_identical_across_workers_and_to_prerefactor_capture() {
+    let spec = by_name("incast-burst").expect("built-in scenario");
+    let mut reports = Vec::new();
+    for workers in [1usize, 2, 8] {
+        let cfg = BatchConfig {
+            workers,
+            base_seed: 42,
+            ..Default::default()
+        };
+        let results = run_batches(std::slice::from_ref(&spec), &cfg).expect("scenario runs");
+        reports.push((workers, to_csv(&results)));
+    }
+    for (workers, report) in &reports {
+        assert_eq!(
+            report, GOLDEN,
+            "workers={workers}: report diverged from the pre-refactor golden"
+        );
+    }
+}

@@ -90,6 +90,7 @@ fn golden_spec_is_runnable() {
         &contention_scenario::executor::BatchConfig {
             workers: 2,
             base_seed: 5,
+            ..Default::default()
         },
     )
     .expect("golden scenario runs");

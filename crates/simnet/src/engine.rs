@@ -20,7 +20,7 @@
 //! models host software overheads.
 
 use crate::config::{SimConfig, TransportKind};
-use crate::event::{Event, EventQueue};
+use crate::event::{Event, EventQueue, LaneId};
 use crate::ids::{ConnId, HostId, TxId};
 use crate::packet::{Notification, Packet, PacketKind};
 use crate::stats::NetStats;
@@ -31,23 +31,174 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::VecDeque;
 
-/// Per-transmitter packet queues: a control band (small packets — ACKs,
+/// Freelist/band terminator for the pooled packet chunks.
+const NIL: u32 = u32::MAX;
+
+/// Packets per pooled chunk. A deep band (a NIC draining a send burst)
+/// walks its packets out of contiguous memory ~`CHUNK` at a time instead
+/// of chasing one pointer per packet through an interleaved arena — band
+/// pops are where a large All-to-All spends its cache misses.
+const CHUNK: usize = 32;
+
+/// A pooled ring segment: a fixed block of packets consumed front to back,
+/// linked to the band's next block.
+#[derive(Debug, Clone, Copy)]
+struct Chunk {
+    pkts: [Packet; CHUNK],
+    /// Next unread slot.
+    read: u16,
+    /// Next unwritten slot.
+    write: u16,
+    /// Next chunk of the band, or the freelist link while unused.
+    next: u32,
+}
+
+/// One shared arena of ring chunks for *every* transmitter band. Per-Tx
+/// `VecDeque`s each kept (and grew) a private buffer; a fabric has
+/// thousands of transmitters, so steady state reallocated constantly. The
+/// pool grows to the simulation's true high-water mark once and then
+/// recycles chunks through a freelist.
+#[derive(Debug)]
+struct PacketPool {
+    chunks: Vec<Chunk>,
+    free_head: u32,
+}
+
+/// A FIFO band over pooled chunks (head pops, tail pushes).
+#[derive(Debug, Clone, Copy)]
+struct Band {
+    head: u32,
+    tail: u32,
+}
+
+impl Default for Band {
+    fn default() -> Self {
+        Self {
+            head: NIL,
+            tail: NIL,
+        }
+    }
+}
+
+impl PacketPool {
+    fn new() -> Self {
+        Self {
+            chunks: Vec::new(),
+            free_head: NIL,
+        }
+    }
+
+    fn alloc_chunk(&mut self) -> u32 {
+        if self.free_head != NIL {
+            let idx = self.free_head;
+            let chunk = &mut self.chunks[idx as usize];
+            self.free_head = chunk.next;
+            // Reset metadata only; the stale packets are dead data that
+            // push_back overwrites before pop_front can read them.
+            chunk.read = 0;
+            chunk.write = 0;
+            chunk.next = NIL;
+            idx
+        } else {
+            self.chunks.push(Chunk {
+                pkts: [Packet::PLACEHOLDER; CHUNK],
+                read: 0,
+                write: 0,
+                next: NIL,
+            });
+            (self.chunks.len() - 1) as u32
+        }
+    }
+
+    fn push_back(&mut self, band: &mut Band, pkt: Packet) {
+        if band.tail == NIL {
+            let idx = self.alloc_chunk();
+            band.head = idx;
+            band.tail = idx;
+        } else if self.chunks[band.tail as usize].write as usize == CHUNK {
+            let idx = self.alloc_chunk();
+            self.chunks[band.tail as usize].next = idx;
+            band.tail = idx;
+        }
+        let chunk = &mut self.chunks[band.tail as usize];
+        chunk.pkts[chunk.write as usize] = pkt;
+        chunk.write += 1;
+    }
+
+    fn pop_front(&mut self, band: &mut Band) -> Option<Packet> {
+        if band.head == NIL {
+            return None;
+        }
+        let chunk = &mut self.chunks[band.head as usize];
+        if chunk.read == chunk.write {
+            // Only possible when head == tail (a fully-read non-tail chunk
+            // is retired eagerly below): the band is empty.
+            debug_assert_eq!(band.head, band.tail);
+            return None;
+        }
+        let pkt = chunk.pkts[chunk.read as usize];
+        chunk.read += 1;
+        if chunk.read as usize == CHUNK || (band.head == band.tail && chunk.read == chunk.write) {
+            // Chunk consumed (or band drained): retire it to the freelist.
+            let next = chunk.next;
+            let retired = band.head;
+            self.chunks[retired as usize].next = self.free_head;
+            self.free_head = retired;
+            band.head = next;
+            if next == NIL {
+                band.tail = NIL;
+            }
+        }
+        Some(pkt)
+    }
+}
+
+/// Per-transmitter packet bands: a control band (small packets — ACKs,
 /// envelopes — which real host qdiscs and short device rings never bury
 /// behind megabytes of bulk data) and a bulk FIFO. Control priority is
 /// honoured only at host-owned transmitters; switches serve strict FIFO.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone, Copy)]
 struct TxQueue {
-    control: VecDeque<Packet>,
-    bulk: VecDeque<Packet>,
+    control: Band,
+    bulk: Band,
 }
 
 /// A serialization slot: usually one per transmitter, but a host I/O bus
 /// shares one slot between its two directions.
-#[derive(Debug)]
+///
+/// Members live inline: almost every slot serves exactly one transmitter
+/// (a bus slot serves two), and `begin_service` runs twice per packet per
+/// hop — a `Vec` would put a pointer chase and a heap allocation on the
+/// hottest loop in the engine.
+#[derive(Debug, Clone, Copy)]
 struct SerializerState {
     busy: bool,
-    members: Vec<TxId>,
-    rr_cursor: usize,
+    members: [TxId; Self::MAX_MEMBERS],
+    n_members: u8,
+    rr_cursor: u8,
+}
+
+impl SerializerState {
+    /// A slot is private (1 member) or a half-duplex bus pair (2).
+    const MAX_MEMBERS: usize = 2;
+
+    fn idle() -> Self {
+        Self {
+            busy: false,
+            members: [TxId::from_index(0); Self::MAX_MEMBERS],
+            n_members: 0,
+            rr_cursor: 0,
+        }
+    }
+
+    fn add_member(&mut self, tx: TxId) {
+        assert!(
+            (self.n_members as usize) < Self::MAX_MEMBERS,
+            "a serializer slot serves at most a host bus pair"
+        );
+        self.members[self.n_members as usize] = tx;
+        self.n_members += 1;
+    }
 }
 
 /// The discrete-event network simulator.
@@ -56,9 +207,24 @@ pub struct Simulator {
     config: SimConfig,
     time: SimTime,
     queue: EventQueue,
+    /// Queue lane per transmitter: carries the arrivals/deliveries this
+    /// transmitter's departures produce (monotone: pop time + fixed
+    /// latency).
+    tx_out_lane: Vec<LaneId>,
+    /// Queue lane per serializer slot: carries its departure chain
+    /// (monotone: `busy_until` only advances).
+    ser_lane: Vec<LaneId>,
+    /// Queue lanes per connection, (data, ack): injections are clamped
+    /// monotone by `last_data_inject` / `last_ack_inject`.
+    conn_lanes: Vec<(LaneId, LaneId)>,
     serializers: Vec<SerializerState>,
+    pkt_pool: PacketPool,
     tx_queues: Vec<TxQueue>,
     tx_host_owned: Vec<bool>,
+    /// Transmitters whose pool and port caps are effectively infinite
+    /// (host NICs, lossless fabrics): admission can never fail there, so
+    /// the hot path skips occupancy accounting entirely.
+    tx_unbounded: Vec<bool>,
     pool_occupancy: Vec<u64>,
     port_occupancy: Vec<u64>,
     pool_drops: Vec<u64>,
@@ -75,30 +241,38 @@ impl Simulator {
         let n_tx = topo.tx_params.len();
         let n_pools = topo.pool_capacity.len();
         let n_hosts = topo.n_hosts;
-        let mut serializers: Vec<SerializerState> = (0..n_serializers)
-            .map(|_| SerializerState {
-                busy: false,
-                members: Vec::new(),
-                rr_cursor: 0,
-            })
-            .collect();
+        let mut serializers: Vec<SerializerState> = vec![SerializerState::idle(); n_serializers];
         let mut tx_host_owned = Vec::with_capacity(n_tx);
+        let mut tx_unbounded = Vec::with_capacity(n_tx);
+        // "Unbounded" = larger than any simulation could queue: a tail
+        // drop at such a transmitter is arithmetically impossible, so its
+        // occupancy is dead weight. Hosts and lossless fabrics qualify.
+        const UNBOUNDED_BYTES: u64 = u64::MAX / 8;
         for (i, params) in topo.tx_params.iter().enumerate() {
-            serializers[params.serializer as usize]
-                .members
-                .push(TxId::from_index(i));
+            serializers[params.serializer as usize].add_member(TxId::from_index(i));
             tx_host_owned.push(params.pool.index() < n_hosts);
+            tx_unbounded.push(
+                topo.pool_capacity[params.pool.index()] >= UNBOUNDED_BYTES
+                    && params.port_cap_bytes >= UNBOUNDED_BYTES,
+            );
         }
-        let mut tx_queues = Vec::with_capacity(n_tx);
-        tx_queues.resize_with(n_tx, TxQueue::default);
+        let tx_queues = vec![TxQueue::default(); n_tx];
+        let mut queue = EventQueue::new();
+        let tx_out_lane = (0..n_tx).map(|_| queue.alloc_lane()).collect();
+        let ser_lane = (0..n_serializers).map(|_| queue.alloc_lane()).collect();
         Self {
             topo,
             config,
             time: SimTime::ZERO,
-            queue: EventQueue::new(),
+            queue,
+            tx_out_lane,
+            ser_lane,
+            conn_lanes: Vec::new(),
             serializers,
+            pkt_pool: PacketPool::new(),
             tx_queues,
             tx_host_owned,
+            tx_unbounded,
             port_occupancy: vec![0; n_tx],
             pool_occupancy: vec![0; n_pools],
             pool_drops: vec![0; n_pools],
@@ -135,6 +309,11 @@ impl Simulator {
         self.topo.n_hosts
     }
 
+    /// Number of events currently pending in the queue (diagnostics).
+    pub fn pending_events(&self) -> usize {
+        self.queue.len()
+    }
+
     /// Opens a unidirectional connection `src → dst`.
     ///
     /// # Panics
@@ -142,8 +321,10 @@ impl Simulator {
     /// MPI layer handles them locally).
     pub fn open_connection(&mut self, src: HostId, dst: HostId, kind: TransportKind) -> ConnId {
         let id = ConnId::from_index(self.conns.len());
-        let fwd = self.topo.route(src, dst);
-        let rev = self.topo.route(dst, src);
+        let fwd = self.topo.route_id(src, dst);
+        let rev = self.topo.route_id(dst, src);
+        self.conn_lanes
+            .push((self.queue.alloc_lane(), self.queue.alloc_lane()));
         self.conns
             .push(Connection::new(id, src, dst, fwd, rev, kind));
         id
@@ -161,7 +342,7 @@ impl Simulator {
     /// Schedules [`Notification::Wakeup`] with `token` at absolute time `at`.
     pub fn schedule_wakeup(&mut self, at: SimTime, token: u64) {
         debug_assert!(at >= self.time, "wakeups cannot be scheduled in the past");
-        self.queue.push(at, Event::AppWakeup { token });
+        self.queue.push_once(at, Event::AppWakeup { token });
     }
 
     /// Returns the next notification, advancing the simulation as needed.
@@ -213,35 +394,29 @@ impl Simulator {
         }
     }
 
-    fn route_of(&self, pkt: &Packet) -> &std::sync::Arc<[TxId]> {
-        let conn = &self.conns[pkt.conn.index()];
-        match pkt.kind {
-            PacketKind::Data => &conn.fwd_route,
-            PacketKind::Ack => &conn.rev_route,
-        }
-    }
-
     /// Wire size below which a packet rides the host-NIC control band.
     const CONTROL_BAND_WIRE: u64 = 256;
 
     fn handle_arrival(&mut self, tx: TxId, pkt: Packet) {
         let wire = self.wire_size(&pkt);
         let params = self.topo.tx_params[tx.index()];
-        let pool = params.pool.index();
-        if self.pool_occupancy[pool] + wire > self.topo.pool_capacity[pool]
-            || self.port_occupancy[tx.index()] + wire > params.port_cap_bytes
-        {
-            self.stats.packets_dropped += 1;
-            self.pool_drops[pool] += 1;
-            return;
+        if !self.tx_unbounded[tx.index()] {
+            let pool = params.pool.index();
+            if self.pool_occupancy[pool] + wire > self.topo.pool_capacity[pool]
+                || self.port_occupancy[tx.index()] + wire > params.port_cap_bytes
+            {
+                self.stats.packets_dropped += 1;
+                self.pool_drops[pool] += 1;
+                return;
+            }
+            self.pool_occupancy[pool] += wire;
+            self.port_occupancy[tx.index()] += wire;
         }
-        self.pool_occupancy[pool] += wire;
-        self.port_occupancy[tx.index()] += wire;
         let q = &mut self.tx_queues[tx.index()];
         if self.tx_host_owned[tx.index()] && wire <= Self::CONTROL_BAND_WIRE {
-            q.control.push_back(pkt);
+            self.pkt_pool.push_back(&mut q.control, pkt);
         } else {
-            q.bulk.push_back(pkt);
+            self.pkt_pool.push_back(&mut q.bulk, pkt);
         }
         let slot = params.serializer as usize;
         if !self.serializers[slot].busy {
@@ -254,28 +429,7 @@ impl Simulator {
     /// is served round-robin among members (one member for ordinary links,
     /// two for a shared host bus).
     fn begin_service(&mut self, slot: usize) {
-        let n_members = self.serializers[slot].members.len();
-        let cursor = self.serializers[slot].rr_cursor;
-        let mut chosen: Option<(TxId, Packet)> = None;
-        for i in 0..n_members {
-            let tx = self.serializers[slot].members[(cursor + i) % n_members];
-            if let Some(pkt) = self.tx_queues[tx.index()].control.pop_front() {
-                chosen = Some((tx, pkt));
-                break;
-            }
-        }
-        if chosen.is_none() {
-            for i in 0..n_members {
-                let idx = (cursor + i) % n_members;
-                let tx = self.serializers[slot].members[idx];
-                if let Some(pkt) = self.tx_queues[tx.index()].bulk.pop_front() {
-                    self.serializers[slot].rr_cursor = (idx + 1) % n_members;
-                    chosen = Some((tx, pkt));
-                    break;
-                }
-            }
-        }
-        let Some((tx, pkt)) = chosen else {
+        let Some((tx, pkt)) = self.pick(slot) else {
             self.serializers[slot].busy = false;
             return;
         };
@@ -283,38 +437,92 @@ impl Simulator {
         let params = self.topo.tx_params[tx.index()];
         let wire = self.wire_size(&pkt);
         let serialization = (wire as f64 * params.ns_per_byte).ceil() as u64;
-        self.queue
-            .push(self.time + serialization, Event::Departure { tx, pkt });
+        self.queue.push(
+            self.ser_lane[slot],
+            self.time + serialization,
+            Event::Departure { tx, pkt },
+        );
+    }
+
+    /// Selects the next packet a slot should serialize. Control bands of
+    /// the slot's members go first; bulk is served round-robin.
+    fn pick(&mut self, slot: usize) -> Option<(TxId, Packet)> {
+        if self.serializers[slot].n_members == 1 {
+            // Fast path: a private slot (every ordinary link) — one control
+            // probe, one bulk probe, no round-robin bookkeeping.
+            let tx = self.serializers[slot].members[0];
+            let q = &mut self.tx_queues[tx.index()];
+            match self.pkt_pool.pop_front(&mut q.control) {
+                some @ Some(_) => some.map(|pkt| (tx, pkt)),
+                None => self.pkt_pool.pop_front(&mut q.bulk).map(|pkt| (tx, pkt)),
+            }
+        } else {
+            self.pick_shared(slot)
+        }
+    }
+
+    /// Slow path of [`Simulator::pick`]: round-robin over the members of a
+    /// shared slot (a host I/O bus pair), or an empty slot whose
+    /// transmitter serializes elsewhere.
+    fn pick_shared(&mut self, slot: usize) -> Option<(TxId, Packet)> {
+        let n = self.serializers[slot].n_members as usize;
+        let cursor = self.serializers[slot].rr_cursor as usize;
+        for i in 0..n {
+            let idx = (cursor + i) % n;
+            let tx = self.serializers[slot].members[idx];
+            if let Some(pkt) = self
+                .pkt_pool
+                .pop_front(&mut self.tx_queues[tx.index()].control)
+            {
+                return Some((tx, pkt));
+            }
+        }
+        for i in 0..n {
+            let idx = (cursor + i) % n;
+            let tx = self.serializers[slot].members[idx];
+            if let Some(pkt) = self
+                .pkt_pool
+                .pop_front(&mut self.tx_queues[tx.index()].bulk)
+            {
+                self.serializers[slot].rr_cursor = ((idx + 1) % n) as u8;
+                return Some((tx, pkt));
+            }
+        }
+        None
     }
 
     fn handle_departure(&mut self, tx: TxId, pkt: Packet) {
         let wire = self.wire_size(&pkt);
         let params = self.topo.tx_params[tx.index()];
-        let pool = params.pool.index();
-        debug_assert!(self.pool_occupancy[pool] >= wire);
-        debug_assert!(self.port_occupancy[tx.index()] >= wire);
-        self.pool_occupancy[pool] -= wire;
-        self.port_occupancy[tx.index()] -= wire;
-        let arrive_at = self.time + params.latency_ns;
-        let route = self.route_of(&pkt);
-        let last_hop = pkt.hop as usize + 1 == route.len();
-        if last_hop {
-            let conn = &self.conns[pkt.conn.index()];
-            let host = match pkt.kind {
-                PacketKind::Data => conn.dst,
-                PacketKind::Ack => conn.src,
-            };
+        if !self.tx_unbounded[tx.index()] {
+            let pool = params.pool.index();
+            debug_assert!(self.pool_occupancy[pool] >= wire);
+            debug_assert!(self.port_occupancy[tx.index()] >= wire);
+            self.pool_occupancy[pool] -= wire;
+            self.port_occupancy[tx.index()] -= wire;
+        }
+        self.advance(tx, pkt, self.time + params.latency_ns);
+        // Keep the wire busy: serve the next queued packet on this slot.
+        self.begin_service(params.serializer as usize);
+    }
+
+    /// Moves a serialized packet to its next hop (or its destination
+    /// host), arriving at `arrive_at`.
+    fn advance(&mut self, tx: TxId, pkt: Packet, arrive_at: SimTime) {
+        // The packet's interned route: one flat slice, no connection lookup.
+        let route = self.topo.route_slice(pkt.route);
+        let lane = self.tx_out_lane[tx.index()];
+        if pkt.hop as usize + 1 == route.len() {
+            let host = self.topo.route_dst(pkt.route);
             self.queue
-                .push(arrive_at, Event::HostDelivery { host, pkt });
+                .push(lane, arrive_at, Event::HostDelivery { host, pkt });
         } else {
             let next_tx = route[pkt.hop as usize + 1];
             let mut pkt = pkt;
             pkt.hop += 1;
             self.queue
-                .push(arrive_at, Event::Arrival { tx: next_tx, pkt });
+                .push(lane, arrive_at, Event::Arrival { tx: next_tx, pkt });
         }
-        // Keep the wire busy: serve the next queued packet on this slot.
-        self.begin_service(params.serializer as usize);
     }
 
     fn handle_delivery(&mut self, host: HostId, pkt: Packet) {
@@ -353,7 +561,7 @@ impl Simulator {
                 // The deadline moved forward since this event was pushed
                 // (ACKs restarted the timer); chase it with one event.
                 c.timer_pushed = true;
-                self.queue.push(deadline, Event::RtoTimer { conn });
+                self.queue.push_once(deadline, Event::RtoTimer { conn });
             }
             Some(_) => {
                 let actions = self.conns[conn.index()].on_rto(now);
@@ -397,7 +605,7 @@ impl Simulator {
                 c.timer_deadline = Some(deadline);
                 if !c.timer_pushed {
                     c.timer_pushed = true;
-                    self.queue.push(deadline, Event::RtoTimer { conn });
+                    self.queue.push_once(deadline, Event::RtoTimer { conn });
                 }
                 // If an event is already pushed (necessarily at an earlier
                 // or equal time), it will chase the new deadline on fire.
@@ -418,9 +626,11 @@ impl Simulator {
         let c = &mut self.conns[conn.index()];
         let at = (self.time + jitter).max(c.last_data_inject);
         c.last_data_inject = at;
-        let first_hop = c.fwd_route[0];
+        let route = c.fwd_route;
+        let first_hop = self.topo.first_hop(route);
         let pkt = Packet {
             conn,
+            route,
             seq,
             len,
             kind: PacketKind::Data,
@@ -432,7 +642,9 @@ impl Simulator {
         if retransmit {
             self.stats.retransmissions += 1;
         }
-        self.queue.push(at, Event::Arrival { tx: first_hop, pkt });
+        let lane = self.conn_lanes[conn.index()].0;
+        self.queue
+            .push(lane, at, Event::Arrival { tx: first_hop, pkt });
     }
 
     fn inject_ack(&mut self, conn: ConnId, ack: u64) {
@@ -440,9 +652,11 @@ impl Simulator {
         let c = &mut self.conns[conn.index()];
         let at = (self.time + jitter).max(c.last_ack_inject);
         c.last_ack_inject = at;
-        let first_hop = c.rev_route[0];
+        let route = c.rev_route;
+        let first_hop = self.topo.first_hop(route);
         let pkt = Packet {
             conn,
+            route,
             seq: ack,
             len: 0,
             kind: PacketKind::Ack,
@@ -450,7 +664,9 @@ impl Simulator {
             retransmit: false,
         };
         self.stats.ack_packets_sent += 1;
-        self.queue.push(at, Event::Arrival { tx: first_hop, pkt });
+        let lane = self.conn_lanes[conn.index()].1;
+        self.queue
+            .push(lane, at, Event::Arrival { tx: first_hop, pkt });
     }
 
     /// True when every connection has acknowledged all queued bytes.

@@ -1,10 +1,39 @@
-//! The event queue: a time-ordered binary heap with FIFO tie-breaking.
+//! The event queue: lane-structured, time-ordered, FIFO tie-broken.
+//!
+//! # Why lanes
+//!
+//! A discrete-event network simulator does not schedule events in random
+//! time order: almost every producer emits them *monotonically*. A
+//! serializer's departures form a non-decreasing chain (`busy_until` only
+//! advances); a transmitter's wire arrivals are its departures plus a
+//! constant latency; a connection's injections are clamped monotone by the
+//! engine. A global `BinaryHeap<Event>` ignores this structure and pays
+//! `O(log n_events)` per operation over tens of thousands of pending
+//! events.
+//!
+//! This queue exploits it. Every producer pushes into a **lane** — a
+//! pooled FIFO ring whose entries are non-decreasing in `(time, seq)` —
+//! and an **indexed d-ary heap** orders only the lane *heads*. A push to a
+//! non-empty lane is O(1) (append to the ring; the head is unchanged); a
+//! pop sifts over the active lanes, of which there are orders of magnitude
+//! fewer than pending events. Ring nodes and lane slots recycle through
+//! freelists, so the steady-state serializer/departure churn allocates
+//! nothing.
+//!
+//! Events with no monotone producer (application wakeups, RTO timers) use
+//! [`EventQueue::push_once`]: a transient single-entry lane, trivially
+//! ordered, whose slot is recycled as soon as it pops.
+//!
+//! # Determinism
+//!
+//! `seq` is assigned globally in push order, every lane is non-decreasing
+//! in `(time, seq)`, and the heap pops the minimum lane head — so the pop
+//! sequence is *exactly* the global `(time, seq)` order a single heap
+//! would produce: time-ordered, FIFO among equal timestamps.
 
 use crate::ids::{ConnId, HostId, TxId};
 use crate::packet::Packet;
 use crate::time::SimTime;
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
 
 /// A scheduled simulator event.
 #[derive(Debug, Clone)]
@@ -43,74 +72,258 @@ pub enum Event {
     },
 }
 
-struct HeapEntry {
+/// A push lane: an ordering claim that every event pushed through it
+/// carries a time no earlier than the lane's current tail. Allocated once
+/// per monotone producer via [`EventQueue::alloc_lane`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LaneId(u32);
+
+/// Freelist / ring terminator.
+const NIL: u32 = u32::MAX;
+
+/// Arity of the lane-head heap: shallow, and the keys of all four children
+/// of a node sit in adjacent memory.
+const D: usize = 4;
+
+/// One pooled FIFO node.
+#[derive(Debug)]
+struct Node {
     at: SimTime,
     seq: u64,
-    event: Event,
+    event: Option<Event>,
+    next: u32,
 }
 
-impl PartialEq for HeapEntry {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl Eq for HeapEntry {}
-
-impl PartialOrd for HeapEntry {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
+/// A FIFO of pooled nodes. While a lane slot is free, `head` threads the
+/// lane freelist.
+#[derive(Debug, Clone, Copy)]
+struct Lane {
+    head: u32,
+    tail: u32,
+    /// Recycle the lane slot once it drains (see `push_once`).
+    transient: bool,
 }
 
-impl Ord for HeapEntry {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Reverse for a min-heap; ties broken by insertion order so equal
-        // timestamps process FIFO (deterministic).
-        other
-            .at
-            .cmp(&self.at)
-            .then_with(|| other.seq.cmp(&self.seq))
+/// A lane-head key in the d-ary heap.
+#[derive(Debug, Clone, Copy)]
+struct TopKey {
+    at: SimTime,
+    seq: u64,
+    lane: u32,
+}
+
+impl TopKey {
+    /// Min-heap order: earliest time first, global push order (`seq`)
+    /// breaking ties so equal timestamps process FIFO (deterministic).
+    #[inline]
+    fn before(&self, other: &Self) -> bool {
+        (self.at, self.seq) < (other.at, other.seq)
     }
 }
 
 /// Time-ordered event queue with deterministic FIFO tie-breaking.
-#[derive(Default)]
+#[derive(Debug)]
 pub struct EventQueue {
-    heap: BinaryHeap<HeapEntry>,
+    nodes: Vec<Node>,
+    free_node: u32,
+    lanes: Vec<Lane>,
+    free_lane: u32,
+    /// Active lane heads, d-ary min-heap by `(at, seq)`.
+    top: Vec<TopKey>,
     next_seq: u64,
+    len: usize,
+}
+
+impl Default for EventQueue {
+    fn default() -> Self {
+        // Not derivable: the freelist heads must start at NIL, not 0.
+        Self::new()
+    }
 }
 
 impl EventQueue {
     /// Creates an empty queue.
     pub fn new() -> Self {
-        Self::default()
+        Self {
+            nodes: Vec::new(),
+            free_node: NIL,
+            lanes: Vec::new(),
+            free_lane: NIL,
+            top: Vec::new(),
+            next_seq: 0,
+            len: 0,
+        }
     }
 
-    /// Schedules `event` at time `at`.
-    pub fn push(&mut self, at: SimTime, event: Event) {
+    /// Allocates a persistent lane for a monotone event producer.
+    pub fn alloc_lane(&mut self) -> LaneId {
+        LaneId(self.alloc_lane_slot(false))
+    }
+
+    fn alloc_lane_slot(&mut self, transient: bool) -> u32 {
+        let lane = Lane {
+            head: NIL,
+            tail: NIL,
+            transient,
+        };
+        if self.free_lane != NIL {
+            let idx = self.free_lane;
+            self.free_lane = self.lanes[idx as usize].head;
+            self.lanes[idx as usize] = lane;
+            idx
+        } else {
+            self.lanes.push(lane);
+            (self.lanes.len() - 1) as u32
+        }
+    }
+
+    fn alloc_node(&mut self, at: SimTime, seq: u64, event: Event) -> u32 {
+        let node = Node {
+            at,
+            seq,
+            event: Some(event),
+            next: NIL,
+        };
+        if self.free_node != NIL {
+            let idx = self.free_node;
+            self.free_node = self.nodes[idx as usize].next;
+            self.nodes[idx as usize] = node;
+            idx
+        } else {
+            self.nodes.push(node);
+            (self.nodes.len() - 1) as u32
+        }
+    }
+
+    /// Schedules `event` at time `at` on a lane.
+    ///
+    /// Lane discipline (debug-asserted): `at` must be no earlier than the
+    /// last event still queued on the same lane.
+    pub fn push(&mut self, lane: LaneId, at: SimTime, event: Event) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(HeapEntry { at, seq, event });
+        self.len += 1;
+        let idx = self.alloc_node(at, seq, event);
+        let tail = self.lanes[lane.0 as usize].tail;
+        if tail == NIL {
+            self.lanes[lane.0 as usize].head = idx;
+            self.lanes[lane.0 as usize].tail = idx;
+            self.top.push(TopKey {
+                at,
+                seq,
+                lane: lane.0,
+            });
+            self.sift_up(self.top.len() - 1);
+        } else {
+            debug_assert!(
+                self.nodes[tail as usize].at <= at,
+                "lane pushed out of order: {} after {}",
+                at,
+                self.nodes[tail as usize].at
+            );
+            self.nodes[tail as usize].next = idx;
+            self.lanes[lane.0 as usize].tail = idx;
+        }
+    }
+
+    /// Schedules a single event at an arbitrary time: a transient lane that
+    /// exists only while the event is pending. For producers with no
+    /// monotone structure (wakeups, retransmission timers).
+    pub fn push_once(&mut self, at: SimTime, event: Event) {
+        let lane = LaneId(self.alloc_lane_slot(true));
+        self.push(lane, at, event);
     }
 
     /// Pops the earliest event, if any.
     pub fn pop(&mut self) -> Option<(SimTime, Event)> {
-        self.heap.pop().map(|e| (e.at, e.event))
+        let root = *self.top.first()?;
+        let lane = root.lane as usize;
+        let node = self.lanes[lane].head;
+        let next = self.nodes[node as usize].next;
+        let event = self.nodes[node as usize]
+            .event
+            .take()
+            .expect("queued nodes hold events");
+        // Recycle the node.
+        self.nodes[node as usize].next = self.free_node;
+        self.free_node = node;
+        if next != NIL {
+            // The lane's new head re-keys the heap root and sifts down.
+            self.lanes[lane].head = next;
+            self.top[0] = TopKey {
+                at: self.nodes[next as usize].at,
+                seq: self.nodes[next as usize].seq,
+                lane: root.lane,
+            };
+            self.sift_down(0);
+        } else {
+            // Lane drained: remove it from the heap.
+            self.lanes[lane].head = NIL;
+            self.lanes[lane].tail = NIL;
+            if self.lanes[lane].transient {
+                // Thread the slot onto the lane freelist via `head`.
+                self.lanes[lane].head = self.free_lane;
+                self.free_lane = root.lane;
+            }
+            let last = self.top.pop().expect("root exists");
+            if !self.top.is_empty() {
+                self.top[0] = last;
+                self.sift_down(0);
+            }
+        }
+        self.len -= 1;
+        Some((root.at, event))
     }
 
     /// Time of the earliest pending event.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|e| e.at)
+        self.top.first().map(|k| k.at)
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.len
     }
 
     /// Whether no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len == 0
+    }
+
+    fn sift_up(&mut self, mut i: usize) {
+        let key = self.top[i];
+        while i > 0 {
+            let parent = (i - 1) / D;
+            if !key.before(&self.top[parent]) {
+                break;
+            }
+            self.top[i] = self.top[parent];
+            i = parent;
+        }
+        self.top[i] = key;
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        let len = self.top.len();
+        let key = self.top[i];
+        loop {
+            let first = D * i + 1;
+            if first >= len {
+                break;
+            }
+            let mut best = first;
+            for child in (first + 1)..(first + D).min(len) {
+                if self.top[child].before(&self.top[best]) {
+                    best = child;
+                }
+            }
+            if !self.top[best].before(&key) {
+                break;
+            }
+            self.top[i] = self.top[best];
+            i = best;
+        }
+        self.top[i] = key;
     }
 }
 
@@ -121,9 +334,9 @@ mod tests {
     #[test]
     fn pops_in_time_order() {
         let mut q = EventQueue::new();
-        q.push(SimTime(30), Event::AppWakeup { token: 3 });
-        q.push(SimTime(10), Event::AppWakeup { token: 1 });
-        q.push(SimTime(20), Event::AppWakeup { token: 2 });
+        q.push_once(SimTime(30), Event::AppWakeup { token: 3 });
+        q.push_once(SimTime(10), Event::AppWakeup { token: 1 });
+        q.push_once(SimTime(20), Event::AppWakeup { token: 2 });
         let order: Vec<u64> = std::iter::from_fn(|| q.pop())
             .map(|(t, _)| t.as_nanos())
             .collect();
@@ -134,7 +347,7 @@ mod tests {
     fn equal_times_are_fifo() {
         let mut q = EventQueue::new();
         for token in 0..10 {
-            q.push(SimTime(5), Event::AppWakeup { token });
+            q.push_once(SimTime(5), Event::AppWakeup { token });
         }
         let tokens: Vec<u64> = std::iter::from_fn(|| q.pop())
             .map(|(_, e)| match e {
@@ -146,9 +359,124 @@ mod tests {
     }
 
     #[test]
+    fn equal_times_are_fifo_across_lanes() {
+        // Interleave two monotone lanes and singletons at one timestamp:
+        // pops must follow global push order.
+        let mut q = EventQueue::new();
+        let a = q.alloc_lane();
+        let b = q.alloc_lane();
+        q.push(a, SimTime(5), Event::AppWakeup { token: 0 });
+        q.push(b, SimTime(5), Event::AppWakeup { token: 1 });
+        q.push_once(SimTime(5), Event::AppWakeup { token: 2 });
+        q.push(a, SimTime(5), Event::AppWakeup { token: 3 });
+        q.push(b, SimTime(5), Event::AppWakeup { token: 4 });
+        let tokens: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|(_, e)| match e {
+                Event::AppWakeup { token } => token,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(tokens, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn lanes_merge_in_global_time_order() {
+        // Three monotone lanes with interleaved times plus out-of-order
+        // singletons: the pop sequence must be globally sorted by
+        // (time, push order).
+        let mut q = EventQueue::new();
+        let lanes: Vec<LaneId> = (0..3).map(|_| q.alloc_lane()).collect();
+        let mut expected = Vec::new();
+        let mut token = 0u64;
+        for step in 0..50u64 {
+            let lane = lanes[(step % 3) as usize];
+            let at = SimTime(step / 3 * 7 + (step % 3));
+            q.push(lane, at, Event::AppWakeup { token });
+            expected.push((at, token));
+            token += 1;
+        }
+        for step in (0..20u64).rev() {
+            let at = SimTime(step * 9 + 1);
+            q.push_once(at, Event::AppWakeup { token });
+            expected.push((at, token));
+            token += 1;
+        }
+        // Stable sort by time preserves push order among equal times,
+        // matching the queue's seq tie-break.
+        expected.sort_by_key(|&(at, _)| at);
+        let got: Vec<(SimTime, u64)> = std::iter::from_fn(|| q.pop())
+            .map(|(t, e)| match e {
+                Event::AppWakeup { token } => (t, token),
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn interleaved_push_pop_keeps_order_within_drain() {
+        let mut q = EventQueue::new();
+        let mut x: u64 = 0x1234_5678_9ABC_DEF0;
+        for round in 0..2_000u64 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            q.push_once(SimTime(x % 97), Event::AppWakeup { token: round });
+            if round % 3 == 0 {
+                q.pop().unwrap();
+            }
+        }
+        let mut drained = Vec::new();
+        while let Some((t, _)) = q.pop() {
+            drained.push(t);
+        }
+        assert!(drained.windows(2).all(|w| w[0] <= w[1]));
+        assert!(q.is_empty());
+        assert_eq!(q.len(), 0);
+    }
+
+    #[test]
+    fn nodes_and_transient_lanes_recycle() {
+        let mut q = EventQueue::new();
+        for token in 0..64 {
+            q.push_once(SimTime(token), Event::AppWakeup { token });
+        }
+        while q.pop().is_some() {}
+        let node_high_water = q.nodes.len();
+        let lane_high_water = q.lanes.len();
+        assert_eq!(node_high_water, 64);
+        // A steady push-one-pop-one cycle must not grow either arena.
+        for token in 0..10_000 {
+            q.push_once(SimTime(token), Event::AppWakeup { token });
+            q.pop().unwrap();
+        }
+        assert_eq!(q.nodes.len(), node_high_water, "node churn must recycle");
+        assert_eq!(q.lanes.len(), lane_high_water, "lane churn must recycle");
+    }
+
+    #[test]
+    fn persistent_lane_push_is_queue_append() {
+        // A monotone lane accumulating many pending events keeps exactly
+        // one heap entry (its head) — the O(1)-push property the engine's
+        // hot path relies on.
+        let mut q = EventQueue::new();
+        let lane = q.alloc_lane();
+        for i in 0..1_000u64 {
+            q.push(lane, SimTime(i), Event::AppWakeup { token: i });
+        }
+        assert_eq!(q.len(), 1_000);
+        assert_eq!(q.top.len(), 1, "one heap key per active lane");
+        for i in 0..1_000u64 {
+            let (t, _) = q.pop().unwrap();
+            assert_eq!(t, SimTime(i));
+        }
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
     fn peek_does_not_remove() {
         let mut q = EventQueue::new();
-        q.push(SimTime(1), Event::AppWakeup { token: 0 });
+        q.push_once(SimTime(1), Event::AppWakeup { token: 0 });
         assert_eq!(q.peek_time(), Some(SimTime(1)));
         assert_eq!(q.len(), 1);
         assert!(!q.is_empty());

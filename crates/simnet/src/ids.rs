@@ -70,6 +70,13 @@ id_type!(
     ConnId,
     "conn"
 );
+id_type!(
+    /// An interned route: a handle into the topology's flat route arena.
+    /// Packets carry this instead of a route pointer, so advancing a hop is
+    /// one slice index with no per-hop indirection through the connection.
+    RouteId,
+    "rt"
+);
 
 #[cfg(test)]
 mod tests {

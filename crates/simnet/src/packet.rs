@@ -1,6 +1,6 @@
 //! Packets and application-level notifications.
 
-use crate::ids::ConnId;
+use crate::ids::{ConnId, RouteId};
 use crate::time::SimTime;
 
 /// What a packet carries.
@@ -18,6 +18,9 @@ pub enum PacketKind {
 pub struct Packet {
     /// Owning connection.
     pub conn: ConnId,
+    /// Interned route the packet follows (the connection's forward route
+    /// for data, reverse route for ACKs), resolved once at injection.
+    pub route: RouteId,
     /// Data: first stream byte carried. Ack: cumulative ack offset.
     pub seq: u64,
     /// Payload length in bytes (0 for ACKs).
@@ -28,6 +31,19 @@ pub struct Packet {
     pub hop: u16,
     /// Whether this data segment is a retransmission (Karn's rule).
     pub retransmit: bool,
+}
+
+impl Packet {
+    /// Filler for pooled buffers; never observed by the simulation.
+    pub(crate) const PLACEHOLDER: Packet = Packet {
+        conn: ConnId(0),
+        route: RouteId(0),
+        seq: 0,
+        len: 0,
+        kind: PacketKind::Data,
+        hop: 0,
+        retransmit: false,
+    };
 }
 
 /// Events surfaced to the embedding application (the MPI layer).

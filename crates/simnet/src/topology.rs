@@ -11,8 +11,7 @@
 //! paths are load-balanced the way ECMP hashing would.
 
 use crate::config::{LinkConfig, SimConfig, SwitchConfig};
-use crate::ids::{HostId, PoolId, SwitchId, TxId};
-use std::sync::Arc;
+use crate::ids::{HostId, PoolId, RouteId, SwitchId, TxId};
 
 /// Where a transmitter's packets land after the wire.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -73,7 +72,21 @@ impl std::fmt::Display for TopologyError {
 
 impl std::error::Error for TopologyError {}
 
+/// One interned route: a span of the shared route arena plus the host the
+/// route terminates at.
+#[derive(Debug, Clone, Copy)]
+struct RouteSpan {
+    start: u32,
+    len: u32,
+    dst: HostId,
+}
+
 /// The built network fabric handed to the engine.
+///
+/// Routes are *interned*: every host-pair path lives in one flat `TxId`
+/// arena and is addressed by a [`RouteId`]. Packets carry the handle, so
+/// the per-hop cost in the engine is a single slice index — no `Arc`
+/// clone, no `src·n_hosts + dst` table lookup.
 #[derive(Debug, Clone)]
 pub struct Topology {
     /// Number of hosts.
@@ -84,19 +97,50 @@ pub struct Topology {
     pub pool_capacity: Vec<u64>,
     /// Number of serialization slots (see [`TxParams::serializer`]).
     pub n_serializers: usize,
-    routes: Vec<Option<Arc<[TxId]>>>,
+    /// All routes' hops, back to back.
+    route_arena: Vec<TxId>,
+    /// Arena spans, indexed by [`RouteId`].
+    route_spans: Vec<RouteSpan>,
+    /// `src·n_hosts + dst` → route id (`u32::MAX` on the diagonal).
+    route_ids: Vec<u32>,
 }
 
 impl Topology {
+    /// The interned handle of the route from `src` to `dst`. Resolved once
+    /// when a connection opens; packets then carry the handle.
+    ///
+    /// # Panics
+    /// Panics if `src == dst`; self-routes do not exist.
+    pub fn route_id(&self, src: HostId, dst: HostId) -> RouteId {
+        assert_ne!(src, dst, "no route from a host to itself");
+        RouteId::from_index(self.route_ids[src.index() * self.n_hosts + dst.index()] as usize)
+    }
+
+    /// The hops of an interned route.
+    #[inline]
+    pub fn route_slice(&self, id: RouteId) -> &[TxId] {
+        let span = self.route_spans[id.index()];
+        &self.route_arena[span.start as usize..(span.start + span.len) as usize]
+    }
+
+    /// The host an interned route terminates at.
+    #[inline]
+    pub fn route_dst(&self, id: RouteId) -> HostId {
+        self.route_spans[id.index()].dst
+    }
+
+    /// First transmitter of an interned route (the injection point).
+    #[inline]
+    pub fn first_hop(&self, id: RouteId) -> TxId {
+        self.route_arena[self.route_spans[id.index()].start as usize]
+    }
+
     /// The forward route (sequence of transmitters) from `src` to `dst`.
     ///
     /// # Panics
     /// Panics if `src == dst`; self-routes do not exist.
-    pub fn route(&self, src: HostId, dst: HostId) -> Arc<[TxId]> {
-        assert_ne!(src, dst, "no route from a host to itself");
-        self.routes[src.index() * self.n_hosts + dst.index()]
-            .clone()
-            .expect("all host pairs verified reachable at build time")
+    pub fn route(&self, src: HostId, dst: HostId) -> &[TxId] {
+        self.route_slice(self.route_id(src, dst))
     }
 
     /// Number of hops (transmitters) between two hosts.
@@ -315,8 +359,11 @@ impl TopologyBuilder {
         }
 
         // BFS distance-to-destination per destination host, then greedy
-        // next-hop walks with hashed tie-breaking.
-        let mut routes: Vec<Option<Arc<[TxId]>>> = vec![None; n_hosts * n_hosts];
+        // next-hop walks with hashed tie-breaking. Routes intern into one
+        // flat arena so the engine can address them by `RouteId`.
+        let mut route_arena: Vec<TxId> = Vec::new();
+        let mut route_spans: Vec<RouteSpan> = Vec::with_capacity(n_hosts * (n_hosts - 1));
+        let mut route_ids: Vec<u32> = vec![u32::MAX; n_hosts * n_hosts];
         let mut dist = vec![u32::MAX; n_nodes];
         let mut queue = std::collections::VecDeque::new();
         for dst in 0..n_hosts {
@@ -342,7 +389,7 @@ impl TopologyBuilder {
                         HostId::from_index(dst),
                     ));
                 }
-                let mut route = Vec::with_capacity(dist[src] as usize);
+                let start = route_arena.len() as u32;
                 let mut at = src;
                 while at != dst {
                     let candidates: Vec<&(TxId, usize)> = adjacency[at]
@@ -354,10 +401,15 @@ impl TopologyBuilder {
                     // next hops and parallel links.
                     let h = fxhash(src as u64, dst as u64, at as u64);
                     let &(tx, next) = candidates[(h % candidates.len() as u64) as usize];
-                    route.push(tx);
+                    route_arena.push(tx);
                     at = next;
                 }
-                routes[src * n_hosts + dst] = Some(route.into());
+                route_ids[src * n_hosts + dst] = route_spans.len() as u32;
+                route_spans.push(RouteSpan {
+                    start,
+                    len: route_arena.len() as u32 - start,
+                    dst: HostId::from_index(dst),
+                });
             }
         }
 
@@ -366,7 +418,9 @@ impl TopologyBuilder {
             tx_params,
             pool_capacity,
             n_serializers,
-            routes,
+            route_arena,
+            route_spans,
+            route_ids,
         })
     }
 }

@@ -21,10 +21,9 @@
 //! unit-testable without a network.
 
 use crate::config::TransportKind;
-use crate::ids::{ConnId, HostId, TxId};
+use crate::ids::{ConnId, HostId, RouteId};
 use crate::time::SimTime;
 use std::collections::{BTreeMap, VecDeque};
-use std::sync::Arc;
 
 /// A data segment the engine should inject at the connection's first hop.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -89,10 +88,10 @@ pub struct Connection {
     pub src: HostId,
     /// Receiving host.
     pub dst: HostId,
-    /// Forward route (data).
-    pub fwd_route: Arc<[TxId]>,
-    /// Reverse route (ACKs).
-    pub rev_route: Arc<[TxId]>,
+    /// Forward route (data), interned in the topology.
+    pub fwd_route: RouteId,
+    /// Reverse route (ACKs), interned in the topology.
+    pub rev_route: RouteId,
     kind: TransportKind,
     mtu: u64,
     max_window: u64,
@@ -136,8 +135,8 @@ impl Connection {
         id: ConnId,
         src: HostId,
         dst: HostId,
-        fwd_route: Arc<[TxId]>,
-        rev_route: Arc<[TxId]>,
+        fwd_route: RouteId,
+        rev_route: RouteId,
         kind: TransportKind,
     ) -> Self {
         let mtu = kind.mtu() as u64;
@@ -440,12 +439,14 @@ mod tests {
     use crate::config::{GmConfig, TcpConfig};
 
     fn conn(kind: TransportKind) -> Connection {
-        let route: Arc<[TxId]> = Arc::from(vec![TxId::from_index(0)].into_boxed_slice());
+        // Route handles are opaque to the state machine; any id works in a
+        // network-free unit test.
+        let route = RouteId::from_index(0);
         Connection::new(
             ConnId::from_index(0),
             HostId::from_index(0),
             HostId::from_index(1),
-            route.clone(),
+            route,
             route,
             kind,
         )

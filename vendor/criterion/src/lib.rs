@@ -5,12 +5,85 @@
 //! or regression detection. The API surface matches what this workspace's
 //! benches use. Replace with the real crate by repointing the workspace
 //! dependency.
+//!
+//! Two command-line flags are honoured by [`criterion_main!`]:
+//!
+//! * `--test` — run every benchmark exactly once (smoke mode, like real
+//!   criterion's `cargo bench -- --test`);
+//! * `--save-json <path>` — write the collected results as a JSON snapshot
+//!   (`{"benchmarks": [{"name", "median_ns", "throughput"?}]}`). This is an
+//!   extension over real criterion (which persists baselines under
+//!   `target/criterion/` instead); it exists so CI can track a perf
+//!   trajectory as one reviewable file.
 
 #![forbid(unsafe_code)]
 
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
+
+/// Smoke mode: run each benchmark once, skipping the warm-up.
+static TEST_MODE: AtomicBool = AtomicBool::new(false);
+
+/// One finished benchmark, for the optional JSON snapshot.
+struct Record {
+    name: String,
+    median_ns: u128,
+    throughput: Option<(Throughput, f64)>,
+}
+
+fn records() -> &'static Mutex<Vec<Record>> {
+    static RECORDS: OnceLock<Mutex<Vec<Record>>> = OnceLock::new();
+    RECORDS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Parses the harness arguments. Called by [`criterion_main!`] before any
+/// group runs; returns the `--save-json` path if one was given. Unknown
+/// flags (filters, `--bench`) are accepted and ignored.
+pub fn parse_harness_args() -> Option<String> {
+    let mut save = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--test" => TEST_MODE.store(true, Ordering::Relaxed),
+            "--save-json" => save = args.next(),
+            _ => {}
+        }
+    }
+    save
+}
+
+/// Writes the JSON snapshot of every benchmark run so far. Called by
+/// [`criterion_main!`] after all groups finish.
+pub fn save_json_snapshot(path: &str) {
+    let records = records().lock().expect("records lock");
+    let mut out = String::from("{\n  \"benchmarks\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"median_ns\": {}",
+            r.name.replace('"', "\\\""),
+            r.median_ns
+        ));
+        match r.throughput {
+            Some((Throughput::Bytes(_), rate)) => {
+                out.push_str(&format!(", \"bytes_per_sec\": {rate:.1}"));
+            }
+            Some((Throughput::Elements(_), rate)) => {
+                out.push_str(&format!(", \"elements_per_sec\": {rate:.1}"));
+            }
+            None => {}
+        }
+        out.push_str(if i + 1 < records.len() { "},\n" } else { "}\n" });
+    }
+    out.push_str("  ]\n}\n");
+    if let Err(e) = std::fs::write(path, out) {
+        eprintln!("criterion substitute: cannot write {path}: {e}");
+        std::process::exit(1);
+    }
+    println!("saved benchmark snapshot to {path}");
+}
 
 /// How `iter_batched` amortizes setup cost (accepted, ignored).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -87,7 +160,9 @@ pub struct Bencher {
 impl Bencher {
     /// Times `f` over the configured number of samples.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
-        black_box(f()); // warm-up, untimed
+        if !TEST_MODE.load(Ordering::Relaxed) {
+            black_box(f()); // warm-up, untimed
+        }
         for _ in 0..self.samples {
             let start = Instant::now();
             black_box(f());
@@ -102,7 +177,9 @@ impl Bencher {
         S: FnMut() -> I,
         F: FnMut(I) -> O,
     {
-        black_box(routine(setup())); // warm-up, untimed
+        if !TEST_MODE.load(Ordering::Relaxed) {
+            black_box(routine(setup())); // warm-up, untimed
+        }
         for _ in 0..self.samples {
             let input = setup();
             let start = Instant::now();
@@ -125,6 +202,11 @@ fn run_one(
     throughput: Option<Throughput>,
     f: &mut dyn FnMut(&mut Bencher),
 ) {
+    let samples = if TEST_MODE.load(Ordering::Relaxed) {
+        1
+    } else {
+        samples
+    };
     let mut b = Bencher {
         samples,
         recorded: Vec::new(),
@@ -136,19 +218,26 @@ fn run_one(
     } else {
         format!("{group}/{id}")
     };
+    let mut recorded_rate = None;
     let rate = match throughput {
-        Some(Throughput::Bytes(n)) if median > Duration::ZERO => {
-            format!(
-                "  {:.1} MiB/s",
-                n as f64 / median.as_secs_f64() / (1024.0 * 1024.0)
-            )
+        Some(t @ Throughput::Bytes(n)) if median > Duration::ZERO => {
+            let per_sec = n as f64 / median.as_secs_f64();
+            recorded_rate = Some((t, per_sec));
+            format!("  {:.1} MiB/s", per_sec / (1024.0 * 1024.0))
         }
-        Some(Throughput::Elements(n)) if median > Duration::ZERO => {
-            format!("  {:.1} elem/s", n as f64 / median.as_secs_f64())
+        Some(t @ Throughput::Elements(n)) if median > Duration::ZERO => {
+            let per_sec = n as f64 / median.as_secs_f64();
+            recorded_rate = Some((t, per_sec));
+            format!("  {per_sec:.1} elem/s")
         }
         _ => String::new(),
     };
     println!("bench {label:<50} median {median:>12.3?}{rate}");
+    records().lock().expect("records lock").push(Record {
+        name: label,
+        median_ns: median.as_nanos(),
+        throughput: recorded_rate,
+    });
 }
 
 /// A named set of related benchmarks sharing sample settings.
@@ -252,13 +341,18 @@ macro_rules! criterion_group {
     };
 }
 
-/// Declares `main` from group-runner functions. Accepts and ignores
-/// `--bench`/filter arguments so `cargo bench` invocations work.
+/// Declares `main` from group-runner functions. Honours `--test` (smoke
+/// mode) and `--save-json <path>`; other `--bench`/filter arguments are
+/// accepted and ignored so `cargo bench` invocations work.
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
+            let save_json = $crate::parse_harness_args();
             $($group();)+
+            if let Some(path) = save_json {
+                $crate::save_json_snapshot(&path);
+            }
         }
     };
 }
