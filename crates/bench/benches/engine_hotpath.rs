@@ -1,12 +1,15 @@
 //! Hot-path throughput of the packet engine: data packets per second
 //! pushed through a star fabric under a full all-to-all send pattern.
 //!
-//! Two MTU regimes bracket the engine's per-event overhead: 1460-byte TCP
-//! segments (many small events) and 4096-byte GM frames (fewer, larger
-//! ones). Host counts 8–64 scale the event-queue depth and the number of
-//! live transmitter bands, which is exactly what the interned-route /
-//! indexed-heap / pooled-band hot path is built for. The fabric is
-//! lossless so every run measures pure forwarding cost, not loss recovery.
+//! The case grid lives in `contention_bench::hotpath` so the
+//! snapshot-freshness test can hold `BENCH_engine.json` to exactly the
+//! benchmarks defined here. Two MTU regimes bracket the engine's per-event
+//! overhead: 1460-byte TCP segments (many small events) and 4096-byte GM
+//! frames (fewer, larger ones). Host counts 8–64 scale the event-queue
+//! depth and the number of live transmitter bands, which is exactly what
+//! the packed-packet / 16-byte-node / pooled-band hot path is built for.
+//! The fabric is lossless so every run measures pure forwarding cost, not
+//! loss recovery.
 //!
 //! `BENCH_engine.json` at the repo root records this bench's trajectory.
 //! Regenerate (the bench binary runs with the package as its working
@@ -16,48 +19,12 @@
 //! cargo bench -p contention-bench --bench engine_hotpath -- --save-json ../../BENCH_engine.json
 //! ```
 
+use contention_bench::hotpath::{cases, Case};
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
-use simnet::event::{Event, EventQueue};
+use simnet::event::{Event, EventQueue, RunTemplate};
+use simnet::ids::TxId;
 use simnet::prelude::*;
 use simnet::time::SimTime;
-
-struct Case {
-    name: &'static str,
-    hosts: usize,
-    message_bytes: u64,
-    transport: TransportKind,
-}
-
-fn cases() -> Vec<Case> {
-    let tcp = TransportKind::Tcp(TcpConfig::default()); // 1460 B MSS
-    let gm = TransportKind::Gm(GmConfig::default()); // 4096 B MTU
-    vec![
-        Case {
-            name: "tcp_mtu1460_8hosts_64KiB",
-            hosts: 8,
-            message_bytes: 64 * 1024,
-            transport: tcp,
-        },
-        Case {
-            name: "tcp_mtu1460_32hosts_64KiB",
-            hosts: 32,
-            message_bytes: 64 * 1024,
-            transport: tcp,
-        },
-        Case {
-            name: "gm_mtu4096_32hosts_256KiB",
-            hosts: 32,
-            message_bytes: 256 * 1024,
-            transport: gm,
-        },
-        Case {
-            name: "gm_mtu4096_64hosts_256KiB",
-            hosts: 64,
-            message_bytes: 256 * 1024,
-            transport: gm,
-        },
-    ]
-}
 
 /// A primed simulator: `n` hosts on one lossless switch, one connection per
 /// ordered host pair.
@@ -115,7 +82,9 @@ fn bench_hotpath(c: &mut Criterion) {
 // the trace the lane-structured queue is built for — pushes to non-empty
 // lanes are O(1) appends — and the in-file binary-heap reference is the
 // seed engine's original queue, kept here so the structural ratio stays
-// continuously measured instead of folklore.
+// continuously measured instead of folklore. `lane_queue_runs` drives the
+// same burst shape through `push_run`: one ~40-byte descriptor per
+// injection burst instead of 256 nodes, the zero-jitter engine path.
 
 /// Lanes × entries ≈ the injection burst of a 64-host × 1 MiB GM cell
 /// (4032 connections × 256 segments).
@@ -166,6 +135,55 @@ fn bench_lane_queue() -> u64 {
             let at = (t.0 + 33_000 + xorshift(&mut rng) % 2_000).max(lane_floor[lane]);
             lane_floor[lane] = at;
             q.push(lanes[lane], SimTime(at), Event::AppWakeup { token });
+        }
+    }
+    popped
+}
+
+/// The same burst/drain/churn trace shape, with each lane's injection
+/// burst entering as one run node (`push_run`) instead of
+/// `BURST_PER_LANE` individual events — the engine's zero-jitter
+/// injection path. Burst element times are arithmetic (stride = the mean
+/// increment of the random trace) because that is precisely the shape
+/// runs compress; churn re-pushes stay individual.
+fn bench_lane_queue_runs() -> u64 {
+    let mut rng = 0x5EED_u64;
+    let mut q = EventQueue::new();
+    let lanes: Vec<_> = (0..BURST_LANES).map(|_| q.alloc_lane()).collect();
+    for (i, &lane) in lanes.iter().enumerate() {
+        let base = xorshift(&mut rng) % 2_000;
+        q.push_run(
+            lane,
+            SimTime(base),
+            32,
+            BURST_PER_LANE as u32,
+            RunTemplate {
+                tx: TxId::new(i),
+                pkt: PackedPacket::data(ConnId::new(i), 0, 4096, false),
+                seq_stride: 4096,
+            },
+        );
+    }
+    let mut lane_floor = vec![0u64; BURST_LANES];
+    let mut popped = 0u64;
+    while let Some((t, e)) = q.pop() {
+        popped += 1;
+        if popped.is_multiple_of(BURST_CHURN_EVERY)
+            && (popped / BURST_CHURN_EVERY) as usize
+                <= BURST_LANES * BURST_PER_LANE / BURST_CHURN_EVERY as usize
+        {
+            let lane = match e {
+                Event::Arrival { tx, .. } => tx.index(),
+                Event::AppWakeup { token } => token as usize,
+                _ => unreachable!(),
+            };
+            let at = (t.0 + 33_000 + xorshift(&mut rng) % 2_000).max(lane_floor[lane]);
+            lane_floor[lane] = at;
+            q.push(
+                lanes[lane],
+                SimTime(at),
+                Event::AppWakeup { token: lane as u64 },
+            );
         }
     }
     popped
@@ -256,6 +274,7 @@ fn bench_queue_burst(c: &mut Criterion) {
     group.sample_size(10);
     group.throughput(Throughput::Elements(burst_ops()));
     group.bench_function("lane_queue", |b| b.iter(bench_lane_queue));
+    group.bench_function("lane_queue_runs", |b| b.iter(bench_lane_queue_runs));
     group.bench_function("binary_heap_reference", |b| b.iter(bench_heap_ref));
     group.finish();
 }

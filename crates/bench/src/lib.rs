@@ -5,6 +5,8 @@
 //!
 //! * `engine` — event-engine throughput under lossless bulk, lossy incast
 //!   and GM transfers;
+//! * `engine_hotpath` — the tracked hot-path benchmark whose results are
+//!   snapshotted in `BENCH_engine.json` (see [`hotpath`]);
 //! * `alltoall_algos` — the algorithm ablation (Direct Exchange blocking vs
 //!   nonblocking vs Bruck/pairwise/ring) and the eager-threshold ablation;
 //! * `model_fit` — Hockney/signature/GLS fitting costs (the "small
@@ -14,3 +16,81 @@
 //! Run `cargo run --release -p contention-bench --bin repro -- all` to
 //! regenerate the paper's data series at quick scale, or `--full` for the
 //! paper's grids.
+
+pub mod hotpath {
+    //! The `engine_hotpath` benchmark's case grid and the authoritative
+    //! list of benchmark ids the `BENCH_engine.json` snapshot must carry.
+    //!
+    //! The bench target and the snapshot-freshness test
+    //! (`tests/snapshot_freshness.rs`) both read this module, so renaming
+    //! or adding a benchmark without refreshing the snapshot fails CI
+    //! instead of silently rotting the README's numbers.
+
+    use simnet::prelude::*;
+
+    /// One cell of the engine hot-path grid.
+    pub struct Case {
+        /// Benchmark id within the `engine_hotpath` group.
+        pub name: &'static str,
+        /// Fabric size (hosts on one lossless switch).
+        pub hosts: usize,
+        /// Per-pair message size of the all-to-all round.
+        pub message_bytes: u64,
+        /// Transport under test (fixes the MTU regime).
+        pub transport: TransportKind,
+    }
+
+    /// Two MTU regimes bracket the engine's per-event overhead: 1460-byte
+    /// TCP segments (many small events) and 4096-byte GM frames (fewer,
+    /// larger ones). Host counts 8–64 scale the event-queue depth and the
+    /// number of live transmitter bands.
+    pub fn cases() -> Vec<Case> {
+        let tcp = TransportKind::Tcp(TcpConfig::default()); // 1460 B MSS
+        let gm = TransportKind::Gm(GmConfig::default()); // 4096 B MTU
+        vec![
+            Case {
+                name: "tcp_mtu1460_8hosts_64KiB",
+                hosts: 8,
+                message_bytes: 64 * 1024,
+                transport: tcp,
+            },
+            Case {
+                name: "tcp_mtu1460_32hosts_64KiB",
+                hosts: 32,
+                message_bytes: 64 * 1024,
+                transport: tcp,
+            },
+            Case {
+                name: "gm_mtu4096_32hosts_256KiB",
+                hosts: 32,
+                message_bytes: 256 * 1024,
+                transport: gm,
+            },
+            Case {
+                name: "gm_mtu4096_64hosts_256KiB",
+                hosts: 64,
+                message_bytes: 256 * 1024,
+                transport: gm,
+            },
+        ]
+    }
+
+    /// Benchmark ids of the `queue_burst` group (event-queue structure in
+    /// isolation), in declaration order.
+    pub const QUEUE_BURST_BENCHES: &[&str] =
+        &["lane_queue", "lane_queue_runs", "binary_heap_reference"];
+
+    /// Every benchmark id the `BENCH_engine.json` snapshot must name —
+    /// exactly these, no more, no fewer.
+    pub fn expected_snapshot_names() -> Vec<String> {
+        cases()
+            .iter()
+            .map(|c| format!("engine_hotpath/{}", c.name))
+            .chain(
+                QUEUE_BURST_BENCHES
+                    .iter()
+                    .map(|b| format!("queue_burst/{b}")),
+            )
+            .collect()
+    }
+}

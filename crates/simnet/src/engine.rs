@@ -12,6 +12,17 @@
 //! commodity switch drop frames when a burst of simultaneous All-to-All
 //! flows exhausts its shared packet memory.
 //!
+//! # Data representation
+//!
+//! The hot loop is memory-bound, so everything it moves is packed: packets
+//! are 16-byte [`PackedPacket`]s (band and event-payload bytes scale with
+//! this), queued events are 16-byte nodes (see [`crate::event`]), and a
+//! zero-jitter injection burst of `k` same-size segments collapses into
+//! one run node via [`EventQueue::push_run`]. Routes live in the topology's
+//! interned arena; a packet names its route implicitly through its *flow*
+//! (`conn·2 + direction`), resolved per hop through the engine's flat
+//! `flow → RouteId` table.
+//!
 //! # Driving the simulator
 //!
 //! The embedding layer (simmpi) opens connections, calls [`Simulator::send`]
@@ -20,13 +31,13 @@
 //! models host software overheads.
 
 use crate::config::{SimConfig, TransportKind};
-use crate::event::{Event, EventQueue, LaneId};
-use crate::ids::{ConnId, HostId, TxId};
-use crate::packet::{Notification, Packet, PacketKind};
+use crate::event::{Event, EventQueue, LaneId, RunTemplate};
+use crate::ids::{ConnId, HostId, RouteId, TxId};
+use crate::packet::{Notification, PackedPacket, PacketKind};
 use crate::stats::NetStats;
 use crate::time::SimTime;
 use crate::topology::Topology;
-use crate::transport::{Connection, SendActions, TimerCmd};
+use crate::transport::{Connection, SegmentRun, SendActions, TimerCmd};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::VecDeque;
@@ -37,14 +48,15 @@ const NIL: u32 = u32::MAX;
 /// Packets per pooled chunk. A deep band (a NIC draining a send burst)
 /// walks its packets out of contiguous memory ~`CHUNK` at a time instead
 /// of chasing one pointer per packet through an interleaved arena — band
-/// pops are where a large All-to-All spends its cache misses.
+/// pops are where a large All-to-All spends its cache misses. With 16-byte
+/// packed packets a chunk is 512 bytes of payload: eight cache lines.
 const CHUNK: usize = 32;
 
 /// A pooled ring segment: a fixed block of packets consumed front to back,
 /// linked to the band's next block.
 #[derive(Debug, Clone, Copy)]
 struct Chunk {
-    pkts: [Packet; CHUNK],
+    pkts: [PackedPacket; CHUNK],
     /// Next unread slot.
     read: u16,
     /// Next unwritten slot.
@@ -101,7 +113,7 @@ impl PacketPool {
             idx
         } else {
             self.chunks.push(Chunk {
-                pkts: [Packet::PLACEHOLDER; CHUNK],
+                pkts: [PackedPacket::PLACEHOLDER; CHUNK],
                 read: 0,
                 write: 0,
                 next: NIL,
@@ -110,7 +122,7 @@ impl PacketPool {
         }
     }
 
-    fn push_back(&mut self, band: &mut Band, pkt: Packet) {
+    fn push_back(&mut self, band: &mut Band, pkt: PackedPacket) {
         if band.tail == NIL {
             let idx = self.alloc_chunk();
             band.head = idx;
@@ -125,7 +137,7 @@ impl PacketPool {
         chunk.write += 1;
     }
 
-    fn pop_front(&mut self, band: &mut Band) -> Option<Packet> {
+    fn pop_front(&mut self, band: &mut Band) -> Option<PackedPacket> {
         if band.head == NIL {
             return None;
         }
@@ -217,6 +229,10 @@ pub struct Simulator {
     /// Queue lanes per connection, (data, ack): injections are clamped
     /// monotone by `last_data_inject` / `last_ack_inject`.
     conn_lanes: Vec<(LaneId, LaneId)>,
+    /// Interned route per flow (`conn·2` = forward/data, `conn·2 + 1` =
+    /// reverse/ACK). Packets carry the flow word, not the route, so this
+    /// flat table is the only per-hop indirection.
+    flow_routes: Vec<RouteId>,
     serializers: Vec<SerializerState>,
     pkt_pool: PacketPool,
     tx_queues: Vec<TxQueue>,
@@ -268,6 +284,7 @@ impl Simulator {
             tx_out_lane,
             ser_lane,
             conn_lanes: Vec::new(),
+            flow_routes: Vec::new(),
             serializers,
             pkt_pool: PacketPool::new(),
             tx_queues,
@@ -325,8 +342,11 @@ impl Simulator {
         let rev = self.topo.route_id(dst, src);
         self.conn_lanes
             .push((self.queue.alloc_lane(), self.queue.alloc_lane()));
-        self.conns
-            .push(Connection::new(id, src, dst, fwd, rev, kind));
+        // Flow table rows in PackedPacket::flow_index order: forward
+        // (data) on the even row, reverse (ACK) on the odd row.
+        self.flow_routes.push(fwd);
+        self.flow_routes.push(rev);
+        self.conns.push(Connection::new(id, src, dst, kind));
         id
     }
 
@@ -387,9 +407,9 @@ impl Simulator {
         true
     }
 
-    fn wire_size(&self, pkt: &Packet) -> u64 {
-        match pkt.kind {
-            PacketKind::Data => pkt.len as u64 + self.config.header_bytes as u64,
+    fn wire_size(&self, pkt: PackedPacket) -> u64 {
+        match pkt.kind() {
+            PacketKind::Data => pkt.len() as u64 + self.config.header_bytes as u64,
             PacketKind::Ack => self.config.ack_bytes as u64,
         }
     }
@@ -397,8 +417,8 @@ impl Simulator {
     /// Wire size below which a packet rides the host-NIC control band.
     const CONTROL_BAND_WIRE: u64 = 256;
 
-    fn handle_arrival(&mut self, tx: TxId, pkt: Packet) {
-        let wire = self.wire_size(&pkt);
+    fn handle_arrival(&mut self, tx: TxId, pkt: PackedPacket) {
+        let wire = self.wire_size(pkt);
         let params = self.topo.tx_params[tx.index()];
         if !self.tx_unbounded[tx.index()] {
             let pool = params.pool.index();
@@ -435,7 +455,7 @@ impl Simulator {
         };
         self.serializers[slot].busy = true;
         let params = self.topo.tx_params[tx.index()];
-        let wire = self.wire_size(&pkt);
+        let wire = self.wire_size(pkt);
         let serialization = (wire as f64 * params.ns_per_byte).ceil() as u64;
         self.queue.push(
             self.ser_lane[slot],
@@ -446,7 +466,7 @@ impl Simulator {
 
     /// Selects the next packet a slot should serialize. Control bands of
     /// the slot's members go first; bulk is served round-robin.
-    fn pick(&mut self, slot: usize) -> Option<(TxId, Packet)> {
+    fn pick(&mut self, slot: usize) -> Option<(TxId, PackedPacket)> {
         if self.serializers[slot].n_members == 1 {
             // Fast path: a private slot (every ordinary link) — one control
             // probe, one bulk probe, no round-robin bookkeeping.
@@ -464,7 +484,7 @@ impl Simulator {
     /// Slow path of [`Simulator::pick`]: round-robin over the members of a
     /// shared slot (a host I/O bus pair), or an empty slot whose
     /// transmitter serializes elsewhere.
-    fn pick_shared(&mut self, slot: usize) -> Option<(TxId, Packet)> {
+    fn pick_shared(&mut self, slot: usize) -> Option<(TxId, PackedPacket)> {
         let n = self.serializers[slot].n_members as usize;
         let cursor = self.serializers[slot].rr_cursor as usize;
         for i in 0..n {
@@ -491,8 +511,8 @@ impl Simulator {
         None
     }
 
-    fn handle_departure(&mut self, tx: TxId, pkt: Packet) {
-        let wire = self.wire_size(&pkt);
+    fn handle_departure(&mut self, tx: TxId, pkt: PackedPacket) {
+        let wire = self.wire_size(pkt);
         let params = self.topo.tx_params[tx.index()];
         if !self.tx_unbounded[tx.index()] {
             let pool = params.pool.index();
@@ -508,45 +528,45 @@ impl Simulator {
 
     /// Moves a serialized packet to its next hop (or its destination
     /// host), arriving at `arrive_at`.
-    fn advance(&mut self, tx: TxId, pkt: Packet, arrive_at: SimTime) {
-        // The packet's interned route: one flat slice, no connection lookup.
-        let route = self.topo.route_slice(pkt.route);
+    fn advance(&mut self, tx: TxId, pkt: PackedPacket, arrive_at: SimTime) {
+        // The packet's route: one flow-table row, then one flat slice.
+        let route_id = self.flow_routes[pkt.flow_index()];
+        let route = self.topo.route_slice(route_id);
         let lane = self.tx_out_lane[tx.index()];
-        if pkt.hop as usize + 1 == route.len() {
-            let host = self.topo.route_dst(pkt.route);
+        let hop = pkt.hop() as usize;
+        if hop + 1 == route.len() {
+            let host = self.topo.route_dst(route_id);
             self.queue
                 .push(lane, arrive_at, Event::HostDelivery { host, pkt });
         } else {
-            let next_tx = route[pkt.hop as usize + 1];
+            let next_tx = route[hop + 1];
             let mut pkt = pkt;
-            pkt.hop += 1;
+            pkt.advance_hop();
             self.queue
                 .push(lane, arrive_at, Event::Arrival { tx: next_tx, pkt });
         }
     }
 
-    fn handle_delivery(&mut self, host: HostId, pkt: Packet) {
+    fn handle_delivery(&mut self, host: HostId, pkt: PackedPacket) {
         let now = self.time;
-        match pkt.kind {
+        let conn = pkt.conn();
+        match pkt.kind() {
             PacketKind::Data => {
-                debug_assert_eq!(self.conns[pkt.conn.index()].dst, host);
-                let recv = self.conns[pkt.conn.index()].on_data(pkt.seq, pkt.len, now);
+                debug_assert_eq!(self.conns[conn.index()].dst, host);
+                let recv = self.conns[conn.index()].on_data(pkt.seq, pkt.len(), now);
                 for tag in recv.delivered {
                     self.stats.messages_delivered += 1;
-                    self.notifications.push_back(Notification::Delivered {
-                        conn: pkt.conn,
-                        tag,
-                        at: now,
-                    });
+                    self.notifications
+                        .push_back(Notification::Delivered { conn, tag, at: now });
                 }
                 if let Some(ack) = recv.ack {
-                    self.inject_ack(pkt.conn, ack);
+                    self.inject_ack(conn, ack);
                 }
             }
             PacketKind::Ack => {
-                debug_assert_eq!(self.conns[pkt.conn.index()].src, host);
-                let actions = self.conns[pkt.conn.index()].on_ack(pkt.seq, now);
-                self.apply_send_actions(pkt.conn, actions);
+                debug_assert_eq!(self.conns[conn.index()].src, host);
+                let actions = self.conns[conn.index()].on_ack(pkt.seq, now);
+                self.apply_send_actions(conn, actions);
             }
         }
     }
@@ -584,8 +604,8 @@ impl Simulator {
                 at: self.time,
             });
         }
-        for seg in actions.segments {
-            self.inject_data(conn, seg.seq, seg.len, seg.retransmit);
+        for run in actions.segments {
+            self.inject_data(conn, run);
         }
         self.set_timer(conn, actions.timer);
     }
@@ -621,30 +641,44 @@ impl Simulator {
         }
     }
 
-    fn inject_data(&mut self, conn: ConnId, seq: u64, len: u32, retransmit: bool) {
-        let jitter = self.jitter();
-        let c = &mut self.conns[conn.index()];
-        let at = (self.time + jitter).max(c.last_data_inject);
-        c.last_data_inject = at;
-        let route = c.fwd_route;
-        let first_hop = self.topo.first_hop(route);
-        let pkt = Packet {
-            conn,
-            route,
-            seq,
-            len,
-            kind: PacketKind::Data,
-            hop: 0,
-            retransmit,
-        };
-        self.stats.data_packets_sent += 1;
-        self.stats.data_bytes_sent += len as u64;
-        if retransmit {
-            self.stats.retransmissions += 1;
+    /// Injects a run of data segments on a connection's forward route.
+    ///
+    /// With injection jitter disabled, the whole burst clamps to one
+    /// timestamp and enters the queue as a single run node. With jitter
+    /// enabled each segment draws its own offset — the per-segment RNG
+    /// stream is part of the simulation's observable behavior, so the
+    /// fallback path reproduces it draw for draw.
+    fn inject_data(&mut self, conn: ConnId, run: SegmentRun) {
+        debug_assert!(run.count > 0);
+        self.stats.data_packets_sent += run.count as u64;
+        self.stats.data_bytes_sent += run.total_bytes();
+        if run.retransmit {
+            self.stats.retransmissions += run.count as u64;
         }
+        let flow = conn.index() * 2;
+        let first_hop = self.topo.first_hop(self.flow_routes[flow]);
         let lane = self.conn_lanes[conn.index()].0;
-        self.queue
-            .push(lane, at, Event::Arrival { tx: first_hop, pkt });
+        if self.config.injection_jitter_ns == 0 {
+            let c = &mut self.conns[conn.index()];
+            let at = self.time.max(c.last_data_inject);
+            c.last_data_inject = at;
+            let template = RunTemplate {
+                tx: first_hop,
+                pkt: PackedPacket::data(conn, run.seq, run.len, run.retransmit),
+                seq_stride: run.len as u64,
+            };
+            self.queue.push_run(lane, at, 0, run.count, template);
+        } else {
+            for (seq, len) in run.iter() {
+                let jitter = self.jitter();
+                let c = &mut self.conns[conn.index()];
+                let at = (self.time + jitter).max(c.last_data_inject);
+                c.last_data_inject = at;
+                let pkt = PackedPacket::data(conn, seq, len, run.retransmit);
+                self.queue
+                    .push(lane, at, Event::Arrival { tx: first_hop, pkt });
+            }
+        }
     }
 
     fn inject_ack(&mut self, conn: ConnId, ack: u64) {
@@ -652,17 +686,9 @@ impl Simulator {
         let c = &mut self.conns[conn.index()];
         let at = (self.time + jitter).max(c.last_ack_inject);
         c.last_ack_inject = at;
-        let route = c.rev_route;
-        let first_hop = self.topo.first_hop(route);
-        let pkt = Packet {
-            conn,
-            route,
-            seq: ack,
-            len: 0,
-            kind: PacketKind::Ack,
-            hop: 0,
-            retransmit: false,
-        };
+        let flow = conn.index() * 2 + 1;
+        let first_hop = self.topo.first_hop(self.flow_routes[flow]);
+        let pkt = PackedPacket::ack(conn, ack);
         self.stats.ack_packets_sent += 1;
         let lane = self.conn_lanes[conn.index()].1;
         self.queue
@@ -1081,5 +1107,43 @@ mod tests {
         assert_eq!(sim.stats().data_packets_sent, 10);
         assert_eq!(sim.stats().data_bytes_sent, 14_600);
         assert_eq!(sim.stats().ack_packets_sent, 10, "ack per segment");
+    }
+
+    #[test]
+    fn jittered_and_quiet_runs_agree_on_totals() {
+        // The run-compressed (jitter 0) and per-segment (jitter on) inject
+        // paths must account identically: same packets, same bytes.
+        let totals = |jitter: u64| {
+            let cfg = SimConfig {
+                injection_jitter_ns: jitter,
+                ..SimConfig::default()
+            };
+            let (mut sim, hosts) = star_sim(
+                4,
+                LinkConfig::myrinet_2000(),
+                SwitchConfig::lossless_fabric(),
+                cfg,
+            );
+            for src in 0..4 {
+                for dst in 0..4 {
+                    if src != dst {
+                        let c = sim.open_connection(
+                            hosts[src],
+                            hosts[dst],
+                            TransportKind::Gm(GmConfig::default()),
+                        );
+                        sim.send(c, 300_000, (src * 4 + dst) as u64);
+                    }
+                }
+            }
+            sim.run_until_idle();
+            assert!(sim.all_quiescent());
+            (
+                sim.stats().data_packets_sent,
+                sim.stats().data_bytes_sent,
+                sim.stats().messages_delivered,
+            )
+        };
+        assert_eq!(totals(0), totals(2_000));
     }
 }

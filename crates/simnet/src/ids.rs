@@ -72,8 +72,10 @@ id_type!(
 );
 id_type!(
     /// An interned route: a handle into the topology's flat route arena.
-    /// Packets carry this instead of a route pointer, so advancing a hop is
-    /// one slice index with no per-hop indirection through the connection.
+    /// Packets do not carry it — a packet's route is a pure function of its
+    /// flow (`conn·2 + direction`), resolved through the engine's flat
+    /// `flow → RouteId` table — so advancing a hop is two flat-array
+    /// indexes and the packet itself stays at 16 bytes.
     RouteId,
     "rt"
 );

@@ -61,7 +61,7 @@ pub mod prelude {
     };
     pub use crate::engine::Simulator;
     pub use crate::ids::{ConnId, HostId, SwitchId};
-    pub use crate::packet::Notification;
+    pub use crate::packet::{Notification, PackedPacket, Packet, PacketKind};
     pub use crate::stats::NetStats;
     pub use crate::time::SimTime;
     pub use crate::topology::{Topology, TopologyBuilder, TopologyError};

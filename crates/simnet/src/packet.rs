@@ -1,6 +1,25 @@
-//! Packets and application-level notifications.
+//! Packets — packed and unpacked views — and application-level
+//! notifications.
+//!
+//! # Why two representations
+//!
+//! The engine moves every in-flight packet through the event queue, the
+//! transmitter bands and the serializer slots many times per hop, so the
+//! stored form is a 16-byte [`PackedPacket`]: the stream offset stays a
+//! full `u64`, while the owning connection and travel direction compress
+//! into one *flow word* and `len`/`hop`/`retransmit` share one bitfield
+//! word. [`Packet`] is the unpacked view — ergonomic named fields for
+//! tests, diagnostics and anything off the hot path — connected to the
+//! packed form by the lossless [`Packet::pack`]/[`PackedPacket::unpack`]
+//! pair.
+//!
+//! A packet does not carry its route. The route is a pure function of
+//! `(conn, kind)` — data follows the connection's forward route, ACKs the
+//! reverse route — so the engine resolves it through a flat
+//! `flow → RouteId` table indexed by [`PackedPacket::flow_index`], and the
+//! packet itself stays at 16 bytes.
 
-use crate::ids::{ConnId, RouteId};
+use crate::ids::ConnId;
 use crate::time::SimTime;
 
 /// What a packet carries.
@@ -12,15 +31,154 @@ pub enum PacketKind {
     Ack,
 }
 
-/// A packet in flight. Packets always belong to a connection and follow
-/// either its forward route (data) or reverse route (ACKs).
-#[derive(Debug, Clone, Copy)]
+/// Payload length field width in [`PackedPacket::meta`]: 22 bits, so any
+/// segment up to 4 MiB − 1 — far beyond every transport MTU — packs
+/// losslessly.
+pub const LEN_BITS: u32 = 22;
+/// Hop field width: 9 bits, 512 hops — no sane fabric routes longer.
+pub const HOP_BITS: u32 = 9;
+/// Maximum packable payload length.
+pub const MAX_LEN: u32 = (1 << LEN_BITS) - 1;
+/// Maximum packable hop index.
+pub const MAX_HOP: u16 = (1 << HOP_BITS) - 1;
+
+const HOP_SHIFT: u32 = LEN_BITS;
+const RETX_SHIFT: u32 = LEN_BITS + HOP_BITS;
+const HOP_MASK: u32 = (MAX_HOP as u32) << HOP_SHIFT;
+
+/// A packet in flight, in the engine's 16-byte storage layout.
+///
+/// * `seq` — full-width stream offset (data: first byte carried; ACK:
+///   cumulative ack offset).
+/// * `flow` — `conn·2 + direction`: the owning connection and whether the
+///   packet travels the forward (data, even) or reverse (ACK, odd) route.
+/// * `meta` — `retransmit:1 | hop:9 | len:22` bitfield.
+///
+/// The `const` assertion below makes any accidental regrowth (a new field,
+/// a widened one) a compile error instead of a silent hot-loop slowdown.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PackedPacket {
+    /// Data: first stream byte carried. Ack: cumulative ack offset.
+    pub seq: u64,
+    flow: u32,
+    meta: u32,
+}
+
+const _: () = assert!(
+    std::mem::size_of::<PackedPacket>() == 16,
+    "PackedPacket must stay 16 bytes: bands, slab slots and event traffic scale with it"
+);
+
+impl PackedPacket {
+    /// Filler for pooled buffers; never observed by the simulation.
+    pub(crate) const PLACEHOLDER: PackedPacket = PackedPacket {
+        seq: 0,
+        flow: 0,
+        meta: 0,
+    };
+
+    /// Packs a fresh data segment at hop 0.
+    ///
+    /// # Panics
+    /// Panics if `len` exceeds [`MAX_LEN`] (no transport MTU comes close).
+    pub fn data(conn: ConnId, seq: u64, len: u32, retransmit: bool) -> Self {
+        assert!(
+            len <= MAX_LEN,
+            "segment length {len} overflows the bitfield"
+        );
+        Self {
+            seq,
+            flow: conn.index() as u32 * 2,
+            meta: len | (retransmit as u32) << RETX_SHIFT,
+        }
+    }
+
+    /// Packs a fresh cumulative ACK (len 0) at hop 0.
+    pub fn ack(conn: ConnId, ack: u64) -> Self {
+        Self {
+            seq: ack,
+            flow: conn.index() as u32 * 2 + 1,
+            meta: 0,
+        }
+    }
+
+    /// Owning connection.
+    #[inline]
+    pub fn conn(self) -> ConnId {
+        ConnId::from_index((self.flow >> 1) as usize)
+    }
+
+    /// Index into the engine's `flow → route` table: `conn·2` for data
+    /// (forward route), `conn·2 + 1` for ACKs (reverse route).
+    #[inline]
+    pub fn flow_index(self) -> usize {
+        self.flow as usize
+    }
+
+    /// Data or ACK. Encoded as the flow word's parity: data rides the
+    /// even (forward) flow, ACKs the odd (reverse) flow.
+    #[inline]
+    pub fn kind(self) -> PacketKind {
+        if self.flow & 1 == 0 {
+            PacketKind::Data
+        } else {
+            PacketKind::Ack
+        }
+    }
+
+    /// Payload length in bytes (0 for ACKs). An "empty" packet is not a
+    /// meaningful notion here — ACKs always have length 0 — hence no
+    /// `is_empty` counterpart.
+    #[inline]
+    #[allow(clippy::len_without_is_empty)]
+    pub fn len(self) -> u32 {
+        self.meta & MAX_LEN
+    }
+
+    /// Next hop index on the route.
+    #[inline]
+    pub fn hop(self) -> u16 {
+        ((self.meta & HOP_MASK) >> HOP_SHIFT) as u16
+    }
+
+    /// Whether this data segment is a retransmission (Karn's rule).
+    #[inline]
+    pub fn retransmit(self) -> bool {
+        self.meta >> RETX_SHIFT != 0
+    }
+
+    /// Advances the packet one hop.
+    ///
+    /// # Panics
+    /// Debug-panics past [`MAX_HOP`]; release wraps into the adjacent
+    /// field, which the topology builder's route lengths make unreachable.
+    #[inline]
+    pub fn advance_hop(&mut self) {
+        debug_assert!(self.hop() < MAX_HOP, "route longer than {MAX_HOP} hops");
+        self.meta += 1 << HOP_SHIFT;
+    }
+
+    /// The unpacked view (diagnostics, tests, property checks).
+    pub fn unpack(self) -> Packet {
+        Packet {
+            conn: self.conn(),
+            seq: self.seq,
+            len: self.len(),
+            kind: self.kind(),
+            hop: self.hop(),
+            retransmit: self.retransmit(),
+        }
+    }
+}
+
+/// The unpacked view of a [`PackedPacket`]: one named field per logical
+/// component. Everything the engine stores or moves uses the packed form;
+/// this view exists for construction off the hot path and for asserting
+/// the pack/unpack round-trip.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Packet {
     /// Owning connection.
     pub conn: ConnId,
-    /// Interned route the packet follows (the connection's forward route
-    /// for data, reverse route for ACKs), resolved once at injection.
-    pub route: RouteId,
     /// Data: first stream byte carried. Ack: cumulative ack offset.
     pub seq: u64,
     /// Payload length in bytes (0 for ACKs).
@@ -34,16 +192,30 @@ pub struct Packet {
 }
 
 impl Packet {
-    /// Filler for pooled buffers; never observed by the simulation.
-    pub(crate) const PLACEHOLDER: Packet = Packet {
-        conn: ConnId(0),
-        route: RouteId(0),
-        seq: 0,
-        len: 0,
-        kind: PacketKind::Data,
-        hop: 0,
-        retransmit: false,
-    };
+    /// Packs into the 16-byte storage layout. Lossless for every packet
+    /// within the documented field ranges ([`MAX_LEN`], [`MAX_HOP`], ACKs
+    /// carry `len == 0` and `retransmit == false`).
+    ///
+    /// # Panics
+    /// Panics if `len` or `hop` overflow their bitfields, or if an ACK
+    /// carries a payload or a retransmit flag (unrepresentable: both are
+    /// meaningful for data only).
+    pub fn pack(self) -> PackedPacket {
+        assert!(self.len <= MAX_LEN, "len {} overflows", self.len);
+        assert!(self.hop <= MAX_HOP, "hop {} overflows", self.hop);
+        if self.kind == PacketKind::Ack {
+            assert!(
+                self.len == 0 && !self.retransmit,
+                "ACKs carry no payload and are never retransmissions"
+            );
+        }
+        let mut p = match self.kind {
+            PacketKind::Data => PackedPacket::data(self.conn, self.seq, self.len, self.retransmit),
+            PacketKind::Ack => PackedPacket::ack(self.conn, self.seq),
+        };
+        p.meta |= (self.hop as u32) << HOP_SHIFT;
+        p
+    }
 }
 
 /// Events surfaced to the embedding application (the MPI layer).
@@ -106,5 +278,70 @@ mod tests {
             at: SimTime(9),
         };
         assert_eq!(d.time(), SimTime(9));
+    }
+
+    #[test]
+    fn data_accessors_roundtrip() {
+        let mut p = PackedPacket::data(ConnId::from_index(77), 123_456_789, 1460, true);
+        assert_eq!(p.conn().index(), 77);
+        assert_eq!(p.flow_index(), 154);
+        assert_eq!(p.kind(), PacketKind::Data);
+        assert_eq!(p.len(), 1460);
+        assert_eq!(p.hop(), 0);
+        assert!(p.retransmit());
+        p.advance_hop();
+        p.advance_hop();
+        assert_eq!(p.hop(), 2);
+        assert_eq!(p.len(), 1460, "hop bump must not leak into len");
+        assert!(p.retransmit(), "hop bump must not leak into retransmit");
+    }
+
+    #[test]
+    fn ack_accessors_roundtrip() {
+        let p = PackedPacket::ack(ConnId::from_index(3), u64::MAX);
+        assert_eq!(p.conn().index(), 3);
+        assert_eq!(p.flow_index(), 7);
+        assert_eq!(p.kind(), PacketKind::Ack);
+        assert_eq!(p.len(), 0);
+        assert_eq!(p.seq, u64::MAX);
+        assert!(!p.retransmit());
+    }
+
+    #[test]
+    fn pack_unpack_roundtrips_extremes() {
+        for pkt in [
+            Packet {
+                conn: ConnId::from_index(0),
+                seq: 0,
+                len: 0,
+                kind: PacketKind::Data,
+                hop: 0,
+                retransmit: false,
+            },
+            Packet {
+                conn: ConnId::from_index((u32::MAX / 2 - 1) as usize),
+                seq: u64::MAX,
+                len: MAX_LEN,
+                kind: PacketKind::Data,
+                hop: MAX_HOP,
+                retransmit: true,
+            },
+            Packet {
+                conn: ConnId::from_index(9),
+                seq: 1 << 40,
+                len: 0,
+                kind: PacketKind::Ack,
+                hop: 5,
+                retransmit: false,
+            },
+        ] {
+            assert_eq!(pkt.pack().unpack(), pkt);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows")]
+    fn oversized_len_is_rejected() {
+        let _ = PackedPacket::data(ConnId::from_index(0), 0, MAX_LEN + 1, false);
     }
 }

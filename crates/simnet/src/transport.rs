@@ -21,20 +21,48 @@
 //! unit-testable without a network.
 
 use crate::config::TransportKind;
-use crate::ids::{ConnId, HostId, RouteId};
+use crate::ids::{ConnId, HostId};
 use crate::time::SimTime;
 use std::collections::{BTreeMap, VecDeque};
 
-/// A data segment the engine should inject at the connection's first hop.
+/// A run of data segments the engine should inject at the connection's
+/// first hop: `count` back-to-back segments of `len` bytes each, segment
+/// `i` starting at stream byte `seq + i·len`.
+///
+/// A window fill emits dozens to hundreds of contiguous same-size
+/// segments; representing them as one run keeps the action vector at a
+/// handful of entries and hands the engine exactly the shape
+/// `EventQueue::push_run` compresses. [`Connection::pump`] coalesces as it
+/// emits, so a run never mixes lengths or retransmit flags — a trailing
+/// partial segment or a Karn-boundary crossing starts a new run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct SegmentOut {
-    /// First stream byte of the segment.
+pub struct SegmentRun {
+    /// First stream byte of the run's first segment.
     pub seq: u64,
-    /// Payload length.
+    /// Payload length of every segment in the run.
     pub len: u32,
-    /// True if this is a retransmission (counted, and exempt from RTT
-    /// sampling per Karn's rule).
+    /// Number of segments (≥ 1).
+    pub count: u32,
+    /// True if these segments are retransmissions (counted, and exempt
+    /// from RTT sampling per Karn's rule).
     pub retransmit: bool,
+}
+
+impl SegmentRun {
+    /// One stream byte past the run's last segment.
+    pub fn end(&self) -> u64 {
+        self.seq + self.count as u64 * self.len as u64
+    }
+
+    /// Total payload bytes across the run.
+    pub fn total_bytes(&self) -> u64 {
+        self.count as u64 * self.len as u64
+    }
+
+    /// The run's segments as `(seq, len)` pairs, in stream order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u32)> + '_ {
+        (0..self.count).map(move |i| (self.seq + i as u64 * self.len as u64, self.len))
+    }
 }
 
 /// Retransmission-timer command returned to the engine.
@@ -52,8 +80,8 @@ pub enum TimerCmd {
 /// Sender-side reaction to an event.
 #[derive(Debug, Default)]
 pub struct SendActions {
-    /// Segments to inject on the forward route.
-    pub segments: Vec<SegmentOut>,
+    /// Segment runs to inject on the forward route, in stream order.
+    pub segments: Vec<SegmentRun>,
     /// Tags of messages whose final byte has just been acknowledged.
     pub send_done: Vec<u64>,
     /// Timer update.
@@ -62,6 +90,27 @@ pub struct SendActions {
     pub fast_retransmit: bool,
     /// A retransmission timeout was taken (for counters).
     pub timeout: bool,
+}
+
+impl SendActions {
+    /// Appends one segment, extending the trailing run when it is
+    /// contiguous with it and shares its length and retransmit flag.
+    /// Coalescing is representational only: the engine injects a run
+    /// exactly as it would the equivalent individual segments.
+    fn emit_segment(&mut self, seq: u64, len: u32, retransmit: bool) {
+        if let Some(last) = self.segments.last_mut() {
+            if last.retransmit == retransmit && last.len == len && last.end() == seq {
+                last.count += 1;
+                return;
+            }
+        }
+        self.segments.push(SegmentRun {
+            seq,
+            len,
+            count: 1,
+            retransmit,
+        });
+    }
 }
 
 /// Receiver-side reaction to a data segment.
@@ -88,10 +137,6 @@ pub struct Connection {
     pub src: HostId,
     /// Receiving host.
     pub dst: HostId,
-    /// Forward route (data), interned in the topology.
-    pub fwd_route: RouteId,
-    /// Reverse route (ACKs), interned in the topology.
-    pub rev_route: RouteId,
     kind: TransportKind,
     mtu: u64,
     max_window: u64,
@@ -130,15 +175,9 @@ pub struct Connection {
 }
 
 impl Connection {
-    /// Creates an idle connection.
-    pub fn new(
-        id: ConnId,
-        src: HostId,
-        dst: HostId,
-        fwd_route: RouteId,
-        rev_route: RouteId,
-        kind: TransportKind,
-    ) -> Self {
+    /// Creates an idle connection. Routes are not held here: the engine
+    /// resolves a packet's route through its own `flow → RouteId` table.
+    pub fn new(id: ConnId, src: HostId, dst: HostId, kind: TransportKind) -> Self {
         let mtu = kind.mtu() as u64;
         let max_window = kind.window_bytes().max(mtu);
         let (cwnd, rto_ns) = match kind {
@@ -152,8 +191,6 @@ impl Connection {
             id,
             src,
             dst,
-            fwd_route,
-            rev_route,
             kind,
             mtu,
             max_window,
@@ -245,11 +282,7 @@ impl Connection {
             if self.rtt_probe.is_none() && seq >= self.probe_floor {
                 self.rtt_probe = Some((self.snd_nxt, now));
             }
-            actions.segments.push(SegmentOut {
-                seq,
-                len,
-                retransmit,
-            });
+            actions.emit_segment(seq, len, retransmit);
         }
         if !had_flight && self.flight() > 0 && self.is_tcp() {
             actions.timer = TimerCmd::Arm(now + self.rto_ns);
@@ -330,11 +363,7 @@ impl Connection {
                         // deflate by the acked amount, inflate by one MTU.
                         let len = (self.snd_nxt - self.snd_una).min(self.mtu) as u32;
                         if len > 0 {
-                            actions.segments.push(SegmentOut {
-                                seq: self.snd_una,
-                                len,
-                                retransmit: true,
-                            });
+                            actions.emit_segment(self.snd_una, len, true);
                             self.rtt_probe = None;
                         }
                         self.cwnd =
@@ -369,11 +398,7 @@ impl Connection {
                 self.in_recovery = true;
                 self.recover = self.snd_nxt;
                 let len = (self.snd_nxt - self.snd_una).min(self.mtu) as u32;
-                actions.segments.push(SegmentOut {
-                    seq: self.snd_una,
-                    len,
-                    retransmit: true,
-                });
+                actions.emit_segment(self.snd_una, len, true);
                 self.rtt_probe = None;
                 actions.fast_retransmit = true;
                 actions.timer = TimerCmd::Arm(now + self.rto_ns);
@@ -439,15 +464,10 @@ mod tests {
     use crate::config::{GmConfig, TcpConfig};
 
     fn conn(kind: TransportKind) -> Connection {
-        // Route handles are opaque to the state machine; any id works in a
-        // network-free unit test.
-        let route = RouteId::from_index(0);
         Connection::new(
             ConnId::from_index(0),
             HostId::from_index(0),
             HostId::from_index(1),
-            route,
-            route,
             kind,
         )
     }
@@ -456,14 +476,26 @@ mod tests {
         conn(TransportKind::Tcp(TcpConfig::default()))
     }
 
+    /// Expands the run-compressed segment list into per-segment
+    /// `(seq, len, retransmit)` triples, the shape the engine injects.
+    fn flat(a: &SendActions) -> Vec<(u64, u32, bool)> {
+        a.segments
+            .iter()
+            .flat_map(|r| r.iter().map(|(seq, len)| (seq, len, r.retransmit)))
+            .collect()
+    }
+
     #[test]
     fn initial_send_respects_initial_cwnd() {
         let mut c = tcp();
         let a = c.on_app_send(100_000, 1, SimTime::ZERO);
-        // initial cwnd = 2 segments.
-        assert_eq!(a.segments.len(), 2);
-        assert_eq!(a.segments[0].seq, 0);
-        assert_eq!(a.segments[1].seq, 1460);
+        // initial cwnd = 2 segments, coalesced into one contiguous run.
+        assert_eq!(flat(&a), vec![(0, 1460, false), (1460, 1460, false)]);
+        assert_eq!(
+            a.segments.len(),
+            1,
+            "contiguous same-size segments coalesce"
+        );
         assert!(matches!(a.timer, TimerCmd::Arm(_)));
         assert_eq!(c.flight(), 2920);
     }
@@ -477,7 +509,7 @@ mod tests {
         let a = c.on_ack(2920, SimTime(1_000_000));
         assert!(c.cwnd_bytes() >= before + 2920);
         // Acking opened the window: roughly twice as many segments go out.
-        assert!(a.segments.len() >= 3, "got {}", a.segments.len());
+        assert!(flat(&a).len() >= 3, "got {}", flat(&a).len());
     }
 
     #[test]
@@ -526,7 +558,7 @@ mod tests {
             let a = c.on_ack(2920, SimTime(200 + i));
             if a.fast_retransmit {
                 fast = true;
-                assert_eq!(a.segments.len(), 1);
+                assert_eq!(flat(&a).len(), 1);
                 assert!(a.segments[0].retransmit);
                 assert_eq!(a.segments[0].seq, 2920);
             }
@@ -541,9 +573,7 @@ mod tests {
         let rto_before = c.rto_nanos();
         let a = c.on_rto(SimTime(rto_before));
         assert!(a.timeout);
-        assert_eq!(a.segments.len(), 1);
-        assert!(a.segments[0].retransmit);
-        assert_eq!(a.segments[0].seq, 0);
+        assert_eq!(flat(&a), vec![(0, 1460, true)]);
         assert_eq!(c.cwnd_bytes(), 1460);
         assert!(c.rto_nanos() >= rto_before, "exponential backoff");
     }
@@ -586,7 +616,17 @@ mod tests {
             window_bytes: 16 * 4096,
         }));
         let a = c.on_app_send(1_000_000, 1, SimTime::ZERO);
-        assert_eq!(a.segments.len(), 16, "fixed window fills at once");
+        assert_eq!(flat(&a).len(), 16, "fixed window fills at once");
+        assert_eq!(
+            a.segments,
+            vec![SegmentRun {
+                seq: 0,
+                len: 4096,
+                count: 16,
+                retransmit: false,
+            }],
+            "a window fill is one run, not 16 entries"
+        );
         assert_eq!(a.timer, TimerCmd::Keep, "GM never arms the RTO timer");
     }
 
@@ -628,7 +668,7 @@ mod tests {
         let a = c.on_ack(late_ack, SimTime(1_000_000_100));
         assert!(c.flight() <= c.cwnd_bytes() + 1460);
         assert!(!a.segments.is_empty(), "transmission resumes past the ack");
-        assert!(a.segments.iter().all(|s| s.seq >= late_ack));
+        assert!(flat(&a).iter().all(|&(seq, _, _)| seq >= late_ack));
         // The stream must still be able to finish.
         let _ = c.on_ack(100_000, SimTime(2_000_000_000));
         assert!(c.quiescent());
@@ -641,9 +681,38 @@ mod tests {
         let _ = c.on_ack(1460, SimTime(100));
         let a = c.on_rto(SimTime(1_000_000_000));
         assert!(a.timeout);
-        assert_eq!(a.segments.len(), 1, "cwnd=1 after timeout");
-        assert_eq!(a.segments[0].seq, 1460, "go-back-N restarts at snd_una");
-        assert!(a.segments[0].retransmit);
+        assert_eq!(
+            flat(&a),
+            vec![(1460, 1460, true)],
+            "cwnd=1 after timeout; go-back-N restarts at snd_una"
+        );
+    }
+
+    #[test]
+    fn runs_split_at_the_partial_tail() {
+        // 10 full GM frames plus a 100-byte tail: one 10-segment run, then
+        // a separate single-segment run (lengths never mix within a run).
+        let mut c = conn(TransportKind::Gm(GmConfig::default()));
+        let a = c.on_app_send(10 * 4096 + 100, 1, SimTime::ZERO);
+        assert_eq!(
+            a.segments,
+            vec![
+                SegmentRun {
+                    seq: 0,
+                    len: 4096,
+                    count: 10,
+                    retransmit: false,
+                },
+                SegmentRun {
+                    seq: 10 * 4096,
+                    len: 100,
+                    count: 1,
+                    retransmit: false,
+                },
+            ]
+        );
+        assert_eq!(a.segments[0].end(), 10 * 4096);
+        assert_eq!(a.segments[0].total_bytes(), 10 * 4096);
     }
 
     #[test]

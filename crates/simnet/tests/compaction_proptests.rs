@@ -1,0 +1,162 @@
+//! Property tests for the compact hot-loop representation: the
+//! `Packet` ↔ `PackedPacket` encoding must be lossless across the full
+//! documented field ranges, and a run-compressed injection burst must pop
+//! exactly like the individual pushes it replaces, however lanes and pops
+//! interleave.
+
+use proptest::prelude::*;
+use simnet::event::{Event, EventQueue, RunTemplate};
+use simnet::ids::{ConnId, TxId};
+use simnet::packet::{PackedPacket, Packet, PacketKind, MAX_HOP, MAX_LEN};
+use simnet::time::SimTime;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Lossless round-trip across the full packable ranges. `conn` stops
+    /// at 2³¹ − 1 because the flow word is `conn·2 + direction`.
+    #[test]
+    fn packed_packet_roundtrips(
+        conn in 0u32..=(u32::MAX >> 1),
+        seq in any::<u64>(),
+        len in 0u32..=MAX_LEN,
+        hop in 0u16..=MAX_HOP,
+        flags in 0u8..4,
+    ) {
+        let is_ack = flags & 1 != 0;
+        let pkt = Packet {
+            conn: ConnId::new(conn as usize),
+            seq,
+            // ACKs carry no payload and are never retransmissions; any
+            // other combination is unrepresentable by construction.
+            len: if is_ack { 0 } else { len },
+            kind: if is_ack { PacketKind::Ack } else { PacketKind::Data },
+            hop,
+            retransmit: !is_ack && flags & 2 != 0,
+        };
+        let packed = pkt.pack();
+        prop_assert_eq!(packed.unpack(), pkt);
+        // The accessors must agree with the unpacked view field by field.
+        prop_assert_eq!(packed.conn(), pkt.conn);
+        prop_assert_eq!(packed.seq, pkt.seq);
+        prop_assert_eq!(packed.len(), pkt.len);
+        prop_assert_eq!(packed.kind(), pkt.kind);
+        prop_assert_eq!(packed.hop(), pkt.hop);
+        prop_assert_eq!(packed.retransmit(), pkt.retransmit);
+        prop_assert_eq!(
+            packed.flow_index(),
+            conn as usize * 2 + is_ack as usize,
+            "flow rows must interleave forward/reverse per connection"
+        );
+    }
+
+    /// Hop advancement touches nothing but the hop field.
+    #[test]
+    fn advance_hop_is_isolated(
+        conn in 0u32..=(u32::MAX >> 1),
+        seq in any::<u64>(),
+        len in 0u32..=MAX_LEN,
+        retransmit in any::<bool>(),
+        hops in 0u16..MAX_HOP,
+    ) {
+        let mut p = PackedPacket::data(ConnId::new(conn as usize), seq, len, retransmit);
+        for expect in 1..=hops {
+            p.advance_hop();
+            prop_assert_eq!(p.hop(), expect);
+        }
+        prop_assert_eq!(p.len(), len);
+        prop_assert_eq!(p.seq, seq);
+        prop_assert_eq!(p.retransmit(), retransmit);
+        prop_assert_eq!(p.conn().index(), conn as usize);
+    }
+
+    /// `push_run` pops identically to the equivalent individual `push`
+    /// calls: a compact queue (runs) and a reference queue (expanded
+    /// pushes) driven through one randomized schedule of run pushes,
+    /// singleton pushes and interleaved pops must agree on every popped
+    /// `(time, event)` — including pops that land mid-run.
+    #[test]
+    fn push_run_pops_like_individual_pushes(
+        ops in prop::collection::vec(
+            (any::<u8>(), 0u64..5_000, 1u32..9, 0u64..80),
+            1..80,
+        ),
+    ) {
+        const N_LANES: usize = 3;
+        let mut compact = EventQueue::new();
+        let mut reference = EventQueue::new();
+        let c_lanes: Vec<_> = (0..N_LANES).map(|_| compact.alloc_lane()).collect();
+        let r_lanes: Vec<_> = (0..N_LANES).map(|_| reference.alloc_lane()).collect();
+        // Per-lane monotonicity floors (the engine's `last_*_inject` role).
+        let mut floor = [0u64; N_LANES];
+        let mut stream_seq = 0u64;
+        for (sel, dt, count, stride) in ops {
+            let lane = sel as usize % N_LANES;
+            let at = floor[lane] + dt;
+            match sel / 86 {
+                0 => {
+                    // A run of `count` same-size segments.
+                    let len = 64 * (1 + (sel as u32 & 3));
+                    let template = RunTemplate {
+                        tx: TxId::new(lane),
+                        pkt: PackedPacket::data(
+                            ConnId::new(lane),
+                            stream_seq,
+                            len,
+                            sel & 8 != 0,
+                        ),
+                        seq_stride: len as u64,
+                    };
+                    compact.push_run(
+                        c_lanes[lane],
+                        SimTime(at),
+                        stride,
+                        count,
+                        template,
+                    );
+                    for i in 0..count as u64 {
+                        reference.push(
+                            r_lanes[lane],
+                            SimTime(at + i * stride),
+                            Event::Arrival {
+                                tx: template.tx,
+                                pkt: PackedPacket::data(
+                                    ConnId::new(lane),
+                                    stream_seq + i * len as u64,
+                                    len,
+                                    sel & 8 != 0,
+                                ),
+                            },
+                        );
+                    }
+                    floor[lane] = at + (count as u64 - 1) * stride;
+                    stream_seq += count as u64 * len as u64;
+                }
+                1 => {
+                    // A singleton event on the same lane discipline.
+                    let ev = Event::AppWakeup { token: stream_seq };
+                    compact.push(c_lanes[lane], SimTime(at), ev);
+                    reference.push(r_lanes[lane], SimTime(at), ev);
+                    floor[lane] = at;
+                    stream_seq += 1;
+                }
+                _ => {
+                    // Interleaved pops: `count` of them, possibly landing
+                    // mid-run in the compact queue.
+                    for _ in 0..count {
+                        prop_assert_eq!(compact.pop(), reference.pop());
+                    }
+                }
+            }
+            prop_assert_eq!(compact.len(), reference.len());
+        }
+        // Drain both and compare the tails.
+        loop {
+            let (a, b) = (compact.pop(), reference.pop());
+            prop_assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+}
