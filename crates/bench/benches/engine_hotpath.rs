@@ -19,24 +19,50 @@
 //! cargo bench -p contention-bench --bench engine_hotpath -- --save-json ../../BENCH_engine.json
 //! ```
 
-use contention_bench::hotpath::{cases, Case};
+use contention_bench::hotpath::{cases, Case, Fabric};
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use simnet::event::{Event, EventQueue, RunTemplate};
+use simnet::generate::{dragonfly, torus_2d, DragonflyParams};
 use simnet::ids::TxId;
 use simnet::prelude::*;
 use simnet::time::SimTime;
 
-/// A primed simulator: `n` hosts on one lossless switch, one connection per
+/// A primed simulator on the case's lossless fabric, one connection per
 /// ordered host pair.
 fn alltoall_sim(case: &Case) -> (Simulator, Vec<ConnId>) {
-    let mut b = TopologyBuilder::new();
-    let hosts = b.add_hosts(case.hosts);
-    let sw = b.add_switch(SwitchConfig::lossless_fabric());
-    for &h in &hosts {
-        b.link_host(h, sw, LinkConfig::gigabit_ethernet());
-    }
+    let link = LinkConfig::gigabit_ethernet();
+    let lossless = SwitchConfig::lossless_fabric();
+    let (builder, hosts) = match case.fabric {
+        Fabric::Star => {
+            let mut b = TopologyBuilder::new();
+            let hosts = b.add_hosts(case.hosts);
+            let sw = b.add_switch(lossless);
+            for &h in &hosts {
+                b.link_host(h, sw, link);
+            }
+            (b, hosts)
+        }
+        Fabric::Torus2d { x, y } => {
+            assert_eq!(case.hosts % (x * y), 0, "hosts must fill the torus evenly");
+            let g = torus_2d(x, y, case.hosts / (x * y), link, lossless);
+            (g.builder, g.hosts)
+        }
+        Fabric::Dragonfly { groups, routers } => {
+            assert_eq!(case.hosts % (groups * routers), 0);
+            let g = dragonfly(&DragonflyParams {
+                groups,
+                routers_per_group: routers,
+                hosts_per_router: case.hosts / (groups * routers),
+                host_link: link,
+                local_link: link,
+                global_link: link,
+                switch: lossless,
+            });
+            (g.builder, g.hosts)
+        }
+    };
     let cfg = SimConfig::default();
-    let mut sim = Simulator::new(b.build(&cfg).unwrap(), cfg);
+    let mut sim = Simulator::new(builder.build(&cfg).unwrap(), cfg);
     let mut conns = Vec::with_capacity(case.hosts * (case.hosts - 1));
     for &src in &hosts {
         for &dst in &hosts {

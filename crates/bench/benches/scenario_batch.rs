@@ -1,7 +1,9 @@
 //! Batch-executor scaling: the same small scenario grid at 1/2/4/8
 //! workers, so executor-parallelism regressions show up as a flat
 //! (non-decreasing) curve here. Cost-aware scheduling and the calibration
-//! cache both land in this number.
+//! cache both land in this number. A torus and a dragonfly grid ride
+//! along so the non-tree generators and placement policies stay on the
+//! measured path.
 
 use contention_scenario::executor::{run_batch, BatchConfig};
 use contention_scenario::spec::{
@@ -9,6 +11,7 @@ use contention_scenario::spec::{
     WorkloadSpec,
 };
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use simnet::generate::Placement;
 
 /// A grid of eight quick cells (4–6 ranks, 16–64 KiB) on a small star —
 /// enough work for sharding to matter, small enough for CI.
@@ -21,6 +24,7 @@ fn small_grid() -> ScenarioSpec {
             link: LinkSpec::default(),
             switch: SwitchSpec::default(),
         },
+        placement: Placement::default(),
         transport: TransportSpec::default(),
         mpi: MpiSpec::default(),
         workload: WorkloadSpec::Uniform {
@@ -35,25 +39,85 @@ fn small_grid() -> ScenarioSpec {
     }
 }
 
-fn bench_worker_scaling(c: &mut Criterion) {
-    let spec = small_grid();
-    let mut group = c.benchmark_group("scenario_batch");
-    group.sample_size(10);
-    for workers in [1usize, 2, 4, 8] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(workers),
-            &workers,
-            |b, &workers| {
-                let cfg = BatchConfig {
-                    workers,
-                    base_seed: 42,
-                    ..Default::default()
-                };
-                b.iter(|| run_batch(&spec, &cfg).expect("benchmark scenario runs"));
-            },
-        );
+/// The small grid's shape on a packed 3×3 torus (dimension-ordered
+/// routing on the batch path).
+fn torus_grid() -> ScenarioSpec {
+    ScenarioSpec {
+        name: "bench-torus-grid".into(),
+        description: "executor scaling benchmark, torus fabric".into(),
+        topology: TopologySpec::Torus2d {
+            x: 3,
+            y: 3,
+            hosts_per_switch: 1,
+            link: LinkSpec::default(),
+            switch: SwitchSpec::default(),
+        },
+        placement: Placement::Pack,
+        transport: TransportSpec::default(),
+        mpi: MpiSpec::default(),
+        workload: WorkloadSpec::Uniform {
+            algorithm: "direct".into(),
+        },
+        sweep: SweepSpec {
+            nodes: vec![4, 6, 8],
+            message_bytes: vec![16 * 1024, 64 * 1024],
+            warmup: 0,
+            reps: 1,
+        },
     }
-    group.finish();
+}
+
+/// The small grid's shape on a packed dragonfly (global-link funneling on
+/// the batch path).
+fn dragonfly_grid() -> ScenarioSpec {
+    ScenarioSpec {
+        name: "bench-dragonfly-grid".into(),
+        description: "executor scaling benchmark, dragonfly fabric".into(),
+        topology: TopologySpec::Dragonfly {
+            groups: 3,
+            routers_per_group: 3,
+            hosts_per_router: 1,
+            host_link: LinkSpec::default(),
+            local_link: LinkSpec::default(),
+            global_link: LinkSpec::default(),
+            switch: SwitchSpec::default(),
+        },
+        placement: Placement::Pack,
+        transport: TransportSpec::default(),
+        mpi: MpiSpec::default(),
+        workload: WorkloadSpec::Uniform {
+            algorithm: "direct".into(),
+        },
+        sweep: SweepSpec {
+            nodes: vec![4, 6, 8],
+            message_bytes: vec![16 * 1024, 64 * 1024],
+            warmup: 0,
+            reps: 1,
+        },
+    }
+}
+
+fn bench_worker_scaling(c: &mut Criterion) {
+    for spec in [small_grid(), torus_grid(), dragonfly_grid()] {
+        let fabric = spec.topology.kind();
+        let mut group = c.benchmark_group("scenario_batch");
+        group.sample_size(10);
+        for workers in [1usize, 2, 4, 8] {
+            group.bench_with_input(
+                BenchmarkId::new(fabric, workers),
+                &workers,
+                |b, &workers| {
+                    let cfg = BatchConfig {
+                        workers,
+                        base_seed: 42,
+                        ..Default::default()
+                    };
+                    b.iter(|| run_batch(&spec, &cfg).expect("benchmark scenario runs"));
+                },
+            );
+        }
+        group.finish();
+    }
 }
 
 criterion_group!(benches, bench_worker_scaling);

@@ -28,11 +28,35 @@ pub mod hotpath {
 
     use simnet::prelude::*;
 
+    /// The fabric an `engine_hotpath` case runs on. Everything is built
+    /// lossless so runs measure pure forwarding cost, not loss recovery.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum Fabric {
+        /// `hosts` hosts on one switch (the historical grid).
+        Star,
+        /// `x·y` switches, dimension-ordered routing; hosts spread evenly.
+        Torus2d {
+            /// Ring length along x.
+            x: usize,
+            /// Ring length along y.
+            y: usize,
+        },
+        /// `groups · routers` routers, minimal-path routing.
+        Dragonfly {
+            /// Group count.
+            groups: usize,
+            /// Routers per group.
+            routers: usize,
+        },
+    }
+
     /// One cell of the engine hot-path grid.
     pub struct Case {
         /// Benchmark id within the `engine_hotpath` group.
         pub name: &'static str,
-        /// Fabric size (hosts on one lossless switch).
+        /// Fabric shape.
+        pub fabric: Fabric,
+        /// Total host count.
         pub hosts: usize,
         /// Per-pair message size of the all-to-all round.
         pub message_bytes: u64,
@@ -43,32 +67,55 @@ pub mod hotpath {
     /// Two MTU regimes bracket the engine's per-event overhead: 1460-byte
     /// TCP segments (many small events) and 4096-byte GM frames (fewer,
     /// larger ones). Host counts 8–64 scale the event-queue depth and the
-    /// number of live transmitter bands.
+    /// number of live transmitter bands. The torus and dragonfly cases
+    /// exercise multi-hop forwarding (4–5 transmitters per packet instead
+    /// of the star's 2) through the same hot path.
     pub fn cases() -> Vec<Case> {
         let tcp = TransportKind::Tcp(TcpConfig::default()); // 1460 B MSS
         let gm = TransportKind::Gm(GmConfig::default()); // 4096 B MTU
         vec![
             Case {
                 name: "tcp_mtu1460_8hosts_64KiB",
+                fabric: Fabric::Star,
                 hosts: 8,
                 message_bytes: 64 * 1024,
                 transport: tcp,
             },
             Case {
                 name: "tcp_mtu1460_32hosts_64KiB",
+                fabric: Fabric::Star,
                 hosts: 32,
                 message_bytes: 64 * 1024,
                 transport: tcp,
             },
             Case {
                 name: "gm_mtu4096_32hosts_256KiB",
+                fabric: Fabric::Star,
                 hosts: 32,
                 message_bytes: 256 * 1024,
                 transport: gm,
             },
             Case {
                 name: "gm_mtu4096_64hosts_256KiB",
+                fabric: Fabric::Star,
                 hosts: 64,
+                message_bytes: 256 * 1024,
+                transport: gm,
+            },
+            Case {
+                name: "tcp_mtu1460_torus4x4_32hosts_64KiB",
+                fabric: Fabric::Torus2d { x: 4, y: 4 },
+                hosts: 32,
+                message_bytes: 64 * 1024,
+                transport: tcp,
+            },
+            Case {
+                name: "gm_mtu4096_dragonfly4x4_32hosts_256KiB",
+                fabric: Fabric::Dragonfly {
+                    groups: 4,
+                    routers: 4,
+                },
+                hosts: 32,
                 message_bytes: 256 * 1024,
                 transport: gm,
             },

@@ -11,6 +11,7 @@ use contention_scenario::executor::{run_batches, BatchConfig, BatchResult, Model
 use contention_scenario::registry;
 use contention_scenario::report;
 use contention_scenario::spec::ScenarioSpec;
+use simnet::generate::Placement;
 use std::process::ExitCode;
 
 const USAGE: &str = "ctnsim — contention scenario runner
@@ -37,6 +38,10 @@ OPTIONS:
                       columns: med (default; the MED lower bound),
                       signature (fitted (γ, δ, M) contention signature) or
                       saturation (γ(n) ramp for half-saturated networks)
+    --placement NAME  Override how ranks map onto the fabric: scatter
+                      (round-robin across edge groups), pack (fill groups
+                      in order) or random (seeded partial permutation).
+                      Not available on preset topologies.
     --format csv|json Output format (default csv)
     --out FILE        Write the report to FILE instead of stdout
     --reps R          Measured repetitions per cell (override)
@@ -52,6 +57,7 @@ struct Options {
     workers: Option<usize>,
     seed: u64,
     model: ModelKind,
+    placement: Option<Placement>,
     format: String,
     out: Option<String>,
     nodes: Option<Vec<usize>>,
@@ -66,6 +72,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         workers: None,
         seed: 42,
         model: ModelKind::Med,
+        placement: None,
         format: "csv".into(),
         out: None,
         nodes: None,
@@ -99,6 +106,12 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 o.model = ModelKind::parse(&name).ok_or_else(|| {
                     format!("unknown model {name:?} (expected med, signature or saturation)")
                 })?;
+            }
+            "--placement" => {
+                let name = value_of("--placement")?;
+                o.placement = Some(Placement::parse(&name).ok_or_else(|| {
+                    format!("unknown placement {name:?} (expected scatter, pack or random)")
+                })?);
             }
             "--format" => {
                 let f = value_of("--format")?;
@@ -215,6 +228,9 @@ fn run_specs(mut specs: Vec<ScenarioSpec>, options: &Options) -> ExitCode {
         }
         if let Some(warmup) = options.warmup {
             spec.sweep.warmup = warmup;
+        }
+        if let Some(placement) = options.placement {
+            spec.placement = placement;
         }
     }
     let workers = options

@@ -191,7 +191,7 @@ fn calibration_cache() -> &'static Mutex<HashMap<(u64, u64), HockneyParams>> {
 /// Measures the scenario's Hockney parameters: a 2-rank ping-pong on the
 /// scenario's own fabric across the standard fit sizes. Cheap (seconds of
 /// simulated time on two hosts) and faithful to the paper's procedure.
-/// Fits are memoized per (fabric, seed); see [`calibration_cache`].
+/// Fits are memoized per (fabric, seed) in a process-wide cache.
 pub fn calibrate_hockney(spec: &ScenarioSpec, base_seed: u64) -> Result<HockneyParams, SpecError> {
     let seed = mix(base_seed ^ name_hash(&spec.name));
     let key = (spec.fabric_fingerprint(), seed);

@@ -1,12 +1,14 @@
 //! The built-in scenario library: the paper's three clusters re-expressed
 //! as specs, plus fabrics and workloads the paper could not measure —
-//! multi-level trees with controlled oversubscription, fat-trees, and
-//! irregular exchanges.
+//! multi-level trees with controlled oversubscription, fat-trees, tori
+//! and dragonflies under scatter/pack/random placement, and irregular
+//! exchanges.
 
 use crate::spec::{
     LinkSpec, MpiSpec, ScenarioSpec, SweepSpec, SwitchSpec, TopologySpec, TransportSpec,
     WorkloadSpec,
 };
+use simnet::generate::Placement;
 
 fn kib(n: u64) -> u64 {
     n * 1024
@@ -19,6 +21,7 @@ fn paper_cluster(preset: &str, description: &str, nodes: Vec<usize>) -> Scenario
         topology: TopologySpec::Preset {
             preset: preset.to_string(),
         },
+        placement: Placement::Scatter,
         // Preset topologies carry their own transport/MPI stacks; the
         // transport field is ignored for them (kept at default).
         transport: TransportSpec::default(),
@@ -77,6 +80,7 @@ pub fn builtin() -> Vec<ScenarioSpec> {
                 link: fast_link,
                 switch: small_switch,
             },
+            placement: Placement::Scatter,
             transport: TransportSpec::Tcp {
                 window_bytes: kib(64),
             },
@@ -106,6 +110,7 @@ pub fn builtin() -> Vec<ScenarioSpec> {
                 edge_switch: small_switch,
                 core_switch: small_switch,
             },
+            placement: Placement::Scatter,
             transport: TransportSpec::Tcp {
                 window_bytes: kib(64),
             },
@@ -132,6 +137,7 @@ pub fn builtin() -> Vec<ScenarioSpec> {
                 link: fast_link,
                 switch: small_switch,
             },
+            placement: Placement::Scatter,
             transport: TransportSpec::Tcp {
                 window_bytes: kib(64),
             },
@@ -161,6 +167,7 @@ pub fn builtin() -> Vec<ScenarioSpec> {
                 edge_switch: small_switch,
                 core_switch: deep_switch,
             },
+            placement: Placement::Scatter,
             transport: TransportSpec::Tcp {
                 window_bytes: kib(64),
             },
@@ -192,6 +199,7 @@ pub fn builtin() -> Vec<ScenarioSpec> {
                     per_port_cap_bytes: u64::MAX / 8,
                 },
             },
+            placement: Placement::Scatter,
             transport: TransportSpec::Gm {
                 window_bytes: kib(1024),
             },
@@ -223,6 +231,7 @@ pub fn builtin() -> Vec<ScenarioSpec> {
                 edge_switch: small_switch,
                 core_switch: deep_switch,
             },
+            placement: Placement::Scatter,
             transport: TransportSpec::Tcp {
                 window_bytes: kib(64),
             },
@@ -240,6 +249,128 @@ pub fn builtin() -> Vec<ScenarioSpec> {
                 nodes: vec![8, 16],
                 message_bytes: vec![kib(64), kib(128)],
                 warmup: 0,
+                reps: 2,
+            },
+        },
+        ScenarioSpec {
+            name: "torus-neighbor-exchange".into(),
+            description: "Ring-algorithm All-to-All on a packed 4\u{d7}4 torus: neighbour-heavy \
+                          rounds meet dimension-ordered routing, so contention concentrates on \
+                          the rings the packing straddles"
+                .into(),
+            topology: TopologySpec::Torus2d {
+                x: 4,
+                y: 4,
+                hosts_per_switch: 2,
+                link: fast_link,
+                switch: deep_switch,
+            },
+            placement: Placement::Pack,
+            transport: TransportSpec::Tcp {
+                window_bytes: kib(64),
+            },
+            mpi: MpiSpec::default(),
+            workload: WorkloadSpec::Uniform {
+                algorithm: "ring".into(),
+            },
+            sweep: SweepSpec {
+                nodes: vec![8, 16, 32],
+                message_bytes: vec![kib(64), kib(256)],
+                warmup: 1,
+                reps: 2,
+            },
+        },
+        ScenarioSpec {
+            name: "torus3d-random-permutation".into(),
+            description: "Permutation traffic on a 3\u{d7}3\u{d7}3 torus under seeded random \
+                          placement — the fragmented-batch-queue regime where e-cube routes \
+                          collide unpredictably (Bienz-style placement sensitivity)"
+                .into(),
+            topology: TopologySpec::Torus3d {
+                x: 3,
+                y: 3,
+                z: 3,
+                hosts_per_switch: 1,
+                link: fast_link,
+                // GM never retransmits, so the torus must be lossless
+                // (Myrinet-style link-level backpressure) — a dropped
+                // frame would deadlock the permutation.
+                switch: SwitchSpec {
+                    shared_buffer_bytes: u64::MAX / 4,
+                    per_port_cap_bytes: u64::MAX / 8,
+                },
+            },
+            placement: Placement::RandomSeeded,
+            transport: TransportSpec::Gm {
+                window_bytes: kib(256),
+            },
+            mpi: MpiSpec::default(),
+            workload: WorkloadSpec::Permutation,
+            sweep: SweepSpec {
+                nodes: vec![8, 16, 27],
+                message_bytes: vec![kib(128), kib(512)],
+                warmup: 0,
+                reps: 2,
+            },
+        },
+        ScenarioSpec {
+            name: "dragonfly-adversarial-uniform".into(),
+            description: "Uniform All-to-All on a packed dragonfly (4 groups \u{d7} 4 routers \
+                          \u{d7} 2 hosts): packing fills whole groups, so every cross-group \
+                          byte funnels through single global links — the adversarial pattern \
+                          minimal routing cannot dodge"
+                .into(),
+            topology: TopologySpec::Dragonfly {
+                groups: 4,
+                routers_per_group: 4,
+                hosts_per_router: 2,
+                host_link: fast_link,
+                local_link: fast_link,
+                global_link: LinkSpec {
+                    bandwidth_bytes_per_sec: 250e6,
+                    latency_ns: 40_000,
+                },
+                switch: small_switch,
+            },
+            placement: Placement::Pack,
+            transport: TransportSpec::Tcp {
+                window_bytes: kib(64),
+            },
+            mpi: MpiSpec::default(),
+            workload: WorkloadSpec::Uniform {
+                algorithm: "direct".into(),
+            },
+            sweep: SweepSpec {
+                nodes: vec![8, 16, 24],
+                message_bytes: vec![kib(64), kib(256)],
+                warmup: 1,
+                reps: 2,
+            },
+        },
+        ScenarioSpec {
+            name: "packed-vs-scattered-fattree".into(),
+            description: "The fat-tree-uniform fabric under Pack placement — diff its report \
+                          against fat-tree-uniform to read the placement cost directly \
+                          (same grid, same seeds, only the rank\u{2192}host map differs)"
+                .into(),
+            topology: TopologySpec::FatTree {
+                k: 4,
+                hosts_per_edge: 4,
+                link: fast_link,
+                switch: small_switch,
+            },
+            placement: Placement::Pack,
+            transport: TransportSpec::Tcp {
+                window_bytes: kib(64),
+            },
+            mpi: MpiSpec::default(),
+            workload: WorkloadSpec::Uniform {
+                algorithm: "direct-nb".into(),
+            },
+            sweep: SweepSpec {
+                nodes: vec![8, 16],
+                message_bytes: vec![kib(64), kib(256)],
+                warmup: 1,
                 reps: 2,
             },
         },
@@ -278,5 +409,33 @@ mod tests {
         ] {
             assert!(by_name(name).is_some(), "{name} missing");
         }
+    }
+
+    #[test]
+    fn non_tree_fabrics_and_placements_are_present() {
+        for (name, kind, placement) in [
+            ("torus-neighbor-exchange", "torus-2d", Placement::Pack),
+            (
+                "torus3d-random-permutation",
+                "torus-3d",
+                Placement::RandomSeeded,
+            ),
+            (
+                "dragonfly-adversarial-uniform",
+                "dragonfly",
+                Placement::Pack,
+            ),
+            ("packed-vs-scattered-fattree", "fat-tree", Placement::Pack),
+        ] {
+            let spec = by_name(name).unwrap_or_else(|| panic!("{name} missing"));
+            assert_eq!(spec.topology.kind(), kind, "{name}");
+            assert_eq!(spec.placement, placement, "{name}");
+        }
+        // The placement-ablation pair shares fabric and grid, so their
+        // reports diff cell-for-cell.
+        let scattered = by_name("fat-tree-uniform").unwrap();
+        let packed = by_name("packed-vs-scattered-fattree").unwrap();
+        assert_eq!(scattered.topology, packed.topology);
+        assert_eq!(scattered.sweep, packed.sweep);
     }
 }

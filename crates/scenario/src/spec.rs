@@ -8,6 +8,7 @@
 
 use crate::toml::{self, TomlError, Value};
 use serde::{Deserialize, Serialize};
+use simnet::generate::Placement;
 use simnet::prelude::*;
 use std::collections::BTreeMap;
 
@@ -135,6 +136,52 @@ pub enum TopologySpec {
         /// Uniform switch buffering.
         switch: SwitchSpec,
     },
+    /// 2-D torus of switches, dimension-ordered routing.
+    Torus2d {
+        /// Ring length along x.
+        x: usize,
+        /// Ring length along y.
+        y: usize,
+        /// Hosts per switch.
+        hosts_per_switch: usize,
+        /// Uniform link.
+        link: LinkSpec,
+        /// Uniform switch buffering.
+        switch: SwitchSpec,
+    },
+    /// 3-D torus of switches, dimension-ordered routing.
+    Torus3d {
+        /// Ring length along x.
+        x: usize,
+        /// Ring length along y.
+        y: usize,
+        /// Ring length along z.
+        z: usize,
+        /// Hosts per switch.
+        hosts_per_switch: usize,
+        /// Uniform link.
+        link: LinkSpec,
+        /// Uniform switch buffering.
+        switch: SwitchSpec,
+    },
+    /// Dragonfly: fully-meshed router groups joined by single global
+    /// links, minimal-path routed.
+    Dragonfly {
+        /// Number of groups.
+        groups: usize,
+        /// Routers per group (local full mesh).
+        routers_per_group: usize,
+        /// Hosts per router.
+        hosts_per_router: usize,
+        /// Host ↔ router link.
+        host_link: LinkSpec,
+        /// Intra-group link.
+        local_link: LinkSpec,
+        /// Inter-group (global) link.
+        global_link: LinkSpec,
+        /// Uniform router buffering.
+        switch: SwitchSpec,
+    },
 }
 
 impl TopologySpec {
@@ -146,6 +193,9 @@ impl TopologySpec {
             TopologySpec::StarOfSwitches { .. } => "star-of-switches",
             TopologySpec::Tree { .. } => "tree",
             TopologySpec::FatTree { .. } => "fat-tree",
+            TopologySpec::Torus2d { .. } => "torus-2d",
+            TopologySpec::Torus3d { .. } => "torus-3d",
+            TopologySpec::Dragonfly { .. } => "dragonfly",
         }
     }
 }
@@ -191,7 +241,7 @@ impl Default for TransportSpec {
 
 /// Optional overrides of the MPI protocol stack; unset fields keep the
 /// topology's defaults (the preset's values on preset topologies,
-/// [`MpiConfig::default`] otherwise).
+/// [`simmpi::MpiConfig::default`] otherwise).
 #[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
 pub struct MpiSpec {
     /// Eager/rendezvous threshold in bytes.
@@ -323,6 +373,9 @@ pub struct ScenarioSpec {
     pub description: String,
     /// The fabric.
     pub topology: TopologySpec,
+    /// How ranks map onto the fabric's hosts (TOML: a top-level
+    /// `placement = "scatter" | "pack" | "random"`; scatter when absent).
+    pub placement: Placement,
     /// The transport.
     pub transport: TransportSpec,
     /// MPI-stack overrides.
@@ -417,6 +470,14 @@ impl ScenarioSpec {
             )));
         }
         self.validate_workload(&self.workload)?;
+        if self.placement != Placement::Scatter
+            && matches!(self.topology, TopologySpec::Preset { .. })
+        {
+            return Err(invalid(format!(
+                "placement {:?} is not available on preset topologies (presets scatter)",
+                self.placement.name()
+            )));
+        }
         match &self.topology {
             TopologySpec::Preset { .. } => {}
             TopologySpec::SingleSwitch { link, switch, .. } => {
@@ -456,6 +517,54 @@ impl ScenarioSpec {
                 validate_switch(switch, "topology.switch")?;
                 if *k < 2 || *k % 2 != 0 {
                     return Err(invalid(format!("fat-tree arity {k} must be even and >= 2")));
+                }
+            }
+            TopologySpec::Torus2d {
+                x,
+                y,
+                hosts_per_switch,
+                link,
+                switch,
+            } => {
+                validate_link(link, "topology.link")?;
+                validate_switch(switch, "topology.switch")?;
+                if *x == 0 || *y == 0 || *x * *y < 2 || *hosts_per_switch == 0 {
+                    return Err(invalid("torus needs ≥ 2 switches and ≥ 1 host each"));
+                }
+            }
+            TopologySpec::Torus3d {
+                x,
+                y,
+                z,
+                hosts_per_switch,
+                link,
+                switch,
+            } => {
+                validate_link(link, "topology.link")?;
+                validate_switch(switch, "topology.switch")?;
+                if *x == 0 || *y == 0 || *z == 0 || *x * *y * *z < 2 || *hosts_per_switch == 0 {
+                    return Err(invalid("torus needs ≥ 2 switches and ≥ 1 host each"));
+                }
+            }
+            TopologySpec::Dragonfly {
+                groups,
+                routers_per_group,
+                hosts_per_router,
+                host_link,
+                local_link,
+                global_link,
+                switch,
+            } => {
+                validate_link(host_link, "topology.host_link")?;
+                validate_link(local_link, "topology.local_link")?;
+                validate_link(global_link, "topology.global_link")?;
+                validate_switch(switch, "topology.switch")?;
+                if *groups == 0
+                    || *routers_per_group == 0
+                    || *hosts_per_router == 0
+                    || *groups * *routers_per_group < 2
+                {
+                    return Err(invalid("dragonfly needs ≥ 2 routers and ≥ 1 host each"));
                 }
             }
         }
@@ -554,6 +663,11 @@ impl ScenarioSpec {
                 v.get("topology")
                     .ok_or_else(|| invalid("missing [topology]"))?,
             )?,
+            placement: match opt_str(v, "placement")? {
+                None => Placement::default(),
+                Some(name) => Placement::parse(&name)
+                    .ok_or_else(|| invalid(format!("unknown placement {name:?}")))?,
+            },
             transport: match v.get("transport") {
                 Some(t) => decode_transport(t)?,
                 None => TransportSpec::default(),
@@ -584,6 +698,12 @@ impl ScenarioSpec {
     pub fn fabric_fingerprint(&self) -> u64 {
         let mut fabric = BTreeMap::new();
         fabric.insert("topology".to_string(), encode_topology(&self.topology));
+        // Placement changes which hosts a calibration's ranks land on, so
+        // it is part of the fabric for caching purposes.
+        fabric.insert(
+            "placement".to_string(),
+            Value::Str(self.placement.name().to_string()),
+        );
         fabric.insert("transport".to_string(), encode_transport(&self.transport));
         fabric.insert("mpi".to_string(), encode_mpi(&self.mpi));
         let encoded = toml::serialize(&Value::Table(fabric));
@@ -597,6 +717,12 @@ impl ScenarioSpec {
             root.insert("description".into(), Value::Str(self.description.clone()));
         }
         root.insert("topology".into(), encode_topology(&self.topology));
+        if self.placement != Placement::default() {
+            root.insert(
+                "placement".into(),
+                Value::Str(self.placement.name().to_string()),
+            );
+        }
         root.insert("transport".into(), encode_transport(&self.transport));
         if !self.mpi.is_empty() {
             root.insert("mpi".into(), encode_mpi(&self.mpi));
@@ -717,6 +843,30 @@ fn decode_topology(v: &Value) -> Result<TopologySpec, SpecError> {
             k: req_usize(v, "k")?,
             hosts_per_edge: req_usize(v, "hosts_per_edge")?,
             link: decode_link(sub(v, "link")?)?,
+            switch: decode_switch(sub(v, "switch")?)?,
+        }),
+        "torus-2d" => Ok(TopologySpec::Torus2d {
+            x: req_usize(v, "x")?,
+            y: req_usize(v, "y")?,
+            hosts_per_switch: req_usize(v, "hosts_per_switch")?,
+            link: decode_link(sub(v, "link")?)?,
+            switch: decode_switch(sub(v, "switch")?)?,
+        }),
+        "torus-3d" => Ok(TopologySpec::Torus3d {
+            x: req_usize(v, "x")?,
+            y: req_usize(v, "y")?,
+            z: req_usize(v, "z")?,
+            hosts_per_switch: req_usize(v, "hosts_per_switch")?,
+            link: decode_link(sub(v, "link")?)?,
+            switch: decode_switch(sub(v, "switch")?)?,
+        }),
+        "dragonfly" => Ok(TopologySpec::Dragonfly {
+            groups: req_usize(v, "groups")?,
+            routers_per_group: req_usize(v, "routers_per_group")?,
+            hosts_per_router: req_usize(v, "hosts_per_router")?,
+            host_link: decode_link(sub(v, "host_link")?)?,
+            local_link: decode_link(sub(v, "local_link")?)?,
+            global_link: decode_link(sub(v, "global_link")?)?,
             switch: decode_switch(sub(v, "switch")?)?,
         }),
         other => Err(invalid(format!("unknown topology kind {other:?}"))),
@@ -920,6 +1070,54 @@ fn encode_topology(t: &TopologySpec) -> Value {
             ("k", Value::Int(*k as i64)),
             ("hosts_per_edge", Value::Int(*hosts_per_edge as i64)),
             ("link", encode_link(link)),
+            ("switch", encode_switch(switch)),
+        ]),
+        TopologySpec::Torus2d {
+            x,
+            y,
+            hosts_per_switch,
+            link,
+            switch,
+        } => table(vec![
+            ("kind", Value::Str("torus-2d".into())),
+            ("x", Value::Int(*x as i64)),
+            ("y", Value::Int(*y as i64)),
+            ("hosts_per_switch", Value::Int(*hosts_per_switch as i64)),
+            ("link", encode_link(link)),
+            ("switch", encode_switch(switch)),
+        ]),
+        TopologySpec::Torus3d {
+            x,
+            y,
+            z,
+            hosts_per_switch,
+            link,
+            switch,
+        } => table(vec![
+            ("kind", Value::Str("torus-3d".into())),
+            ("x", Value::Int(*x as i64)),
+            ("y", Value::Int(*y as i64)),
+            ("z", Value::Int(*z as i64)),
+            ("hosts_per_switch", Value::Int(*hosts_per_switch as i64)),
+            ("link", encode_link(link)),
+            ("switch", encode_switch(switch)),
+        ]),
+        TopologySpec::Dragonfly {
+            groups,
+            routers_per_group,
+            hosts_per_router,
+            host_link,
+            local_link,
+            global_link,
+            switch,
+        } => table(vec![
+            ("kind", Value::Str("dragonfly".into())),
+            ("groups", Value::Int(*groups as i64)),
+            ("routers_per_group", Value::Int(*routers_per_group as i64)),
+            ("hosts_per_router", Value::Int(*hosts_per_router as i64)),
+            ("host_link", encode_link(host_link)),
+            ("local_link", encode_link(local_link)),
+            ("global_link", encode_link(global_link)),
             ("switch", encode_switch(switch)),
         ]),
     }

@@ -3,7 +3,7 @@
 use crate::spec::{ScenarioSpec, SpecError, TopologySpec};
 use contention_lab::presets::ClusterPreset;
 use simmpi::prelude::*;
-use simnet::generate::{self, FatTreeParams, Generated, TreeParams};
+use simnet::generate::{self, DragonflyParams, FatTreeParams, Generated, TorusParams, TreeParams};
 use simnet::prelude::*;
 
 fn preset_by_name(name: &str) -> Result<ClusterPreset, SpecError> {
@@ -42,6 +42,25 @@ pub fn capacity(t: &TopologySpec) -> Result<usize, SpecError> {
             switch: SwitchConfig::commodity_ethernet(),
         }
         .capacity(),
+        TopologySpec::Torus2d {
+            x,
+            y,
+            hosts_per_switch,
+            ..
+        } => x * y * hosts_per_switch,
+        TopologySpec::Torus3d {
+            x,
+            y,
+            z,
+            hosts_per_switch,
+            ..
+        } => x * y * z * hosts_per_switch,
+        TopologySpec::Dragonfly {
+            groups,
+            routers_per_group,
+            hosts_per_router,
+            ..
+        } => groups * routers_per_group * hosts_per_router,
     })
 }
 
@@ -100,12 +119,56 @@ fn generated(t: &TopologySpec) -> Result<Generated, SpecError> {
             link: link.to_config(),
             switch: switch.to_config(),
         }),
+        TopologySpec::Torus2d {
+            x,
+            y,
+            hosts_per_switch,
+            link,
+            switch,
+        } => generate::torus(&TorusParams {
+            dims: [*x, *y, 1],
+            hosts_per_switch: *hosts_per_switch,
+            link: link.to_config(),
+            switch: switch.to_config(),
+        }),
+        TopologySpec::Torus3d {
+            x,
+            y,
+            z,
+            hosts_per_switch,
+            link,
+            switch,
+        } => generate::torus(&TorusParams {
+            dims: [*x, *y, *z],
+            hosts_per_switch: *hosts_per_switch,
+            link: link.to_config(),
+            switch: switch.to_config(),
+        }),
+        TopologySpec::Dragonfly {
+            groups,
+            routers_per_group,
+            hosts_per_router,
+            host_link,
+            local_link,
+            global_link,
+            switch,
+        } => generate::dragonfly(&DragonflyParams {
+            groups: *groups,
+            routers_per_group: *routers_per_group,
+            hosts_per_router: *hosts_per_router,
+            host_link: host_link.to_config(),
+            local_link: local_link.to_config(),
+            global_link: global_link.to_config(),
+            switch: switch.to_config(),
+        }),
     })
 }
 
 /// Builds an `n`-rank world for the scenario, with every stochastic
-/// element seeded from `seed`. Ranks scatter round-robin across edge
-/// switches, matching the presets' placement policy.
+/// element seeded from `seed`. Ranks map onto hosts through the spec's
+/// [`Placement`](simnet::generate::Placement) policy — scatter (the
+/// presets' round-robin, and the default), pack, or a seeded random
+/// partial permutation.
 ///
 /// # Panics
 /// Panics if `n` exceeds the spec's capacity (callers validate first).
@@ -118,7 +181,7 @@ pub fn build_world(spec: &ScenarioSpec, n: usize, seed: u64) -> Result<World, Sp
         return Ok(preset.build_world(n, seed));
     }
     let g = generated(&spec.topology)?;
-    let ranks = g.scattered_hosts(n);
+    let ranks = spec.placement.place(&g, n, seed);
     let sim_config = SimConfig {
         seed,
         ..SimConfig::default()

@@ -10,7 +10,7 @@
 //!     --out crates/scenario/tests/golden/incast-burst_seed42_workers_any.csv
 //! ```
 
-use contention_scenario::executor::{run_batches, BatchConfig};
+use contention_scenario::executor::{run_batches, BatchConfig, ModelKind};
 use contention_scenario::registry::by_name;
 use contention_scenario::report::to_csv;
 
@@ -35,5 +35,42 @@ fn report_is_byte_identical_across_workers_and_to_prerefactor_capture() {
             report, GOLDEN,
             "workers={workers}: report diverged from the pre-refactor golden"
         );
+    }
+}
+
+/// The non-tree fabrics (torus, dragonfly) and non-scatter placements
+/// obey the same determinism contract: one trimmed cell of each new
+/// builtin, run under every model, must be byte-identical across worker
+/// counts.
+#[test]
+fn new_fabric_scenarios_are_deterministic_across_workers_and_models() {
+    for name in [
+        "torus-neighbor-exchange",
+        "torus3d-random-permutation",
+        "dragonfly-adversarial-uniform",
+        "packed-vs-scattered-fattree",
+    ] {
+        let mut spec = by_name(name).expect("built-in scenario");
+        // One cheap cell: enough to cross the whole engine, small enough
+        // for CI (model calibrations dominate and are memoized).
+        spec.sweep.nodes = vec![*spec.sweep.nodes.first().unwrap()];
+        spec.sweep.message_bytes = vec![*spec.sweep.message_bytes.first().unwrap()];
+        spec.sweep.reps = 1;
+        spec.sweep.warmup = 0;
+        for model in [ModelKind::Med, ModelKind::Signature, ModelKind::Saturation] {
+            let mut reports = Vec::new();
+            for workers in [1usize, 2, 8] {
+                let cfg = BatchConfig {
+                    workers,
+                    base_seed: 42,
+                    model,
+                };
+                let results =
+                    run_batches(std::slice::from_ref(&spec), &cfg).expect("scenario runs");
+                reports.push(to_csv(&results));
+            }
+            assert_eq!(reports[0], reports[1], "{name}/{}: w1 vs w2", model.name());
+            assert_eq!(reports[0], reports[2], "{name}/{}: w1 vs w8", model.name());
+        }
     }
 }

@@ -5,6 +5,7 @@ use contention_scenario::spec::{
     LinkSpec, MpiSpec, ScenarioSpec, SweepSpec, SwitchSpec, TopologySpec, TransportSpec,
     WorkloadSpec,
 };
+use simnet::generate::Placement;
 
 const GOLDEN: &str = include_str!("golden/oversubscribed_tree.toml");
 
@@ -31,6 +32,7 @@ fn expected() -> ScenarioSpec {
                 per_port_cap_bytes: 131_072,
             },
         },
+        placement: Placement::Scatter,
         transport: TransportSpec::Tcp {
             window_bytes: 65_536,
         },

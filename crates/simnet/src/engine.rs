@@ -37,7 +37,9 @@ use crate::packet::{Notification, PackedPacket, PacketKind};
 use crate::stats::NetStats;
 use crate::time::SimTime;
 use crate::topology::Topology;
-use crate::transport::{Connection, SegmentRun, SendActions, TimerCmd};
+use crate::transport::{
+    ConnCold, ConnHot, ConnView, Connection, SegmentRun, SendActions, TimerCmd,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::VecDeque;
@@ -244,7 +246,12 @@ pub struct Simulator {
     pool_occupancy: Vec<u64>,
     port_occupancy: Vec<u64>,
     pool_drops: Vec<u64>,
-    conns: Vec<Connection>,
+    /// Columnar connection state: the dense hot column (one 64-byte line
+    /// per connection — what every delivery/ACK touches) …
+    conn_hot: Vec<ConnHot>,
+    /// … and the parallel cold column (identity, RTT estimation, timer and
+    /// framing bookkeeping), touched only at protocol boundaries.
+    conn_cold: Vec<ConnCold>,
     notifications: VecDeque<Notification>,
     stats: NetStats,
     rng: StdRng,
@@ -293,7 +300,8 @@ impl Simulator {
             port_occupancy: vec![0; n_tx],
             pool_occupancy: vec![0; n_pools],
             pool_drops: vec![0; n_pools],
-            conns: Vec::new(),
+            conn_hot: Vec::new(),
+            conn_cold: Vec::new(),
             notifications: VecDeque::new(),
             stats: NetStats::default(),
             rng: StdRng::seed_from_u64(config.seed),
@@ -337,7 +345,7 @@ impl Simulator {
     /// Panics if `src == dst` (self-messages never touch the network; the
     /// MPI layer handles them locally).
     pub fn open_connection(&mut self, src: HostId, dst: HostId, kind: TransportKind) -> ConnId {
-        let id = ConnId::from_index(self.conns.len());
+        let id = ConnId::from_index(self.conn_hot.len());
         let fwd = self.topo.route_id(src, dst);
         let rev = self.topo.route_id(dst, src);
         self.conn_lanes
@@ -346,8 +354,18 @@ impl Simulator {
         // (data) on the even row, reverse (ACK) on the odd row.
         self.flow_routes.push(fwd);
         self.flow_routes.push(rev);
-        self.conns.push(Connection::new(id, src, dst, kind));
+        let (hot, cold) = Connection::columns(id, src, dst, kind);
+        self.conn_hot.push(hot);
+        self.conn_cold.push(cold);
         id
+    }
+
+    /// The full hot+cold state-machine view of one connection.
+    fn conn(&mut self, conn: ConnId) -> ConnView<'_> {
+        ConnView {
+            hot: &mut self.conn_hot[conn.index()],
+            cold: &mut self.conn_cold[conn.index()],
+        }
     }
 
     /// Queues `bytes` of application payload tagged `tag` on a connection.
@@ -355,7 +373,7 @@ impl Simulator {
     /// [`Notification::SendDone`] (sender).
     pub fn send(&mut self, conn: ConnId, bytes: u64, tag: u64) {
         let now = self.time;
-        let actions = self.conns[conn.index()].on_app_send(bytes, tag, now);
+        let actions = self.conn(conn).on_app_send(bytes, tag, now);
         self.apply_send_actions(conn, actions);
     }
 
@@ -552,8 +570,15 @@ impl Simulator {
         let conn = pkt.conn();
         match pkt.kind() {
             PacketKind::Data => {
-                debug_assert_eq!(self.conns[conn.index()].dst, host);
-                let recv = self.conns[conn.index()].on_data(pkt.seq, pkt.len(), now);
+                debug_assert_eq!(self.conn_cold[conn.index()].dst, host);
+                // Steady-state deliveries (in-order, mid-message, nothing
+                // buffered out of order) resolve against the hot line
+                // alone; boundaries fall through to the full view.
+                if let Some(ack) = self.conn_hot[conn.index()].on_data_fast(pkt.seq, pkt.len()) {
+                    self.inject_ack(conn, ack);
+                    return;
+                }
+                let recv = self.conn(conn).on_data(pkt.seq, pkt.len(), now);
                 for tag in recv.delivered {
                     self.stats.messages_delivered += 1;
                     self.notifications
@@ -564,8 +589,8 @@ impl Simulator {
                 }
             }
             PacketKind::Ack => {
-                debug_assert_eq!(self.conns[conn.index()].src, host);
-                let actions = self.conns[conn.index()].on_ack(pkt.seq, now);
+                debug_assert_eq!(self.conn_cold[conn.index()].src, host);
+                let actions = self.conn(conn).on_ack(pkt.seq, now);
                 self.apply_send_actions(conn, actions);
             }
         }
@@ -573,7 +598,7 @@ impl Simulator {
 
     fn handle_rto(&mut self, conn: ConnId) {
         let now = self.time;
-        let c = &mut self.conns[conn.index()];
+        let c = &mut self.conn_cold[conn.index()];
         c.timer_pushed = false;
         match c.timer_deadline {
             None => {}
@@ -584,7 +609,7 @@ impl Simulator {
                 self.queue.push_once(deadline, Event::RtoTimer { conn });
             }
             Some(_) => {
-                let actions = self.conns[conn.index()].on_rto(now);
+                let actions = self.conn(conn).on_rto(now);
                 self.apply_send_actions(conn, actions);
             }
         }
@@ -616,7 +641,7 @@ impl Simulator {
         } else {
             self.rng.gen_range(0..=self.config.rto_jitter_ns)
         };
-        let c = &mut self.conns[conn.index()];
+        let c = &mut self.conn_cold[conn.index()];
         match cmd {
             TimerCmd::Keep => {}
             TimerCmd::Disarm => c.timer_deadline = None,
@@ -659,7 +684,7 @@ impl Simulator {
         let first_hop = self.topo.first_hop(self.flow_routes[flow]);
         let lane = self.conn_lanes[conn.index()].0;
         if self.config.injection_jitter_ns == 0 {
-            let c = &mut self.conns[conn.index()];
+            let c = &mut self.conn_cold[conn.index()];
             let at = self.time.max(c.last_data_inject);
             c.last_data_inject = at;
             let template = RunTemplate {
@@ -671,7 +696,7 @@ impl Simulator {
         } else {
             for (seq, len) in run.iter() {
                 let jitter = self.jitter();
-                let c = &mut self.conns[conn.index()];
+                let c = &mut self.conn_cold[conn.index()];
                 let at = (self.time + jitter).max(c.last_data_inject);
                 c.last_data_inject = at;
                 let pkt = PackedPacket::data(conn, seq, len, run.retransmit);
@@ -683,7 +708,7 @@ impl Simulator {
 
     fn inject_ack(&mut self, conn: ConnId, ack: u64) {
         let jitter = self.jitter();
-        let c = &mut self.conns[conn.index()];
+        let c = &mut self.conn_cold[conn.index()];
         let at = (self.time + jitter).max(c.last_ack_inject);
         c.last_ack_inject = at;
         let flow = conn.index() * 2 + 1;
@@ -697,7 +722,10 @@ impl Simulator {
 
     /// True when every connection has acknowledged all queued bytes.
     pub fn all_quiescent(&self) -> bool {
-        self.conns.iter().all(|c| c.quiescent())
+        self.conn_hot
+            .iter()
+            .zip(&self.conn_cold)
+            .all(|(hot, cold)| hot.snd_una == cold.stream_len())
     }
 }
 

@@ -23,7 +23,7 @@
 //!
 //! The end-to-end engine is memory-bound: its cost is dominated by moving
 //! event payloads through this queue, so a queued event is stored as a
-//! 16-byte [`Node`] — `(SimTime, u32 seq, u32 payload)` — not as a ~56-byte
+//! 16-byte `Node` — `(SimTime, u32 seq, u32 payload)` — not as a ~56-byte
 //! inline `Event`. The payload word packs a 3-bit event tag with 29 handle
 //! bits: a timer's connection index rides the word itself, while packet
 //! events put their [`PackedPacket`] plus location in the chunk's
@@ -31,8 +31,8 @@
 //! node at push, read beside it at pop, no slab, no freelist, no extra
 //! cache miss. Lanes are rings of pooled 16-entry chunks, so the per-node
 //! `next` pointer of a linked design is amortized away and a drain walks
-//! contiguous memory. Compile-time assertions pin [`Node`] and the heap's
-//! [`TopKey`] at ≤ 16 bytes so a layout regression fails the build, not a
+//! contiguous memory. Compile-time assertions pin `Node` and the heap's
+//! `TopKey` at ≤ 16 bytes so a layout regression fails the build, not a
 //! benchmark.
 //!
 //! # Run-length injection lanes
@@ -56,7 +56,7 @@
 //! materialized pop the lane head is re-keyed to element `i+1` before the
 //! heap sifts — indistinguishable, pop by pop, from the uncompressed burst.
 //! `seq` is a *wrapping* `u32` compared with two's-complement distance
-//! ([`seq_before`]); the order is exact as long as fewer than 2³¹ events
+//! (`seq_before`); the order is exact as long as fewer than 2³¹ events
 //! are pending at once, which the engine's bounded transport windows keep
 //! many orders of magnitude away.
 //!

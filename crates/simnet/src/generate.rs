@@ -17,11 +17,27 @@
 //!   bandwidth per leaf = `oversubscription ×` total uplink bandwidth;
 //! * [`fat_tree`] — a k-ary fat-tree (k pods of k/2 edge + k/2 aggregation
 //!   switches, (k/2)² cores) with a configurable number of hosts per edge
-//!   switch.
+//!   switch;
+//! * [`torus_2d`] / [`torus_3d`] — wrap-around switch meshes with
+//!   dimension-ordered (e-cube) routing, the HPC fabrics where partition
+//!   shape decides which contention is avoidable at all (Oltchik &
+//!   Toledo 2020);
+//! * [`dragonfly`] — groups of fully-meshed routers joined by single
+//!   global links, minimal-path routed: the fabric whose global links the
+//!   adversarial placements saturate.
+//!
+//! Rank placement onto generated hosts is a [`Placement`] policy —
+//! scatter (round-robin across edge groups), pack (fill groups in order)
+//! or a seeded random partial permutation — instead of the scatter rule
+//! being hard-coded into every caller.
 
 use crate::config::{LinkConfig, SwitchConfig};
 use crate::ids::{HostId, SwitchId};
-use crate::topology::TopologyBuilder;
+use crate::topology::{RoutingPolicy, TopologyBuilder};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
 
 /// A generator's output: the builder (not yet built, so callers can still
 /// attach a host I/O bus or extra links) plus structural metadata.
@@ -72,6 +88,94 @@ impl Generated {
             depth += 1;
         }
         picked
+    }
+
+    /// The first `n` hosts taken group-by-group (edge switch by edge
+    /// switch) — the placement a locality-greedy batch scheduler
+    /// produces, and the adversarial one on dragonflies (packed groups
+    /// funnel all cross-traffic through single global links).
+    ///
+    /// # Panics
+    /// Panics if `n` exceeds [`Generated::capacity`].
+    pub fn packed_hosts(&self, n: usize) -> Vec<HostId> {
+        assert!(
+            n <= self.capacity(),
+            "{n} ranks exceed the fabric's {} hosts",
+            self.capacity()
+        );
+        self.host_groups
+            .iter()
+            .flat_map(|group| group.iter().copied())
+            .take(n)
+            .collect()
+    }
+
+    /// `n` hosts drawn as a seeded random partial permutation of the
+    /// fabric — the placement a fragmented batch queue produces.
+    /// Deterministic per seed.
+    ///
+    /// # Panics
+    /// Panics if `n` exceeds [`Generated::capacity`].
+    pub fn random_hosts(&self, n: usize, seed: u64) -> Vec<HostId> {
+        assert!(
+            n <= self.capacity(),
+            "{n} ranks exceed the fabric's {} hosts",
+            self.capacity()
+        );
+        let mut pool = self.hosts.clone();
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x9E37_79B9_7F4A_7C15);
+        pool.shuffle(&mut rng);
+        pool.truncate(n);
+        pool
+    }
+}
+
+/// How scenario ranks map onto a generated fabric's hosts. Replaces the
+/// scatter rule previously hard-coded into every caller; threaded through
+/// the scenario spec, the TOML format and the `ctnsim` CLI.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum Placement {
+    /// Round-robin across edge groups ([`Generated::scattered_hosts`]) —
+    /// the historical default every pre-existing scenario keeps.
+    #[default]
+    Scatter,
+    /// Fill edge groups in order ([`Generated::packed_hosts`]).
+    Pack,
+    /// Seeded random partial permutation ([`Generated::random_hosts`]).
+    RandomSeeded,
+}
+
+impl Placement {
+    /// Every policy, in presentation order.
+    pub fn all() -> [Placement; 3] {
+        [Placement::Scatter, Placement::Pack, Placement::RandomSeeded]
+    }
+
+    /// The stable spec/CLI name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Placement::Scatter => "scatter",
+            Placement::Pack => "pack",
+            Placement::RandomSeeded => "random",
+        }
+    }
+
+    /// Parses a spec/CLI name.
+    pub fn parse(name: &str) -> Option<Self> {
+        Placement::all().into_iter().find(|p| p.name() == name)
+    }
+
+    /// Places `n` ranks onto the fabric. `seed` only affects
+    /// [`Placement::RandomSeeded`].
+    ///
+    /// # Panics
+    /// Panics if `n` exceeds [`Generated::capacity`].
+    pub fn place(&self, g: &Generated, n: usize, seed: u64) -> Vec<HostId> {
+        match self {
+            Placement::Scatter => g.scattered_hosts(n),
+            Placement::Pack => g.packed_hosts(n),
+            Placement::RandomSeeded => g.random_hosts(n, seed),
+        }
     }
 }
 
@@ -287,6 +391,222 @@ pub fn fat_tree(p: &FatTreeParams) -> Generated {
     }
 }
 
+/// Parameters of a wrap-around switch mesh (see [`torus`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TorusParams {
+    /// Ring length per dimension; use `1` for unused dimensions (a 2-D
+    /// torus is `[x, y, 1]`).
+    pub dims: [usize; 3],
+    /// Hosts attached to each switch.
+    pub hosts_per_switch: usize,
+    /// Link used for host and switch-to-switch wires alike.
+    pub link: LinkConfig,
+    /// Buffering of every switch.
+    pub switch: SwitchConfig,
+}
+
+impl TorusParams {
+    /// Total host capacity: `x · y · z · hosts_per_switch`.
+    pub fn capacity(&self) -> usize {
+        self.dims.iter().product::<usize>() * self.hosts_per_switch
+    }
+}
+
+/// A torus of switches with [dimension-ordered] (e-cube) routing: switch
+/// `(x, y, z)` joins its `±1` wrap-around neighbours along every dimension
+/// of length ≥ 2 (a length-2 ring is a single link, not a doubled pair).
+/// Routes correct the lowest-indexed mismatched dimension first, always
+/// along the shorter wrap direction — the deterministic minimal routing of
+/// classical k-ary n-cube machines.
+///
+/// ```text
+///  (0,1)──(1,1)──(2,1)─┐        one host column per switch
+///    │      │      │   │        (hosts_per_switch hosts)
+///  (0,0)──(1,0)──(2,0)─┤
+///    └──────┴──────┴───┘  ← wrap links close each ring
+/// ```
+///
+/// [dimension-ordered]: crate::topology::RoutingPolicy::DimensionOrdered
+///
+/// # Panics
+/// Panics if any dimension is 0, the switch count is below 2, or
+/// `hosts_per_switch == 0`.
+pub fn torus(p: &TorusParams) -> Generated {
+    let [nx, ny, nz] = p.dims;
+    assert!(nx > 0 && ny > 0 && nz > 0, "torus dimensions must be ≥ 1");
+    assert!(nx * ny * nz >= 2, "a torus needs at least two switches");
+    assert!(p.hosts_per_switch > 0);
+    let n_switches = nx * ny * nz;
+    let mut b = TopologyBuilder::new();
+    let hosts = b.add_hosts(n_switches * p.hosts_per_switch);
+    let switches: Vec<SwitchId> = (0..n_switches).map(|_| b.add_switch(p.switch)).collect();
+    // Switch s ↔ coordinate (x, y, z), x fastest.
+    let index_of = |x: usize, y: usize, z: usize| x + nx * (y + ny * z);
+    let mut coords = Vec::with_capacity(n_switches);
+    for z in 0..nz {
+        for y in 0..ny {
+            for x in 0..nx {
+                coords.push([x as u16, y as u16, z as u16]);
+            }
+        }
+    }
+
+    let mut host_groups = vec![Vec::with_capacity(p.hosts_per_switch); n_switches];
+    for (i, &h) in hosts.iter().enumerate() {
+        let sw = i / p.hosts_per_switch;
+        b.link_host(h, switches[sw], p.link);
+        host_groups[sw].push(h);
+    }
+
+    for (s, &[x, y, z]) in coords.iter().enumerate() {
+        let (x, y, z) = (x as usize, y as usize, z as usize);
+        // +1 neighbour per dimension; a length-2 ring adds its single
+        // link only from coordinate 0, a length-1 ring none at all.
+        for (size, neighbor) in [
+            (nx, index_of((x + 1) % nx, y, z)),
+            (ny, index_of(x, (y + 1) % ny, z)),
+            (nz, index_of(x, y, (z + 1) % nz)),
+        ] {
+            let add = s != neighbor && (size > 2 || neighbor > s);
+            if add {
+                b.link_switches(switches[s], switches[neighbor], p.link);
+            }
+        }
+    }
+
+    b.set_switch_coords(coords);
+    b.set_routing(RoutingPolicy::DimensionOrdered);
+    Generated {
+        builder: b,
+        hosts,
+        host_groups,
+        edge_switches: switches,
+        agg_switches: Vec::new(),
+        core_switches: Vec::new(),
+    }
+}
+
+/// A 2-D torus: `x · y` switches, `hosts_per_switch` hosts each. See
+/// [`torus`].
+pub fn torus_2d(
+    x: usize,
+    y: usize,
+    hosts_per_switch: usize,
+    link: LinkConfig,
+    switch: SwitchConfig,
+) -> Generated {
+    torus(&TorusParams {
+        dims: [x, y, 1],
+        hosts_per_switch,
+        link,
+        switch,
+    })
+}
+
+/// A 3-D torus: `x · y · z` switches, `hosts_per_switch` hosts each. See
+/// [`torus`].
+pub fn torus_3d(
+    x: usize,
+    y: usize,
+    z: usize,
+    hosts_per_switch: usize,
+    link: LinkConfig,
+    switch: SwitchConfig,
+) -> Generated {
+    torus(&TorusParams {
+        dims: [x, y, z],
+        hosts_per_switch,
+        link,
+        switch,
+    })
+}
+
+/// Parameters of a dragonfly fabric (see [`dragonfly`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DragonflyParams {
+    /// Number of groups (`g`).
+    pub groups: usize,
+    /// Routers per group (`a`), fully meshed within the group.
+    pub routers_per_group: usize,
+    /// Hosts attached to each router (`h`).
+    pub hosts_per_router: usize,
+    /// Host ↔ router link.
+    pub host_link: LinkConfig,
+    /// Intra-group (local mesh) link.
+    pub local_link: LinkConfig,
+    /// Inter-group (global) link.
+    pub global_link: LinkConfig,
+    /// Buffering of every router.
+    pub switch: SwitchConfig,
+}
+
+impl DragonflyParams {
+    /// Total host capacity: `g · a · h`.
+    pub fn capacity(&self) -> usize {
+        self.groups * self.routers_per_group * self.hosts_per_router
+    }
+}
+
+/// A dragonfly: `g` groups of `a` fully-meshed routers with `h` hosts
+/// each; every *pair of groups* is joined by exactly one global link,
+/// attached round-robin to the groups' routers so global connectivity
+/// spreads evenly. Routing is minimal-path (the builder's BFS) with
+/// deterministic ECMP over equal-cost choices — up to
+/// `local → global → local`, the canonical dragonfly minimal route.
+///
+/// ```text
+///   group 0          group 1          group 2
+///  ┌r0──r1┐         ┌r0──r1┐         ┌r0──r1┐
+///  │ ╲  ╱ │  ═══════│ ╲  ╱ │═══════  │ ╲  ╱ │   ── local mesh
+///  └r3──r2┘         └r3──r2┘         └r3──r2┘   ══ one global link
+///      ╚════════════════════════════════╝          per group pair
+/// ```
+///
+/// # Panics
+/// Panics if any count is zero or the fabric has fewer than two routers.
+pub fn dragonfly(p: &DragonflyParams) -> Generated {
+    let (g, a, h) = (p.groups, p.routers_per_group, p.hosts_per_router);
+    assert!(g > 0 && a > 0 && h > 0, "dragonfly counts must be positive");
+    assert!(g * a >= 2, "a dragonfly needs at least two routers");
+    let mut b = TopologyBuilder::new();
+    let hosts = b.add_hosts(g * a * h);
+    let routers: Vec<SwitchId> = (0..g * a).map(|_| b.add_switch(p.switch)).collect();
+
+    let mut host_groups = vec![Vec::with_capacity(h); g * a];
+    for (i, &host) in hosts.iter().enumerate() {
+        let r = i / h;
+        b.link_host(host, routers[r], p.host_link);
+        host_groups[r].push(host);
+    }
+
+    // Local full mesh within each group.
+    for group in 0..g {
+        for i in 0..a {
+            for j in (i + 1)..a {
+                b.link_switches(routers[group * a + i], routers[group * a + j], p.local_link);
+            }
+        }
+    }
+    // One global link per group pair, endpoints rotating through each
+    // group's routers so every router carries ⌈(g−1)/a⌉ global links.
+    for gi in 0..g {
+        for gj in (gi + 1)..g {
+            let ri = routers[gi * a + (gj - gi - 1) % a];
+            let rj = routers[gj * a + (g + gi - gj - 1) % a];
+            b.link_switches(ri, rj, p.global_link);
+        }
+    }
+
+    Generated {
+        builder: b,
+        hosts,
+        host_groups,
+        edge_switches: routers,
+        agg_switches: Vec::new(),
+        core_switches: Vec::new(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -392,5 +712,124 @@ mod tests {
             link: gbe(),
             switch: sw(),
         });
+    }
+
+    #[test]
+    fn torus_2d_routes_dimension_ordered() {
+        let g = torus_2d(4, 3, 2, gbe(), sw());
+        assert_eq!(g.capacity(), 24);
+        assert_eq!(g.edge_switches.len(), 12);
+        let hosts = g.hosts.clone();
+        let topo = g.builder.build(&SimConfig::default()).unwrap();
+        // Same switch: host → switch → host.
+        assert_eq!(topo.hop_count(hosts[0], hosts[1]), 2);
+        // Switch (0,0) → (2,1): ring distances 2 + 1, plus the two host
+        // hops. Host 0 sits on switch 0 = (0,0); hosts 2·s on switch s.
+        let src = hosts[0];
+        let dst = hosts[2 * (2 + 4)]; // switch (2,1)
+                                      // 1 host hop + ring distances (2 along x, 1 along y) + final hop.
+        assert_eq!(topo.hop_count(src, dst), 1 + 2 + 1 + 1);
+        // Dimension order: x corrects before y — the second hop leaves
+        // along x, and the route's switch sequence is (1,0), (2,0), (2,1).
+        let route = topo.route(src, dst);
+        use crate::topology::Endpoint;
+        let seq: Vec<Endpoint> = route
+            .iter()
+            .map(|tx| topo.tx_params[tx.index()].to)
+            .collect();
+        assert_eq!(
+            seq,
+            vec![
+                Endpoint::Switch(g.edge_switches[0]),
+                Endpoint::Switch(g.edge_switches[1]),
+                Endpoint::Switch(g.edge_switches[2]),
+                Endpoint::Switch(g.edge_switches[2 + 4]),
+                Endpoint::Host(dst),
+            ]
+        );
+    }
+
+    #[test]
+    fn torus_wrap_links_take_the_short_way() {
+        let g = torus_2d(4, 1, 1, gbe(), sw());
+        let hosts = g.hosts.clone();
+        let topo = g.builder.build(&SimConfig::default()).unwrap();
+        // 0 → 3 wraps backwards: one switch hop, not three.
+        assert_eq!(topo.hop_count(hosts[0], hosts[3]), 3);
+        assert_eq!(topo.hop_count(hosts[0], hosts[2]), 4, "true diameter");
+    }
+
+    #[test]
+    fn torus_3d_hop_counts_sum_ring_distances() {
+        let g = torus_3d(3, 3, 3, 1, gbe(), sw());
+        assert_eq!(g.capacity(), 27);
+        let hosts = g.hosts.clone();
+        let topo = g.builder.build(&SimConfig::default()).unwrap();
+        // (0,0,0) → (1,1,1): three unit corrections + host hops.
+        let dst = hosts[1 + 3 * (1 + 3)];
+        assert_eq!(topo.hop_count(hosts[0], dst), 1 + 3 + 1);
+    }
+
+    #[test]
+    fn dragonfly_structure_and_minimal_paths() {
+        let p = DragonflyParams {
+            groups: 4,
+            routers_per_group: 4,
+            hosts_per_router: 2,
+            host_link: gbe(),
+            local_link: gbe(),
+            global_link: gbe(),
+            switch: sw(),
+        };
+        let g = dragonfly(&p);
+        assert_eq!(g.capacity(), 32);
+        assert_eq!(g.edge_switches.len(), 16);
+        let hosts = g.hosts.clone();
+        let topo = g.builder.build(&SimConfig::default()).unwrap();
+        for &a in &hosts {
+            for &b in &hosts {
+                if a != b {
+                    let hops = topo.hop_count(a, b);
+                    // host + ≤1 local + ≤1 global + ≤1 local + host.
+                    assert!((2..=5).contains(&hops), "{a}->{b}: {hops}");
+                }
+            }
+        }
+        // Same router: 2 hops. Same group: 3 (one local mesh hop).
+        assert_eq!(topo.hop_count(hosts[0], hosts[1]), 2);
+        assert_eq!(topo.hop_count(hosts[0], hosts[2]), 3);
+    }
+
+    #[test]
+    fn placements_cover_scatter_pack_random() {
+        let g = star_of_switches(3, 4, gbe(), gbe(), 1, sw(), sw());
+        let scatter = Placement::Scatter.place(&g, 6, 9);
+        assert_eq!(scatter, g.scattered_hosts(6));
+        let pack = Placement::Pack.place(&g, 6, 9);
+        assert_eq!(
+            pack,
+            vec![
+                g.host_groups[0][0],
+                g.host_groups[0][1],
+                g.host_groups[0][2],
+                g.host_groups[0][3],
+                g.host_groups[1][0],
+                g.host_groups[1][1],
+            ],
+            "pack fills leaf 0 before touching leaf 1"
+        );
+        let r1 = Placement::RandomSeeded.place(&g, 6, 9);
+        let r2 = Placement::RandomSeeded.place(&g, 6, 9);
+        assert_eq!(r1, r2, "same seed, same placement");
+        let r3 = Placement::RandomSeeded.place(&g, 6, 10);
+        assert_ne!(r1, r3, "different seed, different placement");
+    }
+
+    #[test]
+    fn placement_names_round_trip() {
+        for p in Placement::all() {
+            assert_eq!(Placement::parse(p.name()), Some(p));
+        }
+        assert_eq!(Placement::parse("compact"), None);
     }
 }

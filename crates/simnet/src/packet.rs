@@ -31,7 +31,7 @@ pub enum PacketKind {
     Ack,
 }
 
-/// Payload length field width in [`PackedPacket::meta`]: 22 bits, so any
+/// Payload length field width in `PackedPacket::meta`: 22 bits, so any
 /// segment up to 4 MiB − 1 — far beyond every transport MTU — packs
 /// losslessly.
 pub const LEN_BITS: u32 = 22;

@@ -6,12 +6,33 @@
 //! buffer pool (the sending host's NIC buffer, or the sending switch's
 //! shared memory).
 //!
-//! Routing is computed once at build time: shortest path by hop count, with
-//! deterministic per-flow tie-breaking so parallel uplinks and equal-cost
-//! paths are load-balanced the way ECMP hashing would.
+//! Routing is computed once at build time: shortest path by hop count.
+//! Equal-cost choices are resolved by the builder's [`RoutingPolicy`]:
+//! deterministic per-flow ECMP hashing by default (parallel uplinks and
+//! fat-tree cores load-balance the way switch hashing would), or
+//! dimension-ordered (e-cube) selection for mesh/torus fabrics whose
+//! generators supply per-switch coordinates.
 
 use crate::config::{LinkConfig, SimConfig, SwitchConfig};
 use crate::ids::{HostId, PoolId, RouteId, SwitchId, TxId};
+
+/// How the builder resolves equal-cost next-hop choices when several
+/// shortest paths exist.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RoutingPolicy {
+    /// Deterministic per-flow hashing over equal-cost next hops — the
+    /// classic ECMP spread (the default, and the only sane choice for
+    /// trees and fat-trees).
+    #[default]
+    EcmpShortest,
+    /// Dimension-ordered (e-cube) routing: among equal-cost next hops,
+    /// correct the lowest-indexed mismatched coordinate dimension first.
+    /// Requires [`TopologyBuilder::set_switch_coords`]; switches without
+    /// coordinates (and host-side hops) fall back to ECMP hashing. On an
+    /// even-sized ring's exact midpoint both wrap directions are minimal
+    /// and the tie resolves to link-creation order.
+    DimensionOrdered,
+}
 
 /// Where a transmitter's packets land after the wire.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -168,6 +189,11 @@ pub struct TopologyBuilder {
     switches: Vec<SwitchConfig>,
     links: Vec<LinkSpec>,
     host_bus: Option<(f64, u64)>,
+    routing: RoutingPolicy,
+    /// Per-switch coordinates (parallel to `switches`) for
+    /// dimension-ordered routing; empty unless a mesh/torus generator
+    /// supplied them.
+    switch_coords: Vec<[u16; 3]>,
 }
 
 impl Default for TopologyBuilder {
@@ -184,7 +210,24 @@ impl TopologyBuilder {
             switches: Vec::new(),
             links: Vec::new(),
             host_bus: None,
+            routing: RoutingPolicy::default(),
+            switch_coords: Vec::new(),
         }
+    }
+
+    /// Selects the equal-cost tie-breaking policy (default: ECMP hashing).
+    pub fn set_routing(&mut self, policy: RoutingPolicy) {
+        self.routing = policy;
+    }
+
+    /// Supplies one `[x, y, z]` coordinate per switch (creation order) for
+    /// [`RoutingPolicy::DimensionOrdered`]. Unused dimensions stay 0.
+    ///
+    /// # Panics
+    /// Panics if the coordinate count does not match the switch count at
+    /// build time.
+    pub fn set_switch_coords(&mut self, coords: Vec<[u16; 3]>) {
+        self.switch_coords = coords;
     }
 
     /// Inserts a shared-serializer I/O bus stage between every host and its
@@ -358,6 +401,20 @@ impl TopologyBuilder {
             }
         }
 
+        if self.routing == RoutingPolicy::DimensionOrdered || !self.switch_coords.is_empty() {
+            assert_eq!(
+                self.switch_coords.len(),
+                n_switches,
+                "dimension-ordered routing needs one coordinate per switch"
+            );
+        }
+        // Coordinate of a node, if it is a switch with one.
+        let coord_of = |n: usize| -> Option<[u16; 3]> {
+            (n >= n_hosts && n < n_hosts + n_switches)
+                .then(|| self.switch_coords.get(n - n_hosts).copied())
+                .flatten()
+        };
+
         // BFS distance-to-destination per destination host, then greedy
         // next-hop walks with hashed tie-breaking. Routes intern into one
         // flat arena so the engine can address them by `RouteId`.
@@ -397,10 +454,34 @@ impl TopologyBuilder {
                         .filter(|&&(_, v)| dist[v] + 1 == dist[at])
                         .collect();
                     debug_assert!(!candidates.is_empty(), "BFS guarantees progress");
-                    // ECMP-style deterministic spreading over equal-cost
-                    // next hops and parallel links.
-                    let h = fxhash(src as u64, dst as u64, at as u64);
-                    let &(tx, next) = candidates[(h % candidates.len() as u64) as usize];
+                    let dor_pick = || -> Option<&(TxId, usize)> {
+                        if self.routing != RoutingPolicy::DimensionOrdered {
+                            return None;
+                        }
+                        let a = coord_of(at)?;
+                        // Correct the lowest mismatched dimension first
+                        // (BFS already restricted candidates to minimal
+                        // moves); creation order breaks exact-midpoint
+                        // wrap ties. Hops off the coordinate grid (the
+                        // final descent into a host) sort after every
+                        // real dimension.
+                        candidates.iter().copied().min_by_key(|&&(tx, v)| {
+                            let dim = match coord_of(v) {
+                                Some(c) => (0..3).find(|&d| a[d] != c[d]).unwrap_or(3),
+                                None => 3,
+                            };
+                            (dim, tx.index())
+                        })
+                    };
+                    let &(tx, next) = match dor_pick() {
+                        Some(pick) => pick,
+                        None => {
+                            // ECMP-style deterministic spreading over
+                            // equal-cost next hops and parallel links.
+                            let h = fxhash(src as u64, dst as u64, at as u64);
+                            candidates[(h % candidates.len() as u64) as usize]
+                        }
+                    };
                     route_arena.push(tx);
                     at = next;
                 }

