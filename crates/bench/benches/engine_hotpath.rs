@@ -18,6 +18,13 @@
 //! ```text
 //! cargo bench -p contention-bench --bench engine_hotpath -- --save-json ../../BENCH_engine.json
 //! ```
+//!
+//! This harness deliberately sits *below* the scenario layer's `Session`
+//! facade: it drives `simnet::Simulator` connections directly so the
+//! tracked numbers isolate the packet engine from calibration, workload
+//! generation and executor scheduling (which `scenario_batch` measures
+//! end-to-end through `Session`). It has no scenario-crate call sites,
+//! deprecated or otherwise.
 
 use contention_bench::hotpath::{cases, Case, Fabric};
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};

@@ -4,76 +4,52 @@
 //! cache both land in this number. A torus and a dragonfly grid ride
 //! along so the non-tree generators and placement policies stay on the
 //! measured path.
+//!
+//! The harness drives the library the way embedders do: specs come from
+//! the fluent `ScenarioBuilder`, execution goes through a `Session` per
+//! worker count, and all sessions share one `CalibrationCache` (the
+//! session-owned replacement for the old process-global memo), so the
+//! measured loop is pure executor — fits happen once, outside the timer.
 
-use contention_scenario::executor::{run_batch, BatchConfig};
-use contention_scenario::spec::{
-    LinkSpec, MpiSpec, ScenarioSpec, SweepSpec, SwitchSpec, TopologySpec, TransportSpec,
-    WorkloadSpec,
-};
+use contention_scenario::prelude::*;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use simnet::generate::Placement;
+use std::sync::Arc;
 
 /// A grid of eight quick cells (4–6 ranks, 16–64 KiB) on a small star —
 /// enough work for sharding to matter, small enough for CI.
 fn small_grid() -> ScenarioSpec {
-    ScenarioSpec {
-        name: "bench-small-grid".into(),
-        description: "executor scaling benchmark".into(),
-        topology: TopologySpec::SingleSwitch {
-            hosts: 8,
-            link: LinkSpec::default(),
-            switch: SwitchSpec::default(),
-        },
-        placement: Placement::default(),
-        transport: TransportSpec::default(),
-        mpi: MpiSpec::default(),
-        workload: WorkloadSpec::Uniform {
-            algorithm: "direct".into(),
-        },
-        sweep: SweepSpec {
-            nodes: vec![4, 5, 6, 8],
-            message_bytes: vec![16 * 1024, 64 * 1024],
-            warmup: 0,
-            reps: 1,
-        },
-    }
+    ScenarioBuilder::new("bench-small-grid")
+        .description("executor scaling benchmark")
+        .single_switch(8, LinkSpec::default(), SwitchSpec::default())
+        .uniform("direct")
+        .nodes([4, 5, 6, 8])
+        .message_bytes([16 * 1024, 64 * 1024])
+        .reps(1)
+        .build()
+        .expect("bench spec is valid")
 }
 
 /// The small grid's shape on a packed 3×3 torus (dimension-ordered
 /// routing on the batch path).
 fn torus_grid() -> ScenarioSpec {
-    ScenarioSpec {
-        name: "bench-torus-grid".into(),
-        description: "executor scaling benchmark, torus fabric".into(),
-        topology: TopologySpec::Torus2d {
-            x: 3,
-            y: 3,
-            hosts_per_switch: 1,
-            link: LinkSpec::default(),
-            switch: SwitchSpec::default(),
-        },
-        placement: Placement::Pack,
-        transport: TransportSpec::default(),
-        mpi: MpiSpec::default(),
-        workload: WorkloadSpec::Uniform {
-            algorithm: "direct".into(),
-        },
-        sweep: SweepSpec {
-            nodes: vec![4, 6, 8],
-            message_bytes: vec![16 * 1024, 64 * 1024],
-            warmup: 0,
-            reps: 1,
-        },
-    }
+    ScenarioBuilder::new("bench-torus-grid")
+        .description("executor scaling benchmark, torus fabric")
+        .torus_2d(3, 3, 1, LinkSpec::default(), SwitchSpec::default())
+        .placement(Placement::Pack)
+        .uniform("direct")
+        .nodes([4, 6, 8])
+        .message_bytes([16 * 1024, 64 * 1024])
+        .reps(1)
+        .build()
+        .expect("bench spec is valid")
 }
 
 /// The small grid's shape on a packed dragonfly (global-link funneling on
 /// the batch path).
 fn dragonfly_grid() -> ScenarioSpec {
-    ScenarioSpec {
-        name: "bench-dragonfly-grid".into(),
-        description: "executor scaling benchmark, dragonfly fabric".into(),
-        topology: TopologySpec::Dragonfly {
+    ScenarioBuilder::new("bench-dragonfly-grid")
+        .description("executor scaling benchmark, dragonfly fabric")
+        .topology(TopologySpec::Dragonfly {
             groups: 3,
             routers_per_group: 3,
             hosts_per_router: 1,
@@ -81,38 +57,34 @@ fn dragonfly_grid() -> ScenarioSpec {
             local_link: LinkSpec::default(),
             global_link: LinkSpec::default(),
             switch: SwitchSpec::default(),
-        },
-        placement: Placement::Pack,
-        transport: TransportSpec::default(),
-        mpi: MpiSpec::default(),
-        workload: WorkloadSpec::Uniform {
-            algorithm: "direct".into(),
-        },
-        sweep: SweepSpec {
-            nodes: vec![4, 6, 8],
-            message_bytes: vec![16 * 1024, 64 * 1024],
-            warmup: 0,
-            reps: 1,
-        },
-    }
+        })
+        .placement(Placement::Pack)
+        .uniform("direct")
+        .nodes([4, 6, 8])
+        .message_bytes([16 * 1024, 64 * 1024])
+        .reps(1)
+        .build()
+        .expect("bench spec is valid")
 }
 
 fn bench_worker_scaling(c: &mut Criterion) {
+    let cache = Arc::new(CalibrationCache::new());
     for spec in [small_grid(), torus_grid(), dragonfly_grid()] {
         let fabric = spec.topology.kind();
         let mut group = c.benchmark_group("scenario_batch");
         group.sample_size(10);
         for workers in [1usize, 2, 4, 8] {
+            let session = Session::builder()
+                .workers(workers)
+                .base_seed(42)
+                .shared_cache(Arc::clone(&cache))
+                .build()
+                .expect("session builds");
             group.bench_with_input(
                 BenchmarkId::new(fabric, workers),
                 &workers,
-                |b, &workers| {
-                    let cfg = BatchConfig {
-                        workers,
-                        base_seed: 42,
-                        ..Default::default()
-                    };
-                    b.iter(|| run_batch(&spec, &cfg).expect("benchmark scenario runs"));
+                |b, &_workers| {
+                    b.iter(|| session.run(&spec).expect("benchmark scenario runs"));
                 },
             );
         }

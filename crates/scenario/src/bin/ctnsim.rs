@@ -2,16 +2,20 @@
 //!
 //! ```text
 //! ctnsim list
-//! ctnsim run <name|file.toml>... [--workers N] [--seed S] [--format csv|json] [--out FILE]
+//! ctnsim run <name|file.toml>... [--workers N] [--seed S] [--format text|csv|json] [--out FILE]
 //! ctnsim sweep <name|file.toml> --nodes 4,8 --sizes 65536,262144 [--reps R] [--workers N]
 //! ctnsim show <name>
 //! ```
+//!
+//! A thin shell over the library's [`Session`] facade: argument parsing
+//! and I/O live here, everything else (calibration caching, streaming
+//! progress, report rendering) is the same code an embedder calls.
+//!
+//! Exit codes: `0` success, `1` runtime failure (unknown scenario,
+//! invalid spec, simulation or I/O error), `2` usage error (unknown
+//! command, flag or flag value).
 
-use contention_scenario::executor::{run_batches, BatchConfig, BatchResult, ModelKind};
-use contention_scenario::registry;
-use contention_scenario::report;
-use contention_scenario::spec::ScenarioSpec;
-use simnet::generate::Placement;
+use contention_scenario::prelude::*;
 use std::process::ExitCode;
 
 const USAGE: &str = "ctnsim — contention scenario runner
@@ -42,15 +46,23 @@ OPTIONS:
                       (round-robin across edge groups), pack (fill groups
                       in order) or random (seeded partial permutation).
                       Not available on preset topologies.
-    --format csv|json Output format (default csv)
+    --format NAME     Output format: text, csv (default) or json
     --out FILE        Write the report to FILE instead of stdout
+    --progress        Stream per-cell progress to stderr while running
     --reps R          Measured repetitions per cell (override)
     --warmup W        Warm-up repetitions per cell (override)
 ";
 
+/// Runtime failure (unknown scenario, invalid spec, simulation error).
 fn fail(msg: impl std::fmt::Display) -> ExitCode {
     eprintln!("ctnsim: {msg}");
     ExitCode::FAILURE
+}
+
+/// Usage error (unknown command, flag, or flag value).
+fn fail_usage(msg: impl std::fmt::Display) -> ExitCode {
+    eprintln!("ctnsim: {msg}");
+    ExitCode::from(2)
 }
 
 struct Options {
@@ -58,8 +70,9 @@ struct Options {
     seed: u64,
     model: ModelKind,
     placement: Option<Placement>,
-    format: String,
+    format: ReportFormat,
     out: Option<String>,
+    progress: bool,
     nodes: Option<Vec<usize>>,
     sizes: Option<Vec<u64>>,
     reps: Option<usize>,
@@ -73,8 +86,9 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         seed: 42,
         model: ModelKind::Med,
         placement: None,
-        format: "csv".into(),
+        format: ReportFormat::Csv,
         out: None,
+        progress: false,
         nodes: None,
         sizes: None,
         reps: None,
@@ -114,13 +128,13 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 })?);
             }
             "--format" => {
-                let f = value_of("--format")?;
-                if f != "csv" && f != "json" {
-                    return Err(format!("unknown format {f:?} (expected csv or json)"));
-                }
-                o.format = f;
+                let name = value_of("--format")?;
+                o.format = ReportFormat::parse(&name).ok_or_else(|| {
+                    format!("unknown format {name:?} (expected text, csv or json)")
+                })?;
             }
             "--out" => o.out = Some(value_of("--out")?),
+            "--progress" => o.progress = true,
             "--nodes" => o.nodes = Some(parse_list(&value_of("--nodes")?, "--nodes")?),
             "--sizes" => {
                 o.sizes = Some(
@@ -175,18 +189,15 @@ fn load_spec(name_or_path: &str) -> Result<ScenarioSpec, String> {
     ))
 }
 
-fn emit(options: &Options, results: &[BatchResult]) -> Result<(), String> {
-    let text = match options.format.as_str() {
-        "json" => report::to_json(results),
-        _ => report::to_csv(results),
-    };
+fn emit(options: &Options, report: &Report) -> Result<(), String> {
+    let text = report.render(options.format);
     match &options.out {
         Some(path) => {
             std::fs::write(path, &text).map_err(|e| format!("cannot write {path}: {e}"))?;
-            let cells: usize = results.iter().map(|r| r.cells.len()).sum();
             eprintln!(
-                "wrote {} scenario(s), {cells} cell(s) to {path}",
-                results.len()
+                "wrote {} scenario(s), {} cell(s) to {path}",
+                report.batches.len(),
+                report.cell_count()
             );
             Ok(())
         }
@@ -215,6 +226,34 @@ fn cmd_list() -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Streams per-cell progress lines to stderr as the session runs.
+fn progress_observer(event: RunEvent<'_>) {
+    match event {
+        RunEvent::BatchStarted { scenario, cells } => {
+            eprintln!("ctnsim: {scenario}: {cells} cell(s) queued");
+        }
+        RunEvent::CellFinished {
+            scenario,
+            cell,
+            completed,
+            total,
+        } => {
+            let err = if cell.error_percent.is_finite() {
+                format!("{:+.1}%", cell.error_percent)
+            } else {
+                "-".to_string()
+            };
+            eprintln!(
+                "ctnsim: {scenario}: [{completed}/{total}] n={} m={} mean={:.6}s err={err}",
+                cell.n, cell.message_bytes, cell.mean_secs
+            );
+        }
+        RunEvent::BatchFinished { scenario, .. } => {
+            eprintln!("ctnsim: {scenario}: done");
+        }
+    }
+}
+
 fn run_specs(mut specs: Vec<ScenarioSpec>, options: &Options) -> ExitCode {
     for spec in &mut specs {
         if let Some(nodes) = &options.nodes {
@@ -233,19 +272,23 @@ fn run_specs(mut specs: Vec<ScenarioSpec>, options: &Options) -> ExitCode {
             spec.placement = placement;
         }
     }
-    let workers = options
-        .workers
-        .unwrap_or_else(contention_lab::runner::default_workers);
-    if workers == 0 {
-        return fail("--workers must be at least 1");
+    let mut builder = Session::builder()
+        .base_seed(options.seed)
+        .model(options.model);
+    if let Some(workers) = options.workers {
+        builder = builder.workers(workers);
     }
-    let cfg = BatchConfig {
-        workers,
-        base_seed: options.seed,
-        model: options.model,
+    let session = match builder.build() {
+        Ok(s) => s,
+        Err(e) => return fail_usage(e),
     };
-    match run_batches(&specs, &cfg) {
-        Ok(results) => match emit(options, &results) {
+    let outcome = if options.progress {
+        session.run_many_with(&specs, &mut progress_observer)
+    } else {
+        session.run_many(&specs)
+    };
+    match outcome {
+        Ok(report) => match emit(options, &report) {
             Ok(()) => ExitCode::SUCCESS,
             Err(e) => fail(e),
         },
@@ -257,17 +300,17 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = args.first().cloned() else {
         eprint!("{USAGE}");
-        return ExitCode::FAILURE;
+        return ExitCode::from(2);
     };
     let options = match parse_options(&args[1..]) {
         Ok(o) => o,
-        Err(e) => return fail(e),
+        Err(e) => return fail_usage(e),
     };
     match command.as_str() {
         "list" => cmd_list(),
         "show" => {
             let Some(name) = options.positional.first() else {
-                return fail("show needs a scenario name");
+                return fail_usage("show needs a scenario name");
             };
             match registry::by_name(name) {
                 Some(spec) => {
@@ -279,7 +322,7 @@ fn main() -> ExitCode {
         }
         "run" => {
             if options.positional.is_empty() {
-                return fail("run needs at least one scenario name or .toml file");
+                return fail_usage("run needs at least one scenario name or .toml file");
             }
             let mut specs = Vec::new();
             for name in &options.positional {
@@ -292,13 +335,13 @@ fn main() -> ExitCode {
         }
         "sweep" => {
             let Some(name) = options.positional.first() else {
-                return fail("sweep needs a scenario name or .toml file");
+                return fail_usage("sweep needs a scenario name or .toml file");
             };
             if options.positional.len() > 1 {
-                return fail("sweep takes exactly one scenario");
+                return fail_usage("sweep takes exactly one scenario");
             }
             if options.nodes.is_none() && options.sizes.is_none() {
-                return fail("sweep needs --nodes and/or --sizes overrides");
+                return fail_usage("sweep needs --nodes and/or --sizes overrides");
             }
             match load_spec(name) {
                 Ok(spec) => run_specs(vec![spec], &options),
@@ -309,6 +352,6 @@ fn main() -> ExitCode {
             print!("{USAGE}");
             ExitCode::SUCCESS
         }
-        other => fail(format!("unknown command {other:?}; see `ctnsim help`")),
+        other => fail_usage(format!("unknown command {other:?}; see `ctnsim help`")),
     }
 }

@@ -3,11 +3,11 @@
 //! columns.
 //!
 //! Determinism contract: a cell's result depends only on `(scenario name,
-//! base seed, n, message bytes)` — never on the worker count or schedule —
-//! so `--workers 1` and `--workers 8` produce byte-identical reports. The
-//! work queue is the generalization of `contention_lab::runner::
-//! parallel_map`, which it reuses: one flat queue across *all* scenarios
-//! of a batch, so a wide scenario cannot serialize a narrow one behind it.
+//! base seed, n, message bytes)` — never on the worker count, the
+//! schedule, the calibration cache's state, or whether anyone observes
+//! the run — so `--workers 1` and `--workers 8` produce byte-identical
+//! reports. The work queue is one flat LIFO across *all* scenarios of a
+//! batch, so a wide scenario cannot serialize a narrow one behind it.
 //!
 //! Two schedule-level optimizations ride on top of that contract (neither
 //! can change a single output byte):
@@ -18,14 +18,19 @@
 //!   first. The classic LPT heuristic: the makespan is no longer hostage
 //!   to a megabyte-grid cell popping last. Results are regrouped into
 //!   grid order afterwards.
-//! * **calibration caching** — `calibrate_hockney` is a pure function of
-//!   the fabric (topology + transport + MPI overrides) and its derived
-//!   seed; a process-wide cache keyed by (fabric fingerprint, seed) means
-//!   repeated batches over the same specs (benches, `run_batch` loops,
-//!   duplicate specs on one command line) fit once. The seed is
-//!   name-derived, so distinct-named specs intentionally never share a
-//!   fit — that is what keeps reports byte-identical.
+//! * **calibration caching** — every fit is a pure function of the fabric
+//!   (topology + transport + MPI overrides) and its derived seed, so a
+//!   [`CalibrationCache`] keyed by (fabric fingerprint, seed) means
+//!   repeated runs over the same specs fit each fabric once. The cache is
+//!   *session-owned* (see [`crate::session`]); the process-global memo of
+//!   earlier releases survives only behind the deprecated free functions.
+//!
+//! This module keeps the cell-level machinery and the legacy free-function
+//! entry points; the public face of execution is
+//! [`Session`](crate::session::Session).
 
+use crate::error::CtnError;
+use crate::session::{CalibrationCache, CancelToken, RunEvent};
 use crate::spec::{ScenarioSpec, SpecError};
 use crate::{topology, workload};
 use contention_lab::runner::parallel_map;
@@ -34,8 +39,7 @@ use contention_model::metrics::estimation_error_percent;
 use contention_model::saturation::SaturationModel;
 use contention_model::signature::ContentionSignature;
 use simmpi::harness::ping_pong;
-use std::collections::HashMap;
-use std::sync::{Mutex, OnceLock};
+use std::sync::{mpsc, Mutex, OnceLock};
 
 /// Which completion-time predictor fills the `model_secs` column.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -73,7 +77,8 @@ impl ModelKind {
     }
 }
 
-/// Executor configuration.
+/// Executor configuration: the policy triple a
+/// [`Session`](crate::session::Session) is built around.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BatchConfig {
     /// Worker threads sharing the cell queue.
@@ -158,7 +163,8 @@ pub fn cell_seed(scenario: &str, base_seed: u64, n: usize, message_bytes: u64) -
 
 struct Cell {
     spec_idx: usize,
-    /// Position in the deterministic nodes-major output order.
+    /// Position in the deterministic nodes-major output order, across the
+    /// whole batch.
     flat_idx: usize,
     n: usize,
     message_bytes: u64,
@@ -180,58 +186,50 @@ fn cell_cost(spec: &ScenarioSpec, cell: &Cell) -> u128 {
     rounds * (cell.n as u128) * (cell.n as u128) * packets as u128 * reps
 }
 
-/// Process-wide memo of Hockney fits keyed by `(fabric fingerprint,
-/// calibration seed)`. The fit is a pure function of that key, so a hit
-/// is byte-for-byte the fit a fresh run would produce.
-fn calibration_cache() -> &'static Mutex<HashMap<(u64, u64), HockneyParams>> {
-    static CACHE: OnceLock<Mutex<HashMap<(u64, u64), HockneyParams>>> = OnceLock::new();
-    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+/// The message carried by every legacy [`SpecError`], without the
+/// `invalid scenario:` display prefix — keeps error text stable when the
+/// typed hierarchy round-trips back through the deprecated shims.
+fn spec_error_detail(e: SpecError) -> String {
+    match e {
+        SpecError::Invalid(m) => m,
+        other => other.to_string(),
+    }
 }
 
 /// Measures the scenario's Hockney parameters: a 2-rank ping-pong on the
 /// scenario's own fabric across the standard fit sizes. Cheap (seconds of
 /// simulated time on two hosts) and faithful to the paper's procedure.
-/// Fits are memoized per (fabric, seed) in a process-wide cache.
-pub fn calibrate_hockney(spec: &ScenarioSpec, base_seed: u64) -> Result<HockneyParams, SpecError> {
+/// Fits are memoized per (fabric fingerprint, seed) in `cache`.
+pub(crate) fn hockney_fit(
+    cache: &CalibrationCache,
+    spec: &ScenarioSpec,
+    base_seed: u64,
+) -> Result<HockneyParams, CtnError> {
     let seed = mix(base_seed ^ name_hash(&spec.name));
     let key = (spec.fabric_fingerprint(), seed);
-    if let Some(hit) = calibration_cache().lock().expect("cache lock").get(&key) {
+    if let Some(hit) = cache.hockney.lock().expect("cache lock").get(&key) {
         return Ok(*hit);
     }
     let sizes = [1024u64, 16 * 1024, 131_072, 524_288, 1_048_576];
-    let mut world = topology::build_world(spec, 2, seed)?;
+    let mut world = topology::build_world(spec, 2, seed)
+        .map_err(|e| CtnError::calibration(&spec.name, spec_error_detail(e)))?;
     let points: Vec<(u64, f64)> = ping_pong(&mut world, 0, 1, &sizes, 3)
         .into_iter()
         .map(|p| (p.size, p.half_rtt_secs))
         .collect();
     let fit = HockneyParams::fit(&points)
-        .map_err(|e| SpecError::Invalid(format!("{}: Hockney fit failed: {e}", spec.name)))?;
-    calibration_cache()
-        .lock()
-        .expect("cache lock")
-        .insert(key, fit);
+        .map_err(|e| CtnError::calibration(&spec.name, format!("Hockney fit failed: {e}")))?;
+    cache.hockney.lock().expect("cache lock").insert(key, fit);
     Ok(fit)
 }
 
 /// A per-scenario prediction context: the Hockney fit plus whatever extra
 /// calibration the selected model needs.
-#[derive(Clone, Copy)]
-enum ModelCtx {
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum ModelCtx {
     Med,
     Signature(ContentionSignature),
     Saturation(SaturationModel),
-}
-
-/// Memo of signature/saturation fits, keyed like [`calibration_cache`]
-/// plus the model kind. These calibrations run whole sample All-to-Alls
-/// (~100× a ping-pong), so repeated batches benefit even more than the
-/// Hockney fit does. Sound because the fit depends only on the fabric
-/// (its capacity-derived sample sizes included) and the derived seed —
-/// never on the sweep grid.
-#[allow(clippy::type_complexity)]
-fn model_cache() -> &'static Mutex<HashMap<(u64, u64, &'static str), ModelCtx>> {
-    static CACHE: OnceLock<Mutex<HashMap<(u64, u64, &'static str), ModelCtx>>> = OnceLock::new();
-    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
 }
 
 /// Uniform direct All-to-All completion times on the scenario's fabric —
@@ -243,33 +241,41 @@ fn sample_alltoall(
     n: usize,
     sizes: &[u64],
     seed: u64,
-) -> Result<Vec<(u64, f64)>, SpecError> {
+) -> Result<Vec<(u64, f64)>, CtnError> {
     let algo = workload::algorithm_by_name("direct").expect("built-in algorithm");
-    let mut world = topology::build_world(spec, n, seed)?;
+    let mut world = topology::build_world(spec, n, seed)
+        .map_err(|e| CtnError::calibration(&spec.name, spec_error_detail(e)))?;
     Ok(sizes
         .iter()
         .map(|&m| (m, world.run(algo.programs(n, m)).duration_secs()))
         .collect())
 }
 
-fn model_ctx(
+/// Fits (or recalls) the extra calibration the selected model needs. The
+/// signature and saturation fits run whole sample All-to-Alls (~100× a
+/// ping-pong), so the memo in `cache` matters even more than for the
+/// Hockney fit. Sound because the fit depends only on the fabric (its
+/// capacity-derived sample sizes included) and the derived seed — never
+/// on the sweep grid.
+pub(crate) fn model_ctx(
+    cache: &CalibrationCache,
     spec: &ScenarioSpec,
     hockney: HockneyParams,
     base_seed: u64,
     model: ModelKind,
-) -> Result<ModelCtx, SpecError> {
+) -> Result<ModelCtx, CtnError> {
     if matches!(model, ModelKind::Med) {
         return Ok(ModelCtx::Med);
     }
     let seed = mix(base_seed ^ name_hash(&spec.name) ^ 0x5160_2A7E);
     let key = (spec.fabric_fingerprint(), seed, model.name());
-    if let Some(hit) = model_cache().lock().expect("cache lock").get(&key) {
+    if let Some(hit) = cache.model.lock().expect("cache lock").get(&key) {
         return Ok(*hit);
     }
     let fit_err = |e: contention_model::error::ModelError| {
-        SpecError::Invalid(format!("{}: {} fit failed: {e}", spec.name, model.name()))
+        CtnError::calibration(&spec.name, format!("{} fit failed: {e}", model.name()))
     };
-    let capacity = topology::capacity(&spec.topology)?;
+    let capacity = topology::capacity(&spec.topology).map_err(CtnError::Spec)?;
     let ctx = match model {
         ModelKind::Med => unreachable!("handled above"),
         ModelKind::Signature => {
@@ -296,10 +302,10 @@ fn model_ctx(
                 ladder.push(capacity);
             }
             if ladder.len() < 2 {
-                return Err(SpecError::Invalid(format!(
-                    "{}: topology capacity {capacity} too small for a saturation fit",
-                    spec.name
-                )));
+                return Err(CtnError::calibration(
+                    &spec.name,
+                    format!("topology capacity {capacity} too small for a saturation fit"),
+                ));
             }
             let sizes = [128 * 1024u64, 512 * 1024, 1_048_576];
             let mut samples = Vec::with_capacity(ladder.len() * sizes.len());
@@ -313,7 +319,7 @@ fn model_ctx(
                 .map_err(fit_err)?
         }
     };
-    model_cache().lock().expect("cache lock").insert(key, ctx);
+    cache.model.lock().expect("cache lock").insert(key, ctx);
     Ok(ctx)
 }
 
@@ -343,8 +349,9 @@ fn run_cell(
     cell: &Cell,
     hockney: &HockneyParams,
     ctx: &ModelCtx,
-) -> Result<CellResult, SpecError> {
-    let mut world = topology::build_world(spec, cell.n, cell.seed)?;
+) -> Result<CellResult, CtnError> {
+    let mut world = topology::build_world(spec, cell.n, cell.seed)
+        .map_err(|e| CtnError::execution(&spec.name, spec_error_detail(e)))?;
     let programs = workload::programs(&spec.workload, cell.n, cell.message_bytes, cell.seed);
     for _ in 0..spec.sweep.warmup {
         let _ = world.run(programs.clone());
@@ -378,44 +385,68 @@ fn run_cell(
     })
 }
 
-/// Runs one scenario's full grid. See [`run_batches`] for several at once.
-pub fn run_batch(spec: &ScenarioSpec, cfg: &BatchConfig) -> Result<BatchResult, SpecError> {
-    run_batches(std::slice::from_ref(spec), cfg).map(|mut v| v.remove(0))
-}
-
-/// Runs several scenarios as **one** flat cell queue over `cfg.workers`
-/// threads. Results come back grouped per scenario, each grid in
-/// deterministic nodes-major order regardless of worker count or the
-/// cost-aware execution schedule.
-pub fn run_batches(
+/// The streaming executor core behind every [`Session`] run: calibrates,
+/// queues the flat LPT-ordered cell list, shards it over `cfg.workers`
+/// scoped threads, forwards [`RunEvent`]s to `observer` (on the calling
+/// thread, in completion order) as results land, and reassembles batches
+/// in deterministic nodes-major order.
+///
+/// [`Session`]: crate::session::Session
+pub(crate) fn execute(
     specs: &[ScenarioSpec],
     cfg: &BatchConfig,
-) -> Result<Vec<BatchResult>, SpecError> {
+    cache: &CalibrationCache,
+    observer: &mut dyn FnMut(RunEvent<'_>),
+    cancel: &CancelToken,
+) -> Result<Vec<BatchResult>, CtnError> {
     assert!(cfg.workers > 0, "need at least one worker");
     for spec in specs {
-        spec.validate()?;
+        spec.validate().map_err(CtnError::Spec)?;
     }
-    // Calibrations are tiny 2-rank sims (and memoized across batches);
-    // folding them into the parallel queue would be overkill — run them
-    // first, in order.
+    // Cancellation covers the calibration phase too — uncached model fits
+    // run whole sample All-to-Alls, so "prompt" must not mean "after tens
+    // of seconds of fitting a run nobody wants anymore".
+    let check_cancel = || {
+        if cancel.is_cancelled() {
+            Err(CtnError::Cancelled)
+        } else {
+            Ok(())
+        }
+    };
+    check_cancel()?;
+    // Hockney calibrations are tiny 2-rank sims (and memoized); folding
+    // them into the parallel queue would be overkill — run them first, in
+    // order.
     let hockneys: Vec<HockneyParams> = specs
         .iter()
-        .map(|s| calibrate_hockney(s, cfg.base_seed))
+        .map(|s| {
+            check_cancel()?;
+            hockney_fit(cache, s, cfg.base_seed)
+        })
         .collect::<Result<_, _>>()?;
     // Model calibrations run whole sample All-to-Alls (unlike the cheap
     // ping-pongs above), so uncached fits shard across the workers; the
-    // memo cache covers repeated batches over the same specs.
+    // memo cache covers repeated runs over the same specs.
     let ctxs: Vec<ModelCtx> = parallel_map(
         specs.iter().zip(&hockneys).collect::<Vec<_>>(),
         cfg.workers,
-        |(s, &h)| model_ctx(s, h, cfg.base_seed, cfg.model),
+        |(s, &h)| {
+            check_cancel()?;
+            model_ctx(cache, s, h, cfg.base_seed, cfg.model)
+        },
     )
     .into_iter()
     .collect::<Result<_, _>>()?;
 
-    let mut cells = Vec::new();
+    let grid_sizes: Vec<usize> = specs
+        .iter()
+        .map(|s| s.sweep.nodes.len() * s.sweep.message_bytes.len())
+        .collect();
+    let mut offsets = Vec::with_capacity(specs.len());
     let mut flat_idx = 0usize;
+    let mut cells = Vec::new();
     for (spec_idx, spec) in specs.iter().enumerate() {
+        offsets.push(flat_idx);
         for &n in &spec.sweep.nodes {
             for &m in &spec.sweep.message_bytes {
                 cells.push(Cell {
@@ -430,84 +461,180 @@ pub fn run_batches(
         }
     }
     let total = cells.len();
+    for (spec, &cells_of) in specs.iter().zip(&grid_sizes) {
+        observer(RunEvent::BatchStarted {
+            scenario: &spec.name,
+            cells: cells_of,
+        });
+    }
 
-    // Cost-aware schedule: `parallel_map`'s shared queue pops from the
-    // *end* of the vector, so sorting by ascending cost hands workers the
-    // most expensive cells first (longest-processing-time order). Ties
-    // keep descending flat order so equal-cost cells still pop in grid
-    // order. Purely a schedule change: results are re-scattered into
-    // `flat_idx` order below, so output bytes cannot depend on it.
+    // Cost-aware schedule: the shared queue pops from the *end* of the
+    // vector, so sorting by ascending cost hands workers the most
+    // expensive cells first (longest-processing-time order). Ties keep
+    // descending flat order so equal-cost cells still pop in grid order.
+    // Purely a schedule change: results are re-scattered into grid order
+    // below, so output bytes cannot depend on it.
     cells.sort_by(|a, b| {
         cell_cost(&specs[a.spec_idx], a)
             .cmp(&cell_cost(&specs[b.spec_idx], b))
             .then(b.flat_idx.cmp(&a.flat_idx))
     });
-    let schedule: Vec<usize> = cells.iter().map(|c| c.flat_idx).collect();
 
-    let outcomes: Vec<Result<CellResult, SpecError>> = parallel_map(cells, cfg.workers, |cell| {
-        run_cell(
-            &specs[cell.spec_idx],
-            &cell,
-            &hockneys[cell.spec_idx],
-            &ctxs[cell.spec_idx],
-        )
+    let mut slots: Vec<Vec<Option<Result<CellResult, CtnError>>>> = grid_sizes
+        .iter()
+        .map(|&c| (0..c).map(|_| None).collect())
+        .collect();
+    let mut batches: Vec<Option<BatchResult>> = (0..specs.len()).map(|_| None).collect();
+    let mut received = 0usize;
+    let mut completed: Vec<usize> = vec![0; specs.len()];
+
+    let queue = Mutex::new(cells);
+    let (sender, receiver) = mpsc::channel::<(usize, usize, Result<CellResult, CtnError>)>();
+    std::thread::scope(|scope| {
+        for _ in 0..cfg.workers.min(total) {
+            let sender = sender.clone();
+            let queue = &queue;
+            let hockneys = &hockneys;
+            let ctxs = &ctxs;
+            scope.spawn(move || loop {
+                if cancel.is_cancelled() {
+                    break;
+                }
+                let cell = queue.lock().expect("queue lock").pop();
+                let Some(cell) = cell else { break };
+                let outcome = run_cell(
+                    &specs[cell.spec_idx],
+                    &cell,
+                    &hockneys[cell.spec_idx],
+                    &ctxs[cell.spec_idx],
+                );
+                if sender
+                    .send((cell.spec_idx, cell.flat_idx, outcome))
+                    .is_err()
+                {
+                    break;
+                }
+            });
+        }
+        drop(sender);
+        // The calling thread is the collector: events stream to the
+        // observer while workers are still simulating.
+        for (spec_idx, flat, outcome) in receiver {
+            let spec = &specs[spec_idx];
+            received += 1;
+            if let Ok(cell) = &outcome {
+                completed[spec_idx] += 1;
+                observer(RunEvent::CellFinished {
+                    scenario: &spec.name,
+                    cell,
+                    completed: completed[spec_idx],
+                    total: grid_sizes[spec_idx],
+                });
+            }
+            slots[spec_idx][flat - offsets[spec_idx]] = Some(outcome);
+            if completed[spec_idx] == grid_sizes[spec_idx] {
+                // Every cell of this scenario succeeded: assemble the
+                // batch in grid order and announce it.
+                let cells: Vec<CellResult> = slots[spec_idx]
+                    .iter_mut()
+                    .map(|s| {
+                        s.take()
+                            .expect("completed batch has every slot filled")
+                            .expect("completed batch has no failed cells")
+                    })
+                    .collect();
+                batches[spec_idx] = Some(BatchResult {
+                    scenario: spec.name.clone(),
+                    alpha_secs: hockneys[spec_idx].alpha_secs,
+                    beta_secs_per_byte: hockneys[spec_idx].beta_secs_per_byte,
+                    cells,
+                });
+                observer(RunEvent::BatchFinished {
+                    scenario: &spec.name,
+                    batch: batches[spec_idx].as_ref().expect("just assembled"),
+                });
+            }
+        }
     });
 
-    // Scatter back to deterministic nodes-major order, consuming the
-    // outcomes by value (no per-cell clone), and surface the first error
-    // in grid order.
-    let mut slots: Vec<Option<Result<CellResult, SpecError>>> = (0..total).map(|_| None).collect();
-    for (idx, outcome) in schedule.into_iter().zip(outcomes) {
-        slots[idx] = Some(outcome);
-    }
-
-    let mut results: Vec<BatchResult> = specs
-        .iter()
-        .zip(&hockneys)
-        .map(|(spec, h)| BatchResult {
-            scenario: spec.name.clone(),
-            alpha_secs: h.alpha_secs,
-            beta_secs_per_byte: h.beta_secs_per_byte,
-            cells: Vec::with_capacity(spec.sweep.nodes.len() * spec.sweep.message_bytes.len()),
-        })
-        .collect();
-    let mut slot_iter = slots.into_iter();
-    for (spec_idx, spec) in specs.iter().enumerate() {
-        let cell_count = spec.sweep.nodes.len() * spec.sweep.message_bytes.len();
-        for _ in 0..cell_count {
-            let outcome = slot_iter
-                .next()
-                .flatten()
-                .expect("every flat slot is filled exactly once");
-            results[spec_idx].cells.push(outcome?);
+    // Surface the first failure in deterministic grid order.
+    for spec_slots in &mut slots {
+        for slot in spec_slots.iter_mut() {
+            if let Some(Err(e)) = slot.take() {
+                return Err(e);
+            }
         }
     }
-    Ok(results)
+    if received < total {
+        debug_assert!(cancel.is_cancelled(), "only cancellation drops cells");
+        return Err(CtnError::Cancelled);
+    }
+    Ok(batches
+        .into_iter()
+        .map(|b| b.expect("complete run assembles every batch"))
+        .collect())
+}
+
+/// The process-wide cache behind the legacy free functions; sessions own
+/// their caches instead.
+fn legacy_cache() -> &'static CalibrationCache {
+    static CACHE: OnceLock<CalibrationCache> = OnceLock::new();
+    CACHE.get_or_init(CalibrationCache::default)
+}
+
+/// Measures the scenario's Hockney parameters through the legacy
+/// process-wide cache.
+#[deprecated(
+    since = "0.2.0",
+    note = "use Session::calibrate_hockney, which owns its calibration cache"
+)]
+pub fn calibrate_hockney(spec: &ScenarioSpec, base_seed: u64) -> Result<HockneyParams, SpecError> {
+    hockney_fit(legacy_cache(), spec, base_seed).map_err(CtnError::into_spec_error)
+}
+
+/// Runs one scenario's full grid. Legacy shim over the session executor.
+#[deprecated(
+    since = "0.2.0",
+    note = "use Session::run, which returns a versioned Report"
+)]
+pub fn run_batch(spec: &ScenarioSpec, cfg: &BatchConfig) -> Result<BatchResult, SpecError> {
+    run_batches(std::slice::from_ref(spec), cfg).map(|mut v| v.remove(0))
+}
+
+/// Runs several scenarios as **one** flat cell queue over `cfg.workers`
+/// threads. Results come back grouped per scenario, each grid in
+/// deterministic nodes-major order regardless of worker count or the
+/// cost-aware execution schedule.
+///
+/// Legacy wrapper over the session executor, kept callable (and
+/// un-deprecated for one release) because the byte-identity determinism
+/// goldens pin it; new code should use
+/// [`Session::run_many`](crate::session::Session::run_many).
+pub fn run_batches(
+    specs: &[ScenarioSpec],
+    cfg: &BatchConfig,
+) -> Result<Vec<BatchResult>, SpecError> {
+    let mut ignore = |_event: RunEvent<'_>| {};
+    execute(specs, cfg, legacy_cache(), &mut ignore, &CancelToken::new())
+        .map_err(CtnError::into_spec_error)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::registry::by_name;
+    use crate::session::Session;
 
     #[test]
     fn worker_count_does_not_change_results() {
         let spec = by_name("incast-burst").unwrap();
-        let cfg1 = BatchConfig {
-            workers: 1,
-            base_seed: 7,
-            model: ModelKind::Med,
-        };
-        let cfg4 = BatchConfig {
-            workers: 4,
-            base_seed: 7,
-            model: ModelKind::Med,
-        };
-        let r1 = run_batch(&spec, &cfg1).unwrap();
-        let r4 = run_batch(&spec, &cfg4).unwrap();
-        assert_eq!(r1, r4);
-        let csv1 = crate::report::to_csv(std::slice::from_ref(&r1));
-        let csv4 = crate::report::to_csv(std::slice::from_ref(&r4));
+        let s1 = Session::builder().workers(1).base_seed(7).build().unwrap();
+        let s4 = Session::builder().workers(4).base_seed(7).build().unwrap();
+        let r1 = s1.run(&spec).unwrap();
+        let r4 = s4.run(&spec).unwrap();
+        assert_eq!(r1.batches, r4.batches);
+        let csv1 = crate::report::to_csv(&r1.batches);
+        let csv4 = crate::report::to_csv(&r4.batches);
         assert_eq!(csv1, csv4, "CSV must be byte-identical across workers");
     }
 
@@ -524,15 +651,8 @@ mod tests {
     #[test]
     fn batch_grid_is_complete_and_ordered() {
         let spec = by_name("incast-burst").unwrap();
-        let r = run_batch(
-            &spec,
-            &BatchConfig {
-                workers: 2,
-                base_seed: 3,
-                model: ModelKind::Med,
-            },
-        )
-        .unwrap();
+        let session = Session::builder().workers(2).base_seed(3).build().unwrap();
+        let r = &session.run(&spec).unwrap().batches[0];
         assert_eq!(
             r.cells.len(),
             spec.sweep.nodes.len() * spec.sweep.message_bytes.len()
@@ -556,13 +676,40 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_match_the_session_byte_for_byte() {
+        let spec = by_name("incast-burst").unwrap();
+        let session = Session::builder()
+            .workers(2)
+            .base_seed(123)
+            .build()
+            .unwrap();
+        let report = session.run(&spec).unwrap();
+        let shim = run_batch(
+            &spec,
+            &BatchConfig {
+                workers: 2,
+                base_seed: 123,
+                model: ModelKind::Med,
+            },
+        )
+        .unwrap();
+        assert_eq!(report.batches[0], shim);
+        let a = calibrate_hockney(&spec, 123).unwrap();
+        let b = session.calibrate_hockney(&spec).unwrap();
+        assert_eq!(a, b, "shim and session share the fit procedure");
+    }
+
+    #[test]
     fn calibration_cache_is_transparent() {
         let spec = by_name("incast-burst").unwrap();
-        let a = calibrate_hockney(&spec, 123).unwrap();
-        let b = calibrate_hockney(&spec, 123).unwrap();
+        let cache = CalibrationCache::new();
+        let a = hockney_fit(&cache, &spec, 123).unwrap();
+        let b = hockney_fit(&cache, &spec, 123).unwrap();
         assert_eq!(a, b, "memoized fit must equal the fresh fit");
-        let c = calibrate_hockney(&spec, 124).unwrap();
+        let c = hockney_fit(&cache, &spec, 124).unwrap();
         assert_ne!(a, c, "different seed must not hit the same cache entry");
+        assert_eq!(cache.hockney_entries(), 2);
     }
 
     #[test]
@@ -591,11 +738,12 @@ mod tests {
         // seed, n, m) cell must get the same prediction no matter what
         // other grid points ride along.
         let base = by_name("incast-burst").unwrap();
-        let cfg = BatchConfig {
-            workers: 1,
-            base_seed: 11,
-            model: ModelKind::Signature,
-        };
+        let session = Session::builder()
+            .workers(1)
+            .base_seed(11)
+            .model(ModelKind::Signature)
+            .build()
+            .unwrap();
         let mut narrow = base.clone();
         narrow.sweep.nodes = vec![4];
         narrow.sweep.message_bytes = vec![64 * 1024];
@@ -606,10 +754,10 @@ mod tests {
         wide.sweep.message_bytes = vec![64 * 1024];
         wide.sweep.reps = 1;
         wide.sweep.warmup = 0;
-        let narrow_r = run_batch(&narrow, &cfg).unwrap();
-        let wide_r = run_batch(&wide, &cfg).unwrap();
+        let narrow_r = session.run(&narrow).unwrap();
+        let wide_r = session.run(&wide).unwrap();
         assert_eq!(
-            narrow_r.cells[0], wide_r.cells[0],
+            narrow_r.batches[0].cells[0], wide_r.batches[0].cells[0],
             "widening the grid must not move an existing cell's prediction"
         );
     }
@@ -622,26 +770,17 @@ mod tests {
         spec.sweep.message_bytes = vec![64 * 1024];
         spec.sweep.reps = 1;
         spec.sweep.warmup = 0;
-        let med = run_batch(
-            &spec,
-            &BatchConfig {
-                workers: 1,
-                base_seed: 5,
-                model: ModelKind::Med,
-            },
-        )
-        .unwrap();
+        let med_session = Session::builder().workers(1).base_seed(5).build().unwrap();
+        let med = med_session.run(&spec).unwrap();
         for model in [ModelKind::Signature, ModelKind::Saturation] {
-            let r = run_batch(
-                &spec,
-                &BatchConfig {
-                    workers: 1,
-                    base_seed: 5,
-                    model,
-                },
-            )
-            .unwrap();
-            let cell = &r.cells[0];
+            let session = Session::builder()
+                .workers(1)
+                .base_seed(5)
+                .model(model)
+                .build()
+                .unwrap();
+            let r = session.run(&spec).unwrap();
+            let cell = &r.batches[0].cells[0];
             assert!(
                 cell.model_secs.is_finite() && cell.model_secs > 0.0,
                 "{}: {cell:?}",
@@ -649,14 +788,19 @@ mod tests {
             );
             assert!(cell.error_percent.is_finite());
             // The measured columns must not depend on the model choice.
-            assert_eq!(cell.mean_secs, med.cells[0].mean_secs, "{}", model.name());
+            assert_eq!(
+                cell.mean_secs,
+                med.batches[0].cells[0].mean_secs,
+                "{}",
+                model.name()
+            );
             // Contention-aware predictors never undercut the lower bound.
             assert!(
-                cell.model_secs >= med.cells[0].model_secs * 0.999,
+                cell.model_secs >= med.batches[0].cells[0].model_secs * 0.999,
                 "{}: {} < MED {}",
                 model.name(),
                 cell.model_secs,
-                med.cells[0].model_secs
+                med.batches[0].cells[0].model_secs
             );
         }
     }

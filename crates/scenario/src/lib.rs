@@ -1,51 +1,62 @@
 //! # contention-scenario — the declarative scenario engine
 //!
 //! The paper measures All-to-All contention on three fixed clusters; this
-//! crate turns that hard-coded world into data:
+//! crate turns that hard-coded world into data, and wraps it in an
+//! embeddable, concurrency-safe library facade:
 //!
+//! * [`session`] — the **[`Session`](session::Session)** facade: owned
+//!   execution policy, an instance-owned calibration cache, streaming
+//!   [`RunEvent`](session::RunEvent)s and a cancellation token;
+//! * [`builder`] — the fluent
+//!   [`ScenarioBuilder`](builder::ScenarioBuilder); TOML parsing is one
+//!   front-end to it;
 //! * [`spec`] — [`ScenarioSpec`](spec::ScenarioSpec): topology, transport,
 //!   MPI overrides, workload and sweep grid as one declarative value, with
 //!   a TOML round-trip (see [`toml`], a dependency-free subset parser);
 //! * [`topology`] — spec → [`simmpi::World`], via the parameterized
-//!   generators in [`simnet::generate`] (single switch, star-of-switches,
-//!   oversubscribed two-level tree, k-ary fat-tree) or the paper's
-//!   calibrated presets;
-//! * [`workload`] — spec → per-rank programs: uniform All-to-All under any
-//!   registered algorithm, irregular [`ExchangeMatrix`] patterns (skewed,
-//!   sparse, permutation), incast/outcast, and barrier-separated
-//!   multi-phase mixes — each with its MED lower bound for the model-error
-//!   column;
+//!   generators in [`simnet::generate`];
+//! * [`workload`] — spec → per-rank programs, each with its MED lower
+//!   bound for the model-error column;
 //! * [`executor`] — the parallel batch executor: one flat cell queue
 //!   across all scenarios, deterministic per-cell seeding (results are
 //!   byte-identical for any worker count);
-//! * [`report`] — deterministic CSV/JSON emitters;
-//! * [`registry`] — built-in scenarios, including the three paper
-//!   clusters re-expressed as specs.
+//! * [`report`] — the versioned [`Report`](report::Report) with one
+//!   render path for text/CSV/JSON;
+//! * [`error`] — the typed [`CtnError`](error::CtnError) hierarchy;
+//! * [`registry`] — built-in scenarios (all constructed through the
+//!   builder), including the three paper clusters re-expressed as specs.
 //!
 //! The `ctnsim` binary exposes all of it: `ctnsim list`, `ctnsim run
-//! <name|file.toml>`, `ctnsim sweep <name> --nodes … --sizes …`.
+//! <name|file.toml> [--format text|csv|json]`, `ctnsim sweep <name>
+//! --nodes … --sizes …`.
 //!
 //! ## Example
 //!
 //! ```
-//! use contention_scenario::executor::{run_batch, BatchConfig};
-//! use contention_scenario::registry;
+//! use contention_scenario::prelude::*;
 //!
-//! let spec = registry::by_name("incast-burst").expect("built-in");
-//! let cfg = BatchConfig { workers: 2, base_seed: 1, ..Default::default() };
-//! let result = run_batch(&spec, &cfg).expect("runs");
-//! assert_eq!(result.cells.len(),
-//!            spec.sweep.nodes.len() * spec.sweep.message_bytes.len());
+//! let spec = ScenarioBuilder::new("quick")
+//!     .single_switch(8, LinkSpec::default(), SwitchSpec::default())
+//!     .incast(1)
+//!     .nodes([4])
+//!     .message_bytes([32 * 1024])
+//!     .build()
+//!     .expect("valid spec");
+//! let session = Session::builder().workers(2).base_seed(1).build().unwrap();
+//! let report = session.run(&spec).expect("runs");
+//! assert_eq!(report.batches[0].cells.len(), 1);
+//! println!("{}", report.render(ReportFormat::Text));
 //! ```
-//!
-//! [`ExchangeMatrix`]: simmpi::ExchangeMatrix
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod builder;
+pub mod error;
 pub mod executor;
 pub mod registry;
 pub mod report;
+pub mod session;
 pub mod spec;
 pub mod toml;
 pub mod topology;
@@ -53,13 +64,17 @@ pub mod workload;
 
 /// Commonly used items.
 pub mod prelude {
-    pub use crate::executor::{
-        run_batch, run_batches, BatchConfig, BatchResult, CellResult, ModelKind,
-    };
+    pub use crate::builder::ScenarioBuilder;
+    pub use crate::error::CtnError;
+    pub use crate::executor::{BatchConfig, BatchResult, CellResult, ModelKind};
     pub use crate::registry;
-    pub use crate::report::{to_csv, to_json};
+    pub use crate::report::{Report, ReportFormat, SCHEMA_VERSION};
+    pub use crate::session::{
+        CalibrationCache, CancelToken, RunEvent, RunObserver, Session, SessionBuilder,
+    };
     pub use crate::spec::{
         LinkSpec, MpiSpec, ScenarioSpec, SpecError, SweepSpec, SwitchSpec, TopologySpec,
         TransportSpec, WorkloadSpec,
     };
+    pub use simnet::generate::Placement;
 }

@@ -3,11 +3,14 @@
 //! multi-level trees with controlled oversubscription, fat-trees, tori
 //! and dragonflies under scatter/pack/random placement, and irregular
 //! exchanges.
+//!
+//! Every builtin is constructed through the
+//! [`ScenarioBuilder`] — the registry is
+//! both the scenario library and the living proof that the programmatic
+//! API expresses everything the engine can run.
 
-use crate::spec::{
-    LinkSpec, MpiSpec, ScenarioSpec, SweepSpec, SwitchSpec, TopologySpec, TransportSpec,
-    WorkloadSpec,
-};
+use crate::builder::ScenarioBuilder;
+use crate::spec::{LinkSpec, ScenarioSpec, SwitchSpec, TopologySpec, WorkloadSpec};
 use simnet::generate::Placement;
 
 fn kib(n: u64) -> u64 {
@@ -15,27 +18,18 @@ fn kib(n: u64) -> u64 {
 }
 
 fn paper_cluster(preset: &str, description: &str, nodes: Vec<usize>) -> ScenarioSpec {
-    ScenarioSpec {
-        name: format!("paper-{preset}"),
-        description: description.to_string(),
-        topology: TopologySpec::Preset {
-            preset: preset.to_string(),
-        },
-        placement: Placement::Scatter,
-        // Preset topologies carry their own transport/MPI stacks; the
-        // transport field is ignored for them (kept at default).
-        transport: TransportSpec::default(),
-        mpi: MpiSpec::default(),
-        workload: WorkloadSpec::Uniform {
-            algorithm: "direct".into(),
-        },
-        sweep: SweepSpec {
-            nodes,
-            message_bytes: vec![kib(64), kib(256), kib(512)],
-            warmup: 1,
-            reps: 2,
-        },
-    }
+    // Preset topologies carry their own transport/MPI stacks; the
+    // builder's transport default is ignored for them.
+    ScenarioBuilder::new(format!("paper-{preset}"))
+        .description(description)
+        .preset(preset)
+        .uniform("direct")
+        .nodes(nodes)
+        .message_bytes([kib(64), kib(256), kib(512)])
+        .warmup(1)
+        .reps(2)
+        .build()
+        .expect("paper preset builtin is valid")
 }
 
 /// All built-in scenarios, in presentation order.
@@ -52,6 +46,11 @@ pub fn builtin() -> Vec<ScenarioSpec> {
         shared_buffer_bytes: 4 * 1024 * 1024,
         per_port_cap_bytes: 1024 * 1024,
     };
+    let lossless_switch = SwitchSpec {
+        shared_buffer_bytes: u64::MAX / 4,
+        per_port_cap_bytes: u64::MAX / 8,
+    };
+    let valid = |b: ScenarioBuilder| b.build().expect("builtin scenario is valid");
 
     vec![
         paper_cluster(
@@ -69,311 +68,213 @@ pub fn builtin() -> Vec<ScenarioSpec> {
             "Steffenel's icluster2 Myrinet 2000 testbed (Figs. 12-14) as a spec",
             vec![8, 16],
         ),
-        ScenarioSpec {
-            name: "fat-tree-uniform".into(),
-            description: "Uniform All-to-All on a 4-ary fat-tree: rearrangeably non-blocking, \
-                          contention comes from ECMP collisions, not capacity"
-                .into(),
-            topology: TopologySpec::FatTree {
-                k: 4,
-                hosts_per_edge: 4,
-                link: fast_link,
-                switch: small_switch,
-            },
-            placement: Placement::Scatter,
-            transport: TransportSpec::Tcp {
-                window_bytes: kib(64),
-            },
-            mpi: MpiSpec::default(),
-            workload: WorkloadSpec::Uniform {
-                algorithm: "direct-nb".into(),
-            },
-            sweep: SweepSpec {
-                nodes: vec![8, 16],
-                message_bytes: vec![kib(64), kib(256)],
-                warmup: 1,
-                reps: 2,
-            },
-        },
-        ScenarioSpec {
-            name: "oversubscribed-tree-skewed".into(),
-            description: "Skewed irregular exchange over a 4:1 oversubscribed two-level tree \
-                          (the Oltchik-style partitioning stress: hot senders share thin uplinks)"
-                .into(),
-            topology: TopologySpec::Tree {
-                leaves: 4,
-                hosts_per_leaf: 6,
-                edge_link: fast_link,
-                oversubscription: 4.0,
-                uplinks_per_leaf: 1,
-                uplink_latency_ns: 10_000,
-                edge_switch: small_switch,
-                core_switch: small_switch,
-            },
-            placement: Placement::Scatter,
-            transport: TransportSpec::Tcp {
-                window_bytes: kib(64),
-            },
-            mpi: MpiSpec::default(),
-            workload: WorkloadSpec::Skewed {
-                hot_ranks: 2,
-                factor: 4.0,
-                nonblocking: true,
-            },
-            sweep: SweepSpec {
-                nodes: vec![8, 16, 24],
-                message_bytes: vec![kib(32), kib(128)],
-                warmup: 1,
-                reps: 2,
-            },
-        },
-        ScenarioSpec {
-            name: "incast-burst".into(),
-            description: "All-to-one incast on a shallow-buffered switch: the paper's \u{a7}3 \
-                          buffer-exhaustion stress as a reusable scenario"
-                .into(),
-            topology: TopologySpec::SingleSwitch {
-                hosts: 16,
-                link: fast_link,
-                switch: small_switch,
-            },
-            placement: Placement::Scatter,
-            transport: TransportSpec::Tcp {
-                window_bytes: kib(64),
-            },
-            mpi: MpiSpec::default(),
-            workload: WorkloadSpec::Incast { receivers: 1 },
-            sweep: SweepSpec {
-                nodes: vec![4, 8, 16],
-                message_bytes: vec![kib(128), kib(512)],
-                warmup: 0,
-                reps: 2,
-            },
-        },
-        ScenarioSpec {
-            name: "sparse-star".into(),
-            description: "Sparse (40%) irregular exchange over a star of switches — the Bienz \
-                          irregular-communication regime single-switch models miss"
-                .into(),
-            topology: TopologySpec::StarOfSwitches {
-                leaves: 3,
-                hosts_per_leaf: 8,
-                edge_link: fast_link,
-                uplink: LinkSpec {
-                    bandwidth_bytes_per_sec: 250e6,
-                    latency_ns: 10_000,
-                },
-                uplinks_per_leaf: 2,
-                edge_switch: small_switch,
-                core_switch: deep_switch,
-            },
-            placement: Placement::Scatter,
-            transport: TransportSpec::Tcp {
-                window_bytes: kib(64),
-            },
-            mpi: MpiSpec::default(),
-            workload: WorkloadSpec::Sparse {
-                density: 0.4,
-                nonblocking: true,
-            },
-            sweep: SweepSpec {
-                nodes: vec![8, 16, 24],
-                message_bytes: vec![kib(64), kib(256)],
-                warmup: 1,
-                reps: 2,
-            },
-        },
-        ScenarioSpec {
-            name: "permutation-lossless".into(),
-            description: "Random permutation traffic on a lossless single switch: the \
-                          contention-free baseline every irregular pattern is judged against"
-                .into(),
-            topology: TopologySpec::SingleSwitch {
-                hosts: 24,
-                link: LinkSpec {
-                    bandwidth_bytes_per_sec: 250e6,
-                    latency_ns: 4_000,
-                },
-                switch: SwitchSpec {
-                    shared_buffer_bytes: u64::MAX / 4,
-                    per_port_cap_bytes: u64::MAX / 8,
-                },
-            },
-            placement: Placement::Scatter,
-            transport: TransportSpec::Gm {
-                window_bytes: kib(1024),
-            },
-            mpi: MpiSpec {
-                hiccup_probability: Some(0.0),
-                ..MpiSpec::default()
-            },
-            workload: WorkloadSpec::Permutation,
-            sweep: SweepSpec {
-                nodes: vec![8, 16, 24],
-                message_bytes: vec![kib(256), kib(1024)],
-                warmup: 0,
-                reps: 2,
-            },
-        },
-        ScenarioSpec {
-            name: "mixed-phases-tree".into(),
-            description: "Multi-phase mix (permutation, then incast, then uniform) over an \
-                          oversubscribed tree — the shifting-bottleneck case single-pattern \
-                          models cannot fit"
-                .into(),
-            topology: TopologySpec::Tree {
-                leaves: 2,
-                hosts_per_leaf: 8,
-                edge_link: fast_link,
-                oversubscription: 2.0,
-                uplinks_per_leaf: 2,
-                uplink_latency_ns: 10_000,
-                edge_switch: small_switch,
-                core_switch: deep_switch,
-            },
-            placement: Placement::Scatter,
-            transport: TransportSpec::Tcp {
-                window_bytes: kib(64),
-            },
-            mpi: MpiSpec::default(),
-            workload: WorkloadSpec::Phases {
-                phases: vec![
+        valid(
+            ScenarioBuilder::new("fat-tree-uniform")
+                .description(
+                    "Uniform All-to-All on a 4-ary fat-tree: rearrangeably non-blocking, \
+                     contention comes from ECMP collisions, not capacity",
+                )
+                .fat_tree(4, 4, fast_link, small_switch)
+                .tcp(kib(64))
+                .uniform("direct-nb")
+                .nodes([8, 16])
+                .message_bytes([kib(64), kib(256)])
+                .warmup(1)
+                .reps(2),
+        ),
+        valid(
+            ScenarioBuilder::new("oversubscribed-tree-skewed")
+                .description(
+                    "Skewed irregular exchange over a 4:1 oversubscribed two-level tree \
+                     (the Oltchik-style partitioning stress: hot senders share thin uplinks)",
+                )
+                .topology(TopologySpec::Tree {
+                    leaves: 4,
+                    hosts_per_leaf: 6,
+                    edge_link: fast_link,
+                    oversubscription: 4.0,
+                    uplinks_per_leaf: 1,
+                    uplink_latency_ns: 10_000,
+                    edge_switch: small_switch,
+                    core_switch: small_switch,
+                })
+                .tcp(kib(64))
+                .skewed(2, 4.0, true)
+                .nodes([8, 16, 24])
+                .message_bytes([kib(32), kib(128)])
+                .warmup(1)
+                .reps(2),
+        ),
+        valid(
+            ScenarioBuilder::new("incast-burst")
+                .description(
+                    "All-to-one incast on a shallow-buffered switch: the paper's \u{a7}3 \
+                     buffer-exhaustion stress as a reusable scenario",
+                )
+                .single_switch(16, fast_link, small_switch)
+                .tcp(kib(64))
+                .incast(1)
+                .nodes([4, 8, 16])
+                .message_bytes([kib(128), kib(512)])
+                .warmup(0)
+                .reps(2),
+        ),
+        valid(
+            ScenarioBuilder::new("sparse-star")
+                .description(
+                    "Sparse (40%) irregular exchange over a star of switches — the Bienz \
+                     irregular-communication regime single-switch models miss",
+                )
+                .topology(TopologySpec::StarOfSwitches {
+                    leaves: 3,
+                    hosts_per_leaf: 8,
+                    edge_link: fast_link,
+                    uplink: LinkSpec {
+                        bandwidth_bytes_per_sec: 250e6,
+                        latency_ns: 10_000,
+                    },
+                    uplinks_per_leaf: 2,
+                    edge_switch: small_switch,
+                    core_switch: deep_switch,
+                })
+                .tcp(kib(64))
+                .sparse(0.4, true)
+                .nodes([8, 16, 24])
+                .message_bytes([kib(64), kib(256)])
+                .warmup(1)
+                .reps(2),
+        ),
+        valid(
+            ScenarioBuilder::new("permutation-lossless")
+                .description(
+                    "Random permutation traffic on a lossless single switch: the \
+                     contention-free baseline every irregular pattern is judged against",
+                )
+                .single_switch(
+                    24,
+                    LinkSpec {
+                        bandwidth_bytes_per_sec: 250e6,
+                        latency_ns: 4_000,
+                    },
+                    lossless_switch,
+                )
+                .gm(kib(1024))
+                .hiccup_probability(0.0)
+                .permutation()
+                .nodes([8, 16, 24])
+                .message_bytes([kib(256), kib(1024)])
+                .warmup(0)
+                .reps(2),
+        ),
+        valid(
+            ScenarioBuilder::new("mixed-phases-tree")
+                .description(
+                    "Multi-phase mix (permutation, then incast, then uniform) over an \
+                     oversubscribed tree — the shifting-bottleneck case single-pattern \
+                     models cannot fit",
+                )
+                .topology(TopologySpec::Tree {
+                    leaves: 2,
+                    hosts_per_leaf: 8,
+                    edge_link: fast_link,
+                    oversubscription: 2.0,
+                    uplinks_per_leaf: 2,
+                    uplink_latency_ns: 10_000,
+                    edge_switch: small_switch,
+                    core_switch: deep_switch,
+                })
+                .tcp(kib(64))
+                .phases([
                     WorkloadSpec::Permutation,
                     WorkloadSpec::Incast { receivers: 2 },
                     WorkloadSpec::Uniform {
                         algorithm: "direct".into(),
                     },
-                ],
-            },
-            sweep: SweepSpec {
-                nodes: vec![8, 16],
-                message_bytes: vec![kib(64), kib(128)],
-                warmup: 0,
-                reps: 2,
-            },
-        },
-        ScenarioSpec {
-            name: "torus-neighbor-exchange".into(),
-            description: "Ring-algorithm All-to-All on a packed 4\u{d7}4 torus: neighbour-heavy \
-                          rounds meet dimension-ordered routing, so contention concentrates on \
-                          the rings the packing straddles"
-                .into(),
-            topology: TopologySpec::Torus2d {
-                x: 4,
-                y: 4,
-                hosts_per_switch: 2,
-                link: fast_link,
-                switch: deep_switch,
-            },
-            placement: Placement::Pack,
-            transport: TransportSpec::Tcp {
-                window_bytes: kib(64),
-            },
-            mpi: MpiSpec::default(),
-            workload: WorkloadSpec::Uniform {
-                algorithm: "ring".into(),
-            },
-            sweep: SweepSpec {
-                nodes: vec![8, 16, 32],
-                message_bytes: vec![kib(64), kib(256)],
-                warmup: 1,
-                reps: 2,
-            },
-        },
-        ScenarioSpec {
-            name: "torus3d-random-permutation".into(),
-            description: "Permutation traffic on a 3\u{d7}3\u{d7}3 torus under seeded random \
-                          placement — the fragmented-batch-queue regime where e-cube routes \
-                          collide unpredictably (Bienz-style placement sensitivity)"
-                .into(),
-            topology: TopologySpec::Torus3d {
-                x: 3,
-                y: 3,
-                z: 3,
-                hosts_per_switch: 1,
-                link: fast_link,
+                ])
+                .nodes([8, 16])
+                .message_bytes([kib(64), kib(128)])
+                .warmup(0)
+                .reps(2),
+        ),
+        valid(
+            ScenarioBuilder::new("torus-neighbor-exchange")
+                .description(
+                    "Ring-algorithm All-to-All on a packed 4\u{d7}4 torus: neighbour-heavy \
+                     rounds meet dimension-ordered routing, so contention concentrates on \
+                     the rings the packing straddles",
+                )
+                .torus_2d(4, 4, 2, fast_link, deep_switch)
+                .placement(Placement::Pack)
+                .tcp(kib(64))
+                .uniform("ring")
+                .nodes([8, 16, 32])
+                .message_bytes([kib(64), kib(256)])
+                .warmup(1)
+                .reps(2),
+        ),
+        valid(
+            ScenarioBuilder::new("torus3d-random-permutation")
+                .description(
+                    "Permutation traffic on a 3\u{d7}3\u{d7}3 torus under seeded random \
+                     placement — the fragmented-batch-queue regime where e-cube routes \
+                     collide unpredictably (Bienz-style placement sensitivity)",
+                )
                 // GM never retransmits, so the torus must be lossless
                 // (Myrinet-style link-level backpressure) — a dropped
                 // frame would deadlock the permutation.
-                switch: SwitchSpec {
-                    shared_buffer_bytes: u64::MAX / 4,
-                    per_port_cap_bytes: u64::MAX / 8,
-                },
-            },
-            placement: Placement::RandomSeeded,
-            transport: TransportSpec::Gm {
-                window_bytes: kib(256),
-            },
-            mpi: MpiSpec::default(),
-            workload: WorkloadSpec::Permutation,
-            sweep: SweepSpec {
-                nodes: vec![8, 16, 27],
-                message_bytes: vec![kib(128), kib(512)],
-                warmup: 0,
-                reps: 2,
-            },
-        },
-        ScenarioSpec {
-            name: "dragonfly-adversarial-uniform".into(),
-            description: "Uniform All-to-All on a packed dragonfly (4 groups \u{d7} 4 routers \
-                          \u{d7} 2 hosts): packing fills whole groups, so every cross-group \
-                          byte funnels through single global links — the adversarial pattern \
-                          minimal routing cannot dodge"
-                .into(),
-            topology: TopologySpec::Dragonfly {
-                groups: 4,
-                routers_per_group: 4,
-                hosts_per_router: 2,
-                host_link: fast_link,
-                local_link: fast_link,
-                global_link: LinkSpec {
-                    bandwidth_bytes_per_sec: 250e6,
-                    latency_ns: 40_000,
-                },
-                switch: small_switch,
-            },
-            placement: Placement::Pack,
-            transport: TransportSpec::Tcp {
-                window_bytes: kib(64),
-            },
-            mpi: MpiSpec::default(),
-            workload: WorkloadSpec::Uniform {
-                algorithm: "direct".into(),
-            },
-            sweep: SweepSpec {
-                nodes: vec![8, 16, 24],
-                message_bytes: vec![kib(64), kib(256)],
-                warmup: 1,
-                reps: 2,
-            },
-        },
-        ScenarioSpec {
-            name: "packed-vs-scattered-fattree".into(),
-            description: "The fat-tree-uniform fabric under Pack placement — diff its report \
-                          against fat-tree-uniform to read the placement cost directly \
-                          (same grid, same seeds, only the rank\u{2192}host map differs)"
-                .into(),
-            topology: TopologySpec::FatTree {
-                k: 4,
-                hosts_per_edge: 4,
-                link: fast_link,
-                switch: small_switch,
-            },
-            placement: Placement::Pack,
-            transport: TransportSpec::Tcp {
-                window_bytes: kib(64),
-            },
-            mpi: MpiSpec::default(),
-            workload: WorkloadSpec::Uniform {
-                algorithm: "direct-nb".into(),
-            },
-            sweep: SweepSpec {
-                nodes: vec![8, 16],
-                message_bytes: vec![kib(64), kib(256)],
-                warmup: 1,
-                reps: 2,
-            },
-        },
+                .torus_3d(3, 3, 3, 1, fast_link, lossless_switch)
+                .placement(Placement::RandomSeeded)
+                .gm(kib(256))
+                .permutation()
+                .nodes([8, 16, 27])
+                .message_bytes([kib(128), kib(512)])
+                .warmup(0)
+                .reps(2),
+        ),
+        valid(
+            ScenarioBuilder::new("dragonfly-adversarial-uniform")
+                .description(
+                    "Uniform All-to-All on a packed dragonfly (4 groups \u{d7} 4 routers \
+                     \u{d7} 2 hosts): packing fills whole groups, so every cross-group \
+                     byte funnels through single global links — the adversarial pattern \
+                     minimal routing cannot dodge",
+                )
+                .topology(TopologySpec::Dragonfly {
+                    groups: 4,
+                    routers_per_group: 4,
+                    hosts_per_router: 2,
+                    host_link: fast_link,
+                    local_link: fast_link,
+                    global_link: LinkSpec {
+                        bandwidth_bytes_per_sec: 250e6,
+                        latency_ns: 40_000,
+                    },
+                    switch: small_switch,
+                })
+                .placement(Placement::Pack)
+                .tcp(kib(64))
+                .uniform("direct")
+                .nodes([8, 16, 24])
+                .message_bytes([kib(64), kib(256)])
+                .warmup(1)
+                .reps(2),
+        ),
+        valid(
+            ScenarioBuilder::new("packed-vs-scattered-fattree")
+                .description(
+                    "The fat-tree-uniform fabric under Pack placement — diff its report \
+                     against fat-tree-uniform to read the placement cost directly \
+                     (same grid, same seeds, only the rank\u{2192}host map differs)",
+                )
+                .fat_tree(4, 4, fast_link, small_switch)
+                .placement(Placement::Pack)
+                .tcp(kib(64))
+                .uniform("direct-nb")
+                .nodes([8, 16])
+                .message_bytes([kib(64), kib(256)])
+                .warmup(1)
+                .reps(2),
+        ),
     ]
 }
 

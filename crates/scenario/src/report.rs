@@ -1,11 +1,97 @@
-//! Deterministic CSV and JSON emitters for batch results.
+//! The versioned [`Report`] type and its deterministic renderers.
 //!
-//! Floats are formatted with Rust's shortest-round-trip `Display`, so the
-//! same numbers always produce the same bytes — the executor's
-//! worker-count-independence guarantee extends to the report files.
+//! A report is what a [`Session`](crate::session::Session) run returns:
+//! the batch results plus a `schema_version` stamp, rendered to text, CSV
+//! or JSON through **one** path ([`Report::render`]) so the CLI, files on
+//! disk, and embedders all emit the same bytes. Floats are formatted with
+//! Rust's shortest-round-trip `Display`, so the same numbers always
+//! produce the same bytes — the executor's worker-count-independence
+//! guarantee extends to the report files.
+//!
+//! Version history:
+//!
+//! * **1** — initial versioned schema: CSV columns `scenario, topology,
+//!   workload, n, message_bytes, cell_seed, mean_secs, min_secs, max_secs,
+//!   model_secs, error_percent` (unchanged from the pre-session emitters,
+//!   which carried no version stamp); JSON gained the top-level
+//!   `schema_version` / `scenarios` envelope.
 
 use crate::executor::BatchResult;
 use std::fmt::Write as _;
+
+/// The schema version stamped on every [`Report`] this build produces.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// How a [`Report`] is rendered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReportFormat {
+    /// Machine-friendly CSV, one row per cell (the default).
+    #[default]
+    Csv,
+    /// JSON with the versioned envelope.
+    Json,
+    /// A human-readable table per scenario.
+    Text,
+}
+
+impl ReportFormat {
+    /// Parses the CLI's `--format` value.
+    pub fn parse(name: &str) -> Option<Self> {
+        match name {
+            "csv" => Some(ReportFormat::Csv),
+            "json" => Some(ReportFormat::Json),
+            "text" => Some(ReportFormat::Text),
+            _ => None,
+        }
+    }
+
+    /// The stable CLI name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ReportFormat::Csv => "csv",
+            ReportFormat::Json => "json",
+            ReportFormat::Text => "text",
+        }
+    }
+}
+
+/// A versioned batch-result report: what [`Session::run`] returns and
+/// every output format renders from.
+///
+/// [`Session::run`]: crate::session::Session::run
+#[derive(Debug, Clone, PartialEq)]
+pub struct Report {
+    /// Schema version of the rendered forms (see the module docs for the
+    /// version history).
+    pub schema_version: u32,
+    /// One entry per scenario, in submission order.
+    pub batches: Vec<BatchResult>,
+}
+
+impl Report {
+    /// Wraps batch results under the current [`SCHEMA_VERSION`].
+    pub fn new(batches: Vec<BatchResult>) -> Self {
+        Self {
+            schema_version: SCHEMA_VERSION,
+            batches,
+        }
+    }
+
+    /// Total cell count across all batches.
+    pub fn cell_count(&self) -> usize {
+        self.batches.iter().map(|b| b.cells.len()).sum()
+    }
+
+    /// Renders the report; the single emission path every consumer
+    /// (CLI, files, embedders) shares.
+    pub fn render(&self, format: ReportFormat) -> String {
+        match format {
+            ReportFormat::Csv => csv_of(&self.batches),
+            ReportFormat::Json => json_of(self.schema_version, &self.batches),
+            ReportFormat::Text => text_of(self.schema_version, &self.batches),
+        }
+    }
+}
 
 /// RFC-4180 quoting: fields containing commas, quotes or newlines are
 /// wrapped in double quotes with inner quotes doubled (scenario names are
@@ -18,8 +104,7 @@ fn csv_field(s: &str) -> String {
     }
 }
 
-/// CSV with one row per cell and a fixed header.
-pub fn to_csv(results: &[BatchResult]) -> String {
+fn csv_of(results: &[BatchResult]) -> String {
     let mut out = String::from(
         "scenario,topology,workload,n,message_bytes,cell_seed,mean_secs,min_secs,max_secs,model_secs,error_percent\n",
     );
@@ -64,20 +149,18 @@ fn json_str(s: &str) -> String {
     out
 }
 
+/// JSON numbers cannot be bare `inf`/`NaN`; non-finite values render as
+/// `null` (finite values are fine as Rust prints them).
 fn json_f64(v: f64) -> String {
     if v.is_finite() {
-        let s = format!("{v}");
-        // JSON numbers must not be bare "inf"/"NaN"; finite values are fine
-        // as Rust prints them.
-        s
+        format!("{v}")
     } else {
         "null".to_string()
     }
 }
 
-/// JSON: an array of scenario objects with calibration and cell rows.
-pub fn to_json(results: &[BatchResult]) -> String {
-    let mut out = String::from("[\n");
+fn json_of(schema_version: u32, results: &[BatchResult]) -> String {
+    let mut out = format!("{{\n\"schema_version\": {schema_version},\n\"scenarios\": [\n");
     for (bi, batch) in results.iter().enumerate() {
         let _ = writeln!(
             out,
@@ -111,8 +194,73 @@ pub fn to_json(results: &[BatchResult]) -> String {
             if bi + 1 < results.len() { "," } else { "" }
         );
     }
-    out.push_str("]\n");
+    out.push_str("]\n}\n");
     out
+}
+
+/// Seconds with enough digits for human comparison (the text format is
+/// for eyes; CSV/JSON carry the full-precision values).
+fn text_secs(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.6}")
+    } else {
+        "-".to_string()
+    }
+}
+
+fn text_of(schema_version: u32, results: &[BatchResult]) -> String {
+    let mut out = format!("report v{schema_version}\n");
+    for batch in results {
+        let _ = writeln!(
+            out,
+            "\n== {} (alpha = {} s, beta = {} s/B) ==",
+            batch.scenario, batch.alpha_secs, batch.beta_secs_per_byte
+        );
+        let _ = writeln!(
+            out,
+            "{:>6} {:>12} {:>12} {:>12} {:>12} {:>8}",
+            "n", "bytes", "mean_s", "model_s", "min..max_s", "err%"
+        );
+        for c in &batch.cells {
+            let range = if c.min_secs.is_finite() && c.max_secs.is_finite() {
+                format!("{:.4}..{:.4}", c.min_secs, c.max_secs)
+            } else {
+                "-".to_string()
+            };
+            let _ = writeln!(
+                out,
+                "{:>6} {:>12} {:>12} {:>12} {:>12} {:>8}",
+                c.n,
+                c.message_bytes,
+                text_secs(c.mean_secs),
+                text_secs(c.model_secs),
+                range,
+                if c.error_percent.is_finite() {
+                    format!("{:+.1}", c.error_percent)
+                } else {
+                    "-".to_string()
+                }
+            );
+        }
+    }
+    out
+}
+
+/// CSV with one row per cell and a fixed header.
+///
+/// Legacy wrapper over the [`Report`] render path, kept callable (and
+/// un-deprecated for one release) because the byte-identity determinism
+/// goldens pin it; new code should render a [`Report`].
+pub fn to_csv(results: &[BatchResult]) -> String {
+    csv_of(results)
+}
+
+/// JSON under the current schema version.
+///
+/// Legacy wrapper over the [`Report`] render path; new code should render
+/// a [`Report`].
+pub fn to_json(results: &[BatchResult]) -> String {
+    json_of(SCHEMA_VERSION, results)
 }
 
 #[cfg(test)]
@@ -143,11 +291,12 @@ mod tests {
 
     #[test]
     fn csv_has_header_and_rows() {
-        let csv = to_csv(&sample());
+        let csv = Report::new(sample()).render(ReportFormat::Csv);
         let lines: Vec<&str> = csv.lines().collect();
         assert_eq!(lines.len(), 2);
         assert!(lines[0].starts_with("scenario,topology,workload,n,"));
         assert!(lines[1].starts_with("s,single-switch,uniform,4,65536,99,0.0125,"));
+        assert_eq!(csv, to_csv(&sample()), "wrapper shares the render path");
     }
 
     #[test]
@@ -173,15 +322,38 @@ mod tests {
     }
 
     #[test]
-    fn json_is_structurally_sound() {
-        let json = to_json(&sample());
-        assert!(json.starts_with("[\n"));
-        assert!(json.trim_end().ends_with(']'));
+    fn json_carries_the_schema_version() {
+        let report = Report::new(sample());
+        assert_eq!(report.schema_version, SCHEMA_VERSION);
+        let json = report.render(ReportFormat::Json);
+        assert!(json.starts_with("{\n\"schema_version\": 1,\n\"scenarios\": [\n"));
+        assert!(json.trim_end().ends_with('}'));
         assert_eq!(json.matches("\"cells\"").count(), 1);
         assert_eq!(json.matches("\"mean_secs\"").count(), 1);
         // Balanced braces/brackets.
         let opens = json.matches(['{', '[']).count();
         let closes = json.matches(['}', ']']).count();
         assert_eq!(opens, closes);
+        assert_eq!(json, to_json(&sample()), "wrapper shares the render path");
+    }
+
+    #[test]
+    fn text_format_is_deterministic_and_human_shaped() {
+        let report = Report::new(sample());
+        let a = report.render(ReportFormat::Text);
+        let b = report.render(ReportFormat::Text);
+        assert_eq!(a, b);
+        assert!(a.starts_with("report v1\n"));
+        assert!(a.contains("== s (alpha = 0.00005 s"));
+        assert!(a.contains("err%"));
+        assert!(a.contains("+25.0"));
+    }
+
+    #[test]
+    fn format_names_round_trip() {
+        for f in [ReportFormat::Csv, ReportFormat::Json, ReportFormat::Text] {
+            assert_eq!(ReportFormat::parse(f.name()), Some(f));
+        }
+        assert_eq!(ReportFormat::parse("yaml"), None);
     }
 }

@@ -1,0 +1,515 @@
+//! The owned [`Session`] facade: the embeddable, concurrency-safe entry
+//! point to the simulate → calibrate → predict → score workflow.
+//!
+//! A session owns three things the old free functions kept implicit or
+//! process-global:
+//!
+//! * an **execution policy** (worker count, base seed, predictor model),
+//! * an **instance-owned [`CalibrationCache`]** — the Hockney and
+//!   signature/saturation memo that used to live in a process-wide
+//!   `static`. Each session defaults to a private cache; embedders that
+//!   want sharing pass the same [`Arc`] to several sessions via
+//!   [`SessionBuilder::shared_cache`], and drop it when they are done —
+//!   lifetime and sharing are theirs to control,
+//! * a **[`CancelToken`]** that aborts a sweep between cells.
+//!
+//! Execution streams: [`Session::run_with`] delivers [`RunEvent`]s to a
+//! [`RunObserver`] as cells finish (live progress for `ctnsim`, early
+//! abort for sweeps, the hook a future daemon multiplexes on), while the
+//! final [`Report`] stays byte-identical for any worker count.
+//!
+//! ## Example
+//!
+//! ```
+//! use contention_scenario::prelude::*;
+//!
+//! let spec = ScenarioBuilder::new("doc-session")
+//!     .single_switch(4, LinkSpec::default(), SwitchSpec::default())
+//!     .uniform("direct")
+//!     .nodes([2])
+//!     .message_bytes([16 * 1024])
+//!     .build()
+//!     .expect("valid spec");
+//!
+//! let session = Session::builder().workers(2).base_seed(7).build().unwrap();
+//! let mut finished = 0usize;
+//! let report = session
+//!     .run_with(&spec, &mut |event: RunEvent<'_>| {
+//!         if let RunEvent::CellFinished { .. } = event {
+//!             finished += 1;
+//!         }
+//!     })
+//!     .expect("runs");
+//! assert_eq!(finished, 1);
+//! assert_eq!(report.batches[0].cells.len(), 1);
+//! ```
+
+use crate::error::CtnError;
+use crate::executor::{self, BatchConfig, BatchResult, CellResult, ModelCtx, ModelKind};
+use crate::report::Report;
+use crate::spec::ScenarioSpec;
+use contention_model::hockney::HockneyParams;
+use contention_model::saturation::SaturationModel;
+use contention_model::signature::ContentionSignature;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// An instance-owned memo of calibration fits, keyed by `(fabric
+/// fingerprint, derived seed)` (plus the model kind for the
+/// signature/saturation fits).
+///
+/// Every fit is a pure function of its key, so a cache hit is
+/// byte-for-byte the fit a fresh run would produce — the cache can only
+/// change how *fast* a session runs, never what it reports. Sessions
+/// default to a private cache; wrap one in an [`Arc`] and hand it to
+/// several builders to share fits across sessions.
+#[derive(Debug, Default)]
+pub struct CalibrationCache {
+    pub(crate) hockney: Mutex<HashMap<(u64, u64), HockneyParams>>,
+    pub(crate) model: Mutex<HashMap<(u64, u64, &'static str), ModelCtx>>,
+}
+
+impl CalibrationCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of memoized Hockney fits.
+    pub fn hockney_entries(&self) -> usize {
+        self.hockney.lock().expect("cache lock").len()
+    }
+
+    /// Number of memoized signature/saturation fits.
+    pub fn model_entries(&self) -> usize {
+        self.model.lock().expect("cache lock").len()
+    }
+
+    /// Drops every memoized fit.
+    pub fn clear(&self) {
+        self.hockney.lock().expect("cache lock").clear();
+        self.model.lock().expect("cache lock").clear();
+    }
+}
+
+/// A cloneable handle that aborts a running sweep between cells.
+///
+/// Workers check the token before starting each cell, so cancellation is
+/// prompt but never tears a cell mid-simulation; the interrupted
+/// [`Session::run`] returns [`CtnError::Cancelled`].
+///
+/// Cancellation is **one-shot and permanent** (like other cancellation
+/// tokens, there is deliberately no reset — clearing a flag other
+/// threads are racing to observe invites lost cancellations): a
+/// cancelled token also cancels every *future* run of the session it is
+/// installed in. To keep working after an abort, build a fresh session —
+/// `Session::builder().shared_cache(old.cache())` carries the calibration
+/// cache over, so nothing refits.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests cancellation; idempotent, callable from any thread.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Release);
+    }
+
+    /// Whether [`CancelToken::cancel`] has been called.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Acquire)
+    }
+}
+
+/// One streaming progress event of a [`Session`] run.
+///
+/// Events borrow from the run in flight; copy out what must outlive the
+/// observer call. `CellFinished` events arrive in *completion* order
+/// (worker-dependent), never in grid order — the final [`Report`] is the
+/// deterministic artifact, the events are the live view.
+#[derive(Debug)]
+pub enum RunEvent<'a> {
+    /// A scenario's grid has been calibrated and queued.
+    BatchStarted {
+        /// Scenario name.
+        scenario: &'a str,
+        /// Cells in this scenario's grid.
+        cells: usize,
+    },
+    /// One grid cell finished simulating.
+    CellFinished {
+        /// Scenario name.
+        scenario: &'a str,
+        /// The finished cell's measurements.
+        cell: &'a CellResult,
+        /// Finished cells of this scenario so far (including this one).
+        completed: usize,
+        /// Total cells in this scenario's grid.
+        total: usize,
+    },
+    /// Every cell of a scenario finished; the batch is assembled in
+    /// deterministic grid order.
+    BatchFinished {
+        /// Scenario name.
+        scenario: &'a str,
+        /// The assembled, grid-ordered result.
+        batch: &'a BatchResult,
+    },
+}
+
+/// Receives [`RunEvent`]s while a session runs.
+///
+/// Implemented for any `FnMut(RunEvent<'_>)` closure, so ad-hoc progress
+/// hooks need no named type.
+pub trait RunObserver {
+    /// Called on the thread that invoked the run, once per event.
+    fn on_event(&mut self, event: RunEvent<'_>);
+}
+
+impl<F: FnMut(RunEvent<'_>)> RunObserver for F {
+    fn on_event(&mut self, event: RunEvent<'_>) {
+        self(event)
+    }
+}
+
+/// The no-op observer behind [`Session::run`].
+pub(crate) struct NullObserver;
+
+impl RunObserver for NullObserver {
+    fn on_event(&mut self, _event: RunEvent<'_>) {}
+}
+
+/// Configures and builds a [`Session`].
+#[derive(Debug, Default)]
+pub struct SessionBuilder {
+    workers: Option<usize>,
+    base_seed: Option<u64>,
+    model: ModelKind,
+    cache: Option<Arc<CalibrationCache>>,
+    cancel: Option<CancelToken>,
+}
+
+impl SessionBuilder {
+    /// Worker threads sharing the cell queue. Defaults to the machine's
+    /// available parallelism. Zero is rejected by [`SessionBuilder::build`].
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = Some(workers);
+        self
+    }
+
+    /// Base seed every cell derives its stream from (default 42). Results
+    /// are deterministic per `(scenario, seed, cell)` and independent of
+    /// the worker count.
+    pub fn base_seed(mut self, seed: u64) -> Self {
+        self.base_seed = Some(seed);
+        self
+    }
+
+    /// Predictor behind the `model_secs` / `error_percent` columns
+    /// (default [`ModelKind::Med`]).
+    pub fn model(mut self, model: ModelKind) -> Self {
+        self.model = model;
+        self
+    }
+
+    /// Shares a calibration cache with other sessions instead of owning a
+    /// private one. Hits are byte-identical to fresh fits, so sharing only
+    /// changes speed, never reports.
+    pub fn shared_cache(mut self, cache: Arc<CalibrationCache>) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// Installs a cancellation token; keep a clone to abort runs from
+    /// another thread. A fresh token is created when absent.
+    pub fn cancel_token(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Builds the session. Fails with [`CtnError::Config`] when `workers`
+    /// was set to zero.
+    pub fn build(self) -> Result<Session, CtnError> {
+        let workers = self
+            .workers
+            .unwrap_or_else(contention_lab::runner::default_workers);
+        if workers == 0 {
+            return Err(CtnError::Config {
+                detail: "session needs at least one worker".to_string(),
+            });
+        }
+        Ok(Session {
+            cfg: BatchConfig {
+                workers,
+                base_seed: self.base_seed.unwrap_or(42),
+                model: self.model,
+            },
+            cache: self.cache.unwrap_or_default(),
+            cancel: self.cancel.unwrap_or_default(),
+        })
+    }
+}
+
+/// An owned handle on the scenario engine: policy + calibration cache +
+/// cancellation, with streaming or plain execution.
+///
+/// Sessions are cheap to construct and internally synchronized — share
+/// one behind an [`Arc`] across threads, or build one per request; the
+/// determinism contract (reports depend only on `(scenario, seed, cell)`,
+/// never on workers or cache state) holds either way.
+#[derive(Debug)]
+pub struct Session {
+    cfg: BatchConfig,
+    cache: Arc<CalibrationCache>,
+    cancel: CancelToken,
+}
+
+impl Session {
+    /// Starts configuring a session.
+    pub fn builder() -> SessionBuilder {
+        SessionBuilder::default()
+    }
+
+    /// A session with default policy (all cores, seed 42, MED model) and a
+    /// private cache.
+    pub fn new() -> Self {
+        Self::builder().build().expect("default session is valid")
+    }
+
+    /// Worker threads this session runs with.
+    pub fn workers(&self) -> usize {
+        self.cfg.workers
+    }
+
+    /// The session's base seed.
+    pub fn base_seed(&self) -> u64 {
+        self.cfg.base_seed
+    }
+
+    /// The session's predictor model.
+    pub fn model(&self) -> ModelKind {
+        self.cfg.model
+    }
+
+    /// The session's calibration cache, shareable with other builders.
+    pub fn cache(&self) -> Arc<CalibrationCache> {
+        Arc::clone(&self.cache)
+    }
+
+    /// A clone of the session's cancellation token. Cancelling it aborts
+    /// the in-flight run *and all future runs* of this session (see
+    /// [`CancelToken`]); recover by building a new session around
+    /// [`Session::cache`].
+    pub fn cancel_token(&self) -> CancelToken {
+        self.cancel.clone()
+    }
+
+    /// Runs one scenario's full grid to a versioned [`Report`].
+    pub fn run(&self, spec: &ScenarioSpec) -> Result<Report, CtnError> {
+        self.run_many(std::slice::from_ref(spec))
+    }
+
+    /// Runs several scenarios as one flat cell queue (a wide scenario
+    /// cannot serialize a narrow one behind it).
+    pub fn run_many(&self, specs: &[ScenarioSpec]) -> Result<Report, CtnError> {
+        self.run_many_with(specs, &mut NullObserver)
+    }
+
+    /// Like [`Session::run`], streaming [`RunEvent`]s to `observer` as the
+    /// run progresses.
+    pub fn run_with<O: RunObserver + ?Sized>(
+        &self,
+        spec: &ScenarioSpec,
+        observer: &mut O,
+    ) -> Result<Report, CtnError> {
+        self.run_many_with(std::slice::from_ref(spec), observer)
+    }
+
+    /// Like [`Session::run_many`], streaming [`RunEvent`]s to `observer`.
+    pub fn run_many_with<O: RunObserver + ?Sized>(
+        &self,
+        specs: &[ScenarioSpec],
+        observer: &mut O,
+    ) -> Result<Report, CtnError> {
+        let mut sink = |event: RunEvent<'_>| observer.on_event(event);
+        executor::execute(specs, &self.cfg, &self.cache, &mut sink, &self.cancel).map(Report::new)
+    }
+
+    /// Measures (or recalls from the cache) the scenario fabric's Hockney
+    /// parameters — the paper's 2-rank ping-pong fit.
+    pub fn calibrate_hockney(&self, spec: &ScenarioSpec) -> Result<HockneyParams, CtnError> {
+        executor::hockney_fit(&self.cache, spec, self.cfg.base_seed)
+    }
+
+    /// Fits (or recalls) the fabric's contention signature `(γ, δ, M)`:
+    /// the paper's §8 procedure on the scenario's own fabric, sampled at a
+    /// capacity-derived node count.
+    pub fn calibrate_signature(
+        &self,
+        spec: &ScenarioSpec,
+    ) -> Result<ContentionSignature, CtnError> {
+        let hockney = self.calibrate_hockney(spec)?;
+        match executor::model_ctx(
+            &self.cache,
+            spec,
+            hockney,
+            self.cfg.base_seed,
+            ModelKind::Signature,
+        )? {
+            ModelCtx::Signature(sig) => Ok(sig),
+            _ => unreachable!("signature calibration returns a signature context"),
+        }
+    }
+
+    /// Fits (or recalls) the fabric's saturation-ramp model `γ(n)`.
+    pub fn calibrate_saturation(&self, spec: &ScenarioSpec) -> Result<SaturationModel, CtnError> {
+        let hockney = self.calibrate_hockney(spec)?;
+        match executor::model_ctx(
+            &self.cache,
+            spec,
+            hockney,
+            self.cfg.base_seed,
+            ModelKind::Saturation,
+        )? {
+            ModelCtx::Saturation(sat) => Ok(sat),
+            _ => unreachable!("saturation calibration returns a saturation context"),
+        }
+    }
+}
+
+impl Default for Session {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::by_name;
+    use crate::report::{to_csv, ReportFormat};
+
+    fn trimmed(name: &str) -> ScenarioSpec {
+        let mut spec = by_name(name).expect("built-in");
+        spec.sweep.nodes = vec![*spec.sweep.nodes.first().unwrap()];
+        spec.sweep.message_bytes = vec![*spec.sweep.message_bytes.first().unwrap()];
+        spec.sweep.reps = 1;
+        spec.sweep.warmup = 0;
+        spec
+    }
+
+    #[test]
+    fn session_report_matches_legacy_free_function_bytes() {
+        let spec = by_name("incast-burst").unwrap();
+        let session = Session::builder().workers(2).base_seed(7).build().unwrap();
+        let report = session.run(&spec).unwrap();
+        let legacy = crate::executor::run_batches(
+            std::slice::from_ref(&spec),
+            &BatchConfig {
+                workers: 2,
+                base_seed: 7,
+                model: ModelKind::Med,
+            },
+        )
+        .unwrap();
+        assert_eq!(report.batches, legacy);
+        assert_eq!(report.render(ReportFormat::Csv), to_csv(&legacy));
+    }
+
+    #[test]
+    fn streaming_observer_sees_every_cell_and_batch_boundaries() {
+        let spec = trimmed("incast-burst");
+        let session = Session::builder().workers(4).base_seed(3).build().unwrap();
+        let mut started = Vec::new();
+        let mut cells = 0usize;
+        let mut finished = Vec::new();
+        let report = session
+            .run_with(&spec, &mut |event: RunEvent<'_>| match event {
+                RunEvent::BatchStarted { scenario, cells: c } => {
+                    started.push((scenario.to_string(), c))
+                }
+                RunEvent::CellFinished {
+                    completed, total, ..
+                } => {
+                    cells += 1;
+                    assert!(completed <= total);
+                }
+                RunEvent::BatchFinished { scenario, batch } => {
+                    assert_eq!(scenario, batch.scenario);
+                    finished.push(batch.cells.len());
+                }
+            })
+            .unwrap();
+        assert_eq!(started, vec![("incast-burst".to_string(), 1)]);
+        assert_eq!(cells, 1);
+        assert_eq!(finished, vec![1]);
+        assert_eq!(report.batches.len(), 1);
+    }
+
+    #[test]
+    fn cancellation_aborts_between_cells() {
+        let spec = by_name("incast-burst").unwrap();
+        let token = CancelToken::new();
+        token.cancel();
+        let session = Session::builder()
+            .workers(2)
+            .cancel_token(token.clone())
+            .build()
+            .unwrap();
+        assert!(token.is_cancelled());
+        assert!(matches!(session.run(&spec), Err(CtnError::Cancelled)));
+        // Cancellation covers the calibration phase: a pre-cancelled run
+        // must not have fitted anything.
+        assert_eq!(session.cache().hockney_entries(), 0);
+        assert_eq!(session.cache().model_entries(), 0);
+    }
+
+    #[test]
+    fn shared_cache_is_reused_across_sessions() {
+        let spec = trimmed("incast-burst");
+        let cache = Arc::new(CalibrationCache::new());
+        let a = Session::builder()
+            .workers(1)
+            .shared_cache(Arc::clone(&cache))
+            .build()
+            .unwrap();
+        let b = Session::builder()
+            .workers(2)
+            .shared_cache(Arc::clone(&cache))
+            .build()
+            .unwrap();
+        let ra = a.run(&spec).unwrap();
+        assert_eq!(cache.hockney_entries(), 1, "first run fits once");
+        let rb = b.run(&spec).unwrap();
+        assert_eq!(cache.hockney_entries(), 1, "second session reuses the fit");
+        assert_eq!(ra.batches, rb.batches, "cache sharing never changes bytes");
+        cache.clear();
+        assert_eq!(cache.hockney_entries(), 0);
+    }
+
+    #[test]
+    fn session_calibrations_expose_the_models() {
+        let spec = by_name("incast-burst").unwrap();
+        let session = Session::builder().workers(2).build().unwrap();
+        let hockney = session.calibrate_hockney(&spec).unwrap();
+        assert!(hockney.alpha_secs > 0.0);
+        let sig = session.calibrate_signature(&spec).unwrap();
+        assert!(sig.gamma >= 1.0, "contention never beats the bound");
+        let sat = session.calibrate_saturation(&spec).unwrap();
+        assert!(sat.gamma_at(8).is_finite());
+        assert_eq!(session.cache().model_entries(), 2);
+    }
+
+    #[test]
+    fn zero_workers_is_a_typed_config_error() {
+        assert!(matches!(
+            Session::builder().workers(0).build(),
+            Err(CtnError::Config { .. })
+        ));
+    }
+}

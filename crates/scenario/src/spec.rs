@@ -642,11 +642,14 @@ impl ScenarioSpec {
     }
 
     /// Parses and validates a TOML document.
+    ///
+    /// TOML is one front-end to the
+    /// [`ScenarioBuilder`](crate::builder::ScenarioBuilder): the decoded
+    /// sections feed the same builder (and the same validation) a
+    /// programmatic caller would use, so the two routes cannot drift.
     pub fn from_toml_str(input: &str) -> Result<Self, SpecError> {
         let value = toml::parse(input)?;
-        let spec = Self::from_value(&value)?;
-        spec.validate()?;
-        Ok(spec)
+        Self::from_value(&value)
     }
 
     /// Serializes to a TOML document that [`ScenarioSpec::from_toml_str`]
@@ -656,35 +659,34 @@ impl ScenarioSpec {
     }
 
     fn from_value(v: &Value) -> Result<Self, SpecError> {
-        Ok(Self {
-            name: req_str(v, "name")?,
-            description: opt_str(v, "description")?.unwrap_or_default(),
-            topology: decode_topology(
-                v.get("topology")
-                    .ok_or_else(|| invalid("missing [topology]"))?,
-            )?,
-            placement: match opt_str(v, "placement")? {
-                None => Placement::default(),
-                Some(name) => Placement::parse(&name)
+        let mut b = crate::builder::ScenarioBuilder::new(req_str(v, "name")?);
+        if let Some(description) = opt_str(v, "description")? {
+            b = b.description(description);
+        }
+        b = b.topology(decode_topology(
+            v.get("topology")
+                .ok_or_else(|| invalid("missing [topology]"))?,
+        )?);
+        if let Some(name) = opt_str(v, "placement")? {
+            b = b.placement(
+                Placement::parse(&name)
                     .ok_or_else(|| invalid(format!("unknown placement {name:?}")))?,
-            },
-            transport: match v.get("transport") {
-                Some(t) => decode_transport(t)?,
-                None => TransportSpec::default(),
-            },
-            mpi: match v.get("mpi") {
-                Some(m) => decode_mpi(m)?,
-                None => MpiSpec::default(),
-            },
-            workload: decode_workload(
-                v.get("workload")
-                    .ok_or_else(|| invalid("missing [workload]"))?,
-            )?,
-            sweep: match v.get("sweep") {
-                Some(s) => decode_sweep(s)?,
-                None => SweepSpec::default(),
-            },
-        })
+            );
+        }
+        if let Some(t) = v.get("transport") {
+            b = b.transport(decode_transport(t)?);
+        }
+        if let Some(m) = v.get("mpi") {
+            b = b.mpi(decode_mpi(m)?);
+        }
+        b = b.workload(decode_workload(
+            v.get("workload")
+                .ok_or_else(|| invalid("missing [workload]"))?,
+        )?);
+        if let Some(s) = v.get("sweep") {
+            b = b.sweep(decode_sweep(s)?);
+        }
+        b.build()
     }
 
     /// A stable fingerprint of the calibration-relevant spec parts: the

@@ -1,0 +1,157 @@
+//! Equivalence property: every builtin registry spec is reconstructible
+//! through the fluent `ScenarioBuilder` sugar — same spec, same fabric
+//! fingerprint, same TOML round-trip — and grid-only edits (the
+//! programmatic-sweep use case) never move the fabric fingerprint the
+//! calibration caches key on.
+
+use contention_scenario::builder::ScenarioBuilder;
+use contention_scenario::registry::builtin;
+use contention_scenario::spec::{ScenarioSpec, TopologySpec, TransportSpec, WorkloadSpec};
+use proptest::prelude::*;
+
+/// Reassembles a spec through the builder's shape-specific sugar (falling
+/// back to the general `.topology()` form only for the parameter-heavy
+/// fabrics) — the compile-time proof that the fluent surface covers every
+/// shipped scenario.
+fn rebuild(spec: &ScenarioSpec) -> ScenarioSpec {
+    let mut b = ScenarioBuilder::new(spec.name.clone()).description(spec.description.clone());
+    b = match &spec.topology {
+        TopologySpec::Preset { preset } => b.preset(preset.clone()),
+        TopologySpec::SingleSwitch {
+            hosts,
+            link,
+            switch,
+        } => b.single_switch(*hosts, *link, *switch),
+        TopologySpec::FatTree {
+            k,
+            hosts_per_edge,
+            link,
+            switch,
+        } => b.fat_tree(*k, *hosts_per_edge, *link, *switch),
+        TopologySpec::Torus2d {
+            x,
+            y,
+            hosts_per_switch,
+            link,
+            switch,
+        } => b.torus_2d(*x, *y, *hosts_per_switch, *link, *switch),
+        TopologySpec::Torus3d {
+            x,
+            y,
+            z,
+            hosts_per_switch,
+            link,
+            switch,
+        } => b.torus_3d(*x, *y, *z, *hosts_per_switch, *link, *switch),
+        other => b.topology(other.clone()),
+    };
+    b = b.placement(spec.placement).mpi(spec.mpi);
+    b = match spec.transport {
+        TransportSpec::Tcp { window_bytes } => b.tcp(window_bytes),
+        TransportSpec::Gm { window_bytes } => b.gm(window_bytes),
+    };
+    b = match &spec.workload {
+        WorkloadSpec::Uniform { algorithm } => b.uniform(algorithm.clone()),
+        WorkloadSpec::Skewed {
+            hot_ranks,
+            factor,
+            nonblocking,
+        } => b.skewed(*hot_ranks, *factor, *nonblocking),
+        WorkloadSpec::Sparse {
+            density,
+            nonblocking,
+        } => b.sparse(*density, *nonblocking),
+        WorkloadSpec::Permutation => b.permutation(),
+        WorkloadSpec::Incast { receivers } => b.incast(*receivers),
+        WorkloadSpec::Outcast { senders } => b.outcast(*senders),
+        WorkloadSpec::Phases { phases } => b.phases(phases.clone()),
+    };
+    b.nodes(spec.sweep.nodes.clone())
+        .message_bytes(spec.sweep.message_bytes.clone())
+        .warmup(spec.sweep.warmup)
+        .reps(spec.sweep.reps)
+        .build()
+        .expect("rebuilt builtin validates")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Builder reconstruction is exact: equal spec, equal fabric
+    /// fingerprint, and the TOML round-trip of the rebuilt spec decodes
+    /// back to the registry original.
+    #[test]
+    fn every_builtin_reconstructs_through_the_builder(pick in 0usize..1024) {
+        let all = builtin();
+        let original = &all[pick % all.len()];
+        let rebuilt = rebuild(original);
+        prop_assert_eq!(&rebuilt, original, "rebuild of {}", original.name);
+        prop_assert_eq!(
+            rebuilt.fabric_fingerprint(),
+            original.fabric_fingerprint(),
+            "fingerprint of {}", original.name
+        );
+        let reparsed = ScenarioSpec::from_toml_str(&rebuilt.to_toml_string())
+            .map_err(|e| TestCaseError::fail(format!("{}: {e}", original.name)))?;
+        prop_assert_eq!(&reparsed, original, "TOML round-trip of {}", original.name);
+    }
+
+    /// Grid-only edits (nodes/sizes/reps — the programmatic sweep case)
+    /// keep the fabric fingerprint, so cached calibrations stay valid;
+    /// the edited spec still TOML round-trips exactly.
+    #[test]
+    fn grid_edits_keep_the_fabric_fingerprint(
+        pick in 0usize..1024,
+        keep_nodes in 1usize..4,
+        size_kib in 1u64..2048,
+        reps in 1usize..4,
+    ) {
+        let all = builtin();
+        let original = &all[pick % all.len()];
+        let nodes: Vec<usize> = original
+            .sweep
+            .nodes
+            .iter()
+            .copied()
+            .take(keep_nodes.min(original.sweep.nodes.len()))
+            .collect();
+        let edited = rebuild(original);
+        let mut b = ScenarioBuilder::new(edited.name.clone())
+            .description(edited.description.clone())
+            .topology(edited.topology.clone())
+            .placement(edited.placement)
+            .transport(edited.transport)
+            .mpi(edited.mpi)
+            .workload(edited.workload.clone())
+            .nodes(nodes)
+            .message_bytes([size_kib * 1024])
+            .reps(reps);
+        // Pairwise exchange only allows power-of-two node counts; keep the
+        // property about *grids*, not workload legality.
+        if matches!(&edited.workload, WorkloadSpec::Uniform { algorithm } if algorithm == "pairwise") {
+            b = b.uniform("direct");
+        }
+        let swept = match b.build() {
+            Ok(s) => s,
+            // Some random grids are legitimately invalid for the workload
+            // (e.g. incast receivers >= min node count); that is the
+            // validator doing its job, not a fingerprint property.
+            Err(_) => return Ok(()),
+        };
+        prop_assert_eq!(
+            swept.fabric_fingerprint(),
+            original.fabric_fingerprint(),
+            "grid edit moved the fingerprint of {}", original.name
+        );
+        let reparsed = ScenarioSpec::from_toml_str(&swept.to_toml_string())
+            .map_err(|e| TestCaseError::fail(format!("{}: {e}", swept.name)))?;
+        prop_assert_eq!(reparsed, swept);
+    }
+}
+
+/// The proptests above index builtins modulo the registry length; this
+/// anchor makes a registry growth/shrink visible here too.
+#[test]
+fn registry_ships_thirteen_builtins() {
+    assert_eq!(builtin().len(), 13);
+}

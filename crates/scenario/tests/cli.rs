@@ -1,0 +1,183 @@
+//! Integration tests of the `ctnsim` binary: exit codes, stderr
+//! diagnostics, and output formats, via the real executable
+//! (`CARGO_BIN_EXE_ctnsim`).
+//!
+//! Exit-code contract: `0` success, `1` runtime failure (unknown
+//! scenario, invalid spec, simulation/I-O error), `2` usage error
+//! (unknown command, flag, or flag value).
+
+#[path = "common/json_lint.rs"]
+mod json_lint;
+
+use json_lint::validate_json;
+use std::process::{Command, Output};
+
+fn ctnsim(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_ctnsim"))
+        .args(args)
+        .output()
+        .expect("ctnsim spawns")
+}
+
+fn code(out: &Output) -> i32 {
+    out.status.code().expect("ctnsim exits normally")
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+#[test]
+fn no_arguments_prints_usage_and_exits_2() {
+    let out = ctnsim(&[]);
+    assert_eq!(code(&out), 2);
+    assert!(stderr(&out).contains("USAGE"), "{}", stderr(&out));
+}
+
+#[test]
+fn unknown_subcommand_is_a_usage_error() {
+    let out = ctnsim(&["frobnicate"]);
+    assert_eq!(code(&out), 2);
+    let err = stderr(&out);
+    assert!(err.contains("unknown command \"frobnicate\""), "{err}");
+    assert!(err.contains("ctnsim help"), "{err}");
+}
+
+#[test]
+fn unknown_scenario_name_is_a_runtime_error() {
+    let out = ctnsim(&["run", "no-such-scenario"]);
+    assert_eq!(code(&out), 1);
+    let err = stderr(&out);
+    assert!(
+        err.contains("unknown scenario \"no-such-scenario\""),
+        "{err}"
+    );
+    assert!(err.contains("ctnsim list"), "{err}");
+}
+
+#[test]
+fn bad_model_value_is_a_usage_error() {
+    let out = ctnsim(&["run", "incast-burst", "--model", "quantum"]);
+    assert_eq!(code(&out), 2);
+    let err = stderr(&out);
+    assert!(err.contains("unknown model \"quantum\""), "{err}");
+    assert!(err.contains("med, signature or saturation"), "{err}");
+}
+
+#[test]
+fn bad_placement_value_is_a_usage_error() {
+    let out = ctnsim(&["run", "incast-burst", "--placement", "teleport"]);
+    assert_eq!(code(&out), 2);
+    let err = stderr(&out);
+    assert!(err.contains("unknown placement \"teleport\""), "{err}");
+    assert!(err.contains("scatter, pack or random"), "{err}");
+}
+
+#[test]
+fn bad_format_value_is_a_usage_error() {
+    let out = ctnsim(&["run", "incast-burst", "--format", "yaml"]);
+    assert_eq!(code(&out), 2);
+    let err = stderr(&out);
+    assert!(err.contains("unknown format \"yaml\""), "{err}");
+    assert!(err.contains("text, csv or json"), "{err}");
+}
+
+#[test]
+fn flag_without_value_and_unknown_flag_are_usage_errors() {
+    let out = ctnsim(&["run", "incast-burst", "--model"]);
+    assert_eq!(code(&out), 2);
+    assert!(
+        stderr(&out).contains("--model needs a value"),
+        "{}",
+        stderr(&out)
+    );
+    let out = ctnsim(&["run", "incast-burst", "--frobnicate"]);
+    assert_eq!(code(&out), 2);
+    assert!(
+        stderr(&out).contains("unknown option --frobnicate"),
+        "{}",
+        stderr(&out)
+    );
+}
+
+#[test]
+fn sweep_without_overrides_is_a_usage_error() {
+    let out = ctnsim(&["sweep", "incast-burst"]);
+    assert_eq!(code(&out), 2);
+    assert!(
+        stderr(&out).contains("--nodes and/or --sizes"),
+        "{}",
+        stderr(&out)
+    );
+}
+
+#[test]
+fn show_unknown_builtin_is_a_runtime_error() {
+    let out = ctnsim(&["show", "no-such-builtin"]);
+    assert_eq!(code(&out), 1);
+    assert!(
+        stderr(&out).contains("unknown built-in \"no-such-builtin\""),
+        "{}",
+        stderr(&out)
+    );
+}
+
+#[test]
+fn list_names_every_builtin() {
+    let out = ctnsim(&["list"]);
+    assert_eq!(code(&out), 0);
+    let text = stdout(&out);
+    for spec in contention_scenario::registry::builtin() {
+        assert!(text.contains(&spec.name), "list misses {}", spec.name);
+    }
+}
+
+/// One tiny real run per format: the json output must satisfy the strict
+/// validity lint, the csv output the fixed header, the text output the
+/// version banner; `--progress` streams cell lines to stderr without
+/// touching stdout.
+#[test]
+fn run_emits_all_three_formats_and_streams_progress() {
+    let base = [
+        "run",
+        "incast-burst",
+        "--nodes",
+        "4",
+        "--sizes",
+        "16384",
+        "--reps",
+        "1",
+        "--warmup",
+        "0",
+        "--workers",
+        "2",
+    ];
+    let json = ctnsim(&[&base[..], &["--format", "json"]].concat());
+    assert_eq!(code(&json), 0, "{}", stderr(&json));
+    let json_text = stdout(&json);
+    validate_json(&json_text).expect("ctnsim --format json emits valid JSON");
+    assert!(json_text.contains("\"schema_version\": 1"), "{json_text}");
+
+    let csv = ctnsim(&[&base[..], &["--format", "csv"]].concat());
+    assert_eq!(code(&csv), 0);
+    assert!(
+        stdout(&csv).starts_with("scenario,topology,workload,n,"),
+        "{}",
+        stdout(&csv)
+    );
+
+    let text = ctnsim(&[&base[..], &["--format", "text", "--progress"]].concat());
+    assert_eq!(code(&text), 0);
+    assert!(
+        stdout(&text).starts_with("report v1\n"),
+        "{}",
+        stdout(&text)
+    );
+    let progress = stderr(&text);
+    assert!(progress.contains("[1/1]"), "{progress}");
+    assert!(progress.contains("incast-burst: done"), "{progress}");
+}

@@ -1,0 +1,193 @@
+//! A minimal strict JSON validity checker shared by the report-golden and
+//! CLI integration tests (the workspace has no JSON dependency; this is a
+//! test-only lint, not a parser — it builds no tree, it only accepts or
+//! rejects).
+//!
+//! Checks the whole grammar the reports can emit: objects, arrays,
+//! strings with escapes (`\" \\ \/ \b \f \n \r \t \uXXXX`), numbers
+//! (rejecting bare `inf`/`NaN`/leading zeros), `true`/`false`/`null`, and
+//! trailing garbage.
+
+/// Validates that `input` is exactly one JSON value (plus whitespace).
+pub fn validate_json(input: &str) -> Result<(), String> {
+    let bytes: Vec<char> = input.chars().collect();
+    let mut pos = 0usize;
+    skip_ws(&bytes, &mut pos);
+    value(&bytes, &mut pos)?;
+    skip_ws(&bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing garbage at char {pos}"));
+    }
+    Ok(())
+}
+
+fn skip_ws(b: &[char], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], ' ' | '\t' | '\n' | '\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[char], pos: &mut usize, c: char) -> Result<(), String> {
+    if b.get(*pos) == Some(&c) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!(
+            "expected {c:?} at char {pos}, found {:?}",
+            b.get(*pos)
+        ))
+    }
+}
+
+fn value(b: &[char], pos: &mut usize) -> Result<(), String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        Some('{') => object(b, pos),
+        Some('[') => array(b, pos),
+        Some('"') => string(b, pos),
+        Some('t') => literal(b, pos, "true"),
+        Some('f') => literal(b, pos, "false"),
+        Some('n') => literal(b, pos, "null"),
+        Some(c) if *c == '-' || c.is_ascii_digit() => number(b, pos),
+        other => Err(format!("unexpected {other:?} at char {pos}")),
+    }
+}
+
+fn literal(b: &[char], pos: &mut usize, word: &str) -> Result<(), String> {
+    for c in word.chars() {
+        expect(b, pos, c)?;
+    }
+    Ok(())
+}
+
+fn object(b: &[char], pos: &mut usize) -> Result<(), String> {
+    expect(b, pos, '{')?;
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&'}') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(b, pos);
+        string(b, pos)?;
+        skip_ws(b, pos);
+        expect(b, pos, ':')?;
+        value(b, pos)?;
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(',') => *pos += 1,
+            Some('}') => {
+                *pos += 1;
+                return Ok(());
+            }
+            other => {
+                return Err(format!(
+                    "expected ',' or '}}' at char {pos}, found {other:?}"
+                ))
+            }
+        }
+    }
+}
+
+fn array(b: &[char], pos: &mut usize) -> Result<(), String> {
+    expect(b, pos, '[')?;
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&']') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        value(b, pos)?;
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(',') => *pos += 1,
+            Some(']') => {
+                *pos += 1;
+                return Ok(());
+            }
+            other => {
+                return Err(format!(
+                    "expected ',' or ']' at char {pos}, found {other:?}"
+                ))
+            }
+        }
+    }
+}
+
+fn string(b: &[char], pos: &mut usize) -> Result<(), String> {
+    expect(b, pos, '"')?;
+    loop {
+        match b.get(*pos) {
+            None => return Err("unterminated string".to_string()),
+            Some('"') => {
+                *pos += 1;
+                return Ok(());
+            }
+            Some('\\') => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some('"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't') => *pos += 1,
+                    Some('u') => {
+                        *pos += 1;
+                        for _ in 0..4 {
+                            match b.get(*pos) {
+                                Some(c) if c.is_ascii_hexdigit() => *pos += 1,
+                                other => {
+                                    return Err(format!("bad \\u escape at char {pos}: {other:?}"))
+                                }
+                            }
+                        }
+                    }
+                    other => return Err(format!("bad escape at char {pos}: {other:?}")),
+                }
+            }
+            Some(c) if (*c as u32) < 0x20 => {
+                return Err(format!("raw control char {:#x} at char {pos}", *c as u32))
+            }
+            Some(_) => *pos += 1,
+        }
+    }
+}
+
+fn number(b: &[char], pos: &mut usize) -> Result<(), String> {
+    if b.get(*pos) == Some(&'-') {
+        *pos += 1;
+    }
+    // Integer part: 0 | [1-9][0-9]*
+    match b.get(*pos) {
+        Some('0') => {
+            *pos += 1;
+            if matches!(b.get(*pos), Some(c) if c.is_ascii_digit()) {
+                return Err(format!("leading zero at char {pos}"));
+            }
+        }
+        Some(c) if c.is_ascii_digit() => {
+            while matches!(b.get(*pos), Some(c) if c.is_ascii_digit()) {
+                *pos += 1;
+            }
+        }
+        other => return Err(format!("bad number at char {pos}: {other:?}")),
+    }
+    if b.get(*pos) == Some(&'.') {
+        *pos += 1;
+        if !matches!(b.get(*pos), Some(c) if c.is_ascii_digit()) {
+            return Err(format!("bad fraction at char {pos}"));
+        }
+        while matches!(b.get(*pos), Some(c) if c.is_ascii_digit()) {
+            *pos += 1;
+        }
+    }
+    if matches!(b.get(*pos), Some('e' | 'E')) {
+        *pos += 1;
+        if matches!(b.get(*pos), Some('+' | '-')) {
+            *pos += 1;
+        }
+        if !matches!(b.get(*pos), Some(c) if c.is_ascii_digit()) {
+            return Err(format!("bad exponent at char {pos}"));
+        }
+        while matches!(b.get(*pos), Some(c) if c.is_ascii_digit()) {
+            *pos += 1;
+        }
+    }
+    Ok(())
+}

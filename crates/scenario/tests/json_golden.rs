@@ -1,0 +1,103 @@
+//! JSON-emitter goldens: a hostile batch result — control characters,
+//! quotes, backslashes and commas in the scenario name; NaN/±∞ in every
+//! float column — must render to exactly the checked-in bytes, and those
+//! bytes must be *valid JSON* (non-finite values become `null`, control
+//! characters become `\uXXXX` escapes). The validity lint is shared with
+//! the CLI integration tests.
+//!
+//! Regenerate the golden only for an intentional schema change (bump
+//! `SCHEMA_VERSION` and document it in `report.rs`):
+//!
+//! ```text
+//! REGEN_GOLDEN=1 cargo test -p contention-scenario --test json_golden
+//! ```
+
+#[path = "common/json_lint.rs"]
+mod json_lint;
+
+use contention_scenario::executor::{BatchResult, CellResult};
+use contention_scenario::report::{to_json, Report, ReportFormat, SCHEMA_VERSION};
+use json_lint::validate_json;
+
+const GOLDEN: &str = include_str!("golden/hostile_report.json");
+
+/// Worst-case inputs: every string field user-controlled via TOML specs,
+/// every float capable of going non-finite (an all-zero simulated time
+/// makes `error_percent` divide by zero).
+fn hostile() -> Vec<BatchResult> {
+    vec![BatchResult {
+        scenario: "evil \"name\", with\nnewline\ttab \u{1}ctrl back\\slash".into(),
+        alpha_secs: f64::NAN,
+        beta_secs_per_byte: 8e-9,
+        cells: vec![CellResult {
+            scenario: "evil \"name\", with\nnewline\ttab \u{1}ctrl back\\slash".into(),
+            workload: "uniform".into(),
+            topology: "single-switch".into(),
+            n: 4,
+            message_bytes: 65536,
+            cell_seed: 99,
+            mean_secs: f64::INFINITY,
+            min_secs: f64::NEG_INFINITY,
+            max_secs: 0.013,
+            model_secs: 0.01,
+            error_percent: f64::NAN,
+        }],
+    }]
+}
+
+#[test]
+fn hostile_report_renders_to_the_golden_bytes() {
+    let json = to_json(&hostile());
+    if std::env::var_os("REGEN_GOLDEN").is_some() {
+        let path = concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/tests/golden/hostile_report.json"
+        );
+        std::fs::write(path, &json).expect("write golden");
+        panic!("regenerated {path}; re-run without REGEN_GOLDEN");
+    }
+    assert_eq!(
+        json, GOLDEN,
+        "JSON rendering diverged from tests/golden/hostile_report.json"
+    );
+}
+
+#[test]
+fn hostile_report_is_valid_json_with_nulls_for_non_finite() {
+    let json = to_json(&hostile());
+    validate_json(&json).expect("report JSON must parse");
+    // NaN alpha, +inf mean, -inf min, NaN error → exactly four nulls.
+    assert_eq!(json.matches("null").count(), 4);
+    assert!(json.contains("\\u0001"), "control chars must be escaped");
+    assert!(!json.to_lowercase().contains("inf"), "no bare infinities");
+    assert!(!json.contains("NaN"), "no bare NaNs");
+}
+
+#[test]
+fn report_render_path_and_wrapper_agree_and_carry_the_version() {
+    let report = Report::new(hostile());
+    let json = report.render(ReportFormat::Json);
+    assert_eq!(json, to_json(&hostile()));
+    assert!(json.contains(&format!("\"schema_version\": {SCHEMA_VERSION}")));
+    validate_json(&json).expect("render path emits valid JSON");
+}
+
+#[test]
+fn the_lint_itself_rejects_broken_json() {
+    for bad in [
+        "",
+        "{",
+        "[1,]",
+        "{\"a\": inf}",
+        "{\"a\": NaN}",
+        "\"raw \u{1} control\"",
+        "[1] trailing",
+        "{\"a\" 1}",
+        "01",
+    ] {
+        assert!(validate_json(bad).is_err(), "accepted: {bad:?}");
+    }
+    for good in ["null", "[\"a\\u0001b\", -1.5e-9, {\"k\": []}]", GOLDEN] {
+        validate_json(good).unwrap_or_else(|e| panic!("rejected {good:?}: {e}"));
+    }
+}

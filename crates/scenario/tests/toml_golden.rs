@@ -87,15 +87,12 @@ fn golden_spec_is_runnable() {
         warmup: 0,
         reps: 1,
     };
-    let result = contention_scenario::executor::run_batch(
-        &spec,
-        &contention_scenario::executor::BatchConfig {
-            workers: 2,
-            base_seed: 5,
-            ..Default::default()
-        },
-    )
-    .expect("golden scenario runs");
-    assert_eq!(result.cells.len(), 1);
-    assert!(result.cells[0].mean_secs > 0.0);
+    let session = contention_scenario::session::Session::builder()
+        .workers(2)
+        .base_seed(5)
+        .build()
+        .expect("session builds");
+    let report = session.run(&spec).expect("golden scenario runs");
+    assert_eq!(report.batches[0].cells.len(), 1);
+    assert!(report.batches[0].cells[0].mean_secs > 0.0);
 }

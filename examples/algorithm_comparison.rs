@@ -9,30 +9,54 @@
 //!
 //! The motivating observation of the paper's introduction: algorithms tuned
 //! for message counts (Bruck) versus bandwidth (direct) trade places as
-//! message size grows, and contention shifts the crossover.
+//! message size grows, and contention shifts the crossover. Each
+//! (fabric, algorithm) pair is one generated `ScenarioSpec`; a single
+//! `Session` runs them all as one flat cell queue — the programmatic-sweep
+//! workflow the builder exists for.
 
 use alltoall_contention::prelude::*;
-use simmpi::harness::alltoall_times;
 
 fn main() {
-    let n = 16; // power of two so pairwise exchange is legal
+    let n = 16usize; // power of two so pairwise exchange is legal
     let algorithms = AllToAllAlgorithm::all();
-    let sizes = [1024u64, 16 * 1024, 128 * 1024, 1024 * 1024];
+    let sizes = [16 * 1024u64, 128 * 1024, 512 * 1024];
+    let presets = ["gigabit-ethernet", "myrinet"];
 
-    for preset in [ClusterPreset::gigabit_ethernet(), ClusterPreset::myrinet()] {
-        println!("\n== {} ({} ranks) ==", preset.name, n);
+    // The sweep grid, generated: one spec per (fabric, algorithm).
+    let mut specs = Vec::new();
+    for preset in presets {
+        for algo in &algorithms {
+            specs.push(
+                ScenarioBuilder::new(format!("algos-{preset}-{}", algo.name()))
+                    .preset(preset)
+                    .uniform(algo.name())
+                    .nodes([n])
+                    .message_bytes(sizes)
+                    .warmup(1)
+                    .reps(1)
+                    .build()
+                    .expect("generated spec is valid"),
+            );
+        }
+    }
+
+    let session = Session::builder().workers(4).base_seed(42).build().unwrap();
+    let report = session.run_many(&specs).expect("comparison sweep runs");
+
+    for (pi, preset) in presets.iter().enumerate() {
+        println!("\n== {preset} ({n} ranks) ==");
         print!("{:>10}", "msg bytes");
         for algo in &algorithms {
             print!("{:>12}", algo.name());
         }
         println!();
-        for &m in &sizes {
-            print!("{:>10}", m);
-            for algo in &algorithms {
-                let mut world = preset.build_world(n, 42);
-                let times = alltoall_times(&mut world, *algo, m, 1, 2);
-                let mean = times.iter().sum::<f64>() / times.len() as f64;
-                print!("{:>11.4}s", mean);
+        for (si, &m) in sizes.iter().enumerate() {
+            print!("{m:>10}");
+            for (ai, _) in algorithms.iter().enumerate() {
+                let batch = &report.batches[pi * algorithms.len() + ai];
+                let cell = &batch.cells[si];
+                assert_eq!((cell.n, cell.message_bytes), (n, m));
+                print!("{:>11.4}s", cell.mean_secs);
             }
             println!();
         }

@@ -8,7 +8,9 @@
 //!
 //! This is the use case the paper motivates: once a network's signature is
 //! known, predictions for any (n, m) cost a multiplication, not a cluster
-//! reservation.
+//! reservation. One `Session` calibrates all three clusters — each fabric
+//! is described as a spec, fitted once, and memoized in the session's
+//! instance-owned cache.
 
 use alltoall_contention::prelude::*;
 
@@ -32,28 +34,27 @@ impl FftWorkload {
 }
 
 fn main() {
-    // Calibrate each network once at a modest sample size.
-    let sizes = [
-        64 * 1024u64,
-        128 * 1024,
-        256 * 1024,
-        512 * 1024,
-        1024 * 1024,
-    ];
     let workload = FftWorkload {
         total_bytes: 1 << 30, // a 1 GiB grid
         compute_secs_single_node: 20.0,
     };
+    let session = Session::builder().workers(2).base_seed(42).build().unwrap();
 
     for preset in ClusterPreset::all() {
-        let report = match calibrate_report(&preset, 16, &sizes, 42) {
-            Ok(r) => r,
+        // The fabric as a spec: the builder's preset front-end names the
+        // paper's calibrated clusters.
+        let spec = ScenarioBuilder::new(format!("plan-{}", preset.name))
+            .preset(preset.name)
+            .uniform("direct")
+            .build()
+            .expect("preset spec is valid");
+        let sig = match session.calibrate_signature(&spec) {
+            Ok(s) => s,
             Err(e) => {
                 println!("{}: calibration failed: {e}", preset.name);
                 continue;
             }
         };
-        let sig = report.calibration.signature;
         println!(
             "\n== {} (gamma={:.2}, delta={:.2} ms) ==",
             preset.name,

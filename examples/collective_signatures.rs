@@ -8,7 +8,10 @@
 //!
 //! For each network and collective: fit γ = measured/bound at a sample
 //! rank count, then validate the prediction at a rank count the fit never
-//! saw.
+//! saw. The Hockney baseline under every bound comes from one `Session`
+//! (the scenario engine's calibration path, memoized per fabric in the
+//! session's cache); the collective curves use the lab's measurement
+//! drivers, which operate below the scenario layer.
 
 use alltoall_contention::prelude::*;
 use contention_lab::runner::{fit_cfg_for, measure_collective_curve};
@@ -27,9 +30,15 @@ fn main() {
         (Collective::AllGatherRing, CollectiveShape::AllGather),
     ];
     let (fit_n, check_n, check_m) = (8usize, 12usize, 256 * 1024u64);
+    let session = Session::builder().workers(2).base_seed(42).build().unwrap();
 
     for preset in ClusterPreset::all() {
-        let hockney = match measure_hockney(&preset, 42) {
+        let spec = ScenarioBuilder::new(format!("collectives-{}", preset.name))
+            .preset(preset.name)
+            .uniform("direct")
+            .build()
+            .expect("preset spec is valid");
+        let hockney = match session.calibrate_hockney(&spec) {
             Ok(h) => h,
             Err(e) => {
                 println!("{}: hockney failed: {e}", preset.name);

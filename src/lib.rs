@@ -19,21 +19,29 @@
 //!
 //! ## Quickstart
 //!
+//! The library entry point is the [`contention_scenario`] crate's
+//! [`Session`](contention_scenario::session::Session) facade: build a
+//! scenario programmatically, run it (streaming progress if you want it),
+//! and render a versioned report.
+//!
 //! ```no_run
 //! use alltoall_contention::prelude::*;
 //!
-//! // Build the Gigabit Ethernet preset at 16 nodes and calibrate a
-//! // contention signature from simulated measurements.
-//! let preset = ClusterPreset::gigabit_ethernet();
-//! let calibration = calibrate_signature(&preset, 16, &default_sample_sizes(), 42);
-//! let signature = calibration.expect("calibration").signature;
-//! // Predict an All-to-All at 32 processes × 512 KiB messages.
-//! let t = signature.predict(32, 512 * 1024);
-//! println!("predicted completion: {t:.3} s");
+//! let spec = ScenarioBuilder::new("my-sweep")
+//!     .preset("gigabit-ethernet")
+//!     .uniform("direct")
+//!     .nodes([8, 16, 24])
+//!     .message_bytes([64 * 1024, 512 * 1024])
+//!     .build()
+//!     .expect("valid spec");
+//! let session = Session::builder().workers(4).build().unwrap();
+//! let report = session.run(&spec).expect("runs");
+//! println!("{}", report.render(ReportFormat::Text));
 //! ```
 
 pub use contention_lab;
 pub use contention_model;
+pub use contention_scenario;
 pub use contention_stats;
 pub use simmpi;
 pub use simnet;
@@ -51,5 +59,11 @@ pub mod prelude {
     pub use contention_model::models::CompletionModel;
     pub use contention_model::signature::ContentionSignature;
     pub use contention_model::throughput::ThroughputModel;
+    pub use contention_scenario::prelude::{
+        CalibrationCache, CancelToken, CtnError, ModelKind, Placement, Report, ReportFormat,
+        RunEvent, RunObserver, ScenarioBuilder, ScenarioSpec, Session, SessionBuilder,
+    };
+    pub use contention_scenario::registry;
+    pub use contention_scenario::spec::{LinkSpec, SwitchSpec, TopologySpec, WorkloadSpec};
     pub use simmpi::alltoall::AllToAllAlgorithm;
 }
