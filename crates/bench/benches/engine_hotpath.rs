@@ -26,60 +26,13 @@
 //! end-to-end through `Session`). It has no scenario-crate call sites,
 //! deprecated or otherwise.
 
-use contention_bench::hotpath::{cases, Case, Fabric};
+use contention_bench::hotpath::{build_alltoall, cases, drive_alltoall, RECORDER_OVERHEAD_BENCHES};
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use simnet::event::{Event, EventQueue, RunTemplate};
-use simnet::generate::{dragonfly, torus_2d, DragonflyParams};
 use simnet::ids::TxId;
+use simnet::obs::{EngineRecorder, TelemetryConfig};
 use simnet::prelude::*;
 use simnet::time::SimTime;
-
-/// A primed simulator on the case's lossless fabric, one connection per
-/// ordered host pair.
-fn alltoall_sim(case: &Case) -> (Simulator, Vec<ConnId>) {
-    let link = LinkConfig::gigabit_ethernet();
-    let lossless = SwitchConfig::lossless_fabric();
-    let (builder, hosts) = match case.fabric {
-        Fabric::Star => {
-            let mut b = TopologyBuilder::new();
-            let hosts = b.add_hosts(case.hosts);
-            let sw = b.add_switch(lossless);
-            for &h in &hosts {
-                b.link_host(h, sw, link);
-            }
-            (b, hosts)
-        }
-        Fabric::Torus2d { x, y } => {
-            assert_eq!(case.hosts % (x * y), 0, "hosts must fill the torus evenly");
-            let g = torus_2d(x, y, case.hosts / (x * y), link, lossless);
-            (g.builder, g.hosts)
-        }
-        Fabric::Dragonfly { groups, routers } => {
-            assert_eq!(case.hosts % (groups * routers), 0);
-            let g = dragonfly(&DragonflyParams {
-                groups,
-                routers_per_group: routers,
-                hosts_per_router: case.hosts / (groups * routers),
-                host_link: link,
-                local_link: link,
-                global_link: link,
-                switch: lossless,
-            });
-            (g.builder, g.hosts)
-        }
-    };
-    let cfg = SimConfig::default();
-    let mut sim = Simulator::new(builder.build(&cfg).unwrap(), cfg);
-    let mut conns = Vec::with_capacity(case.hosts * (case.hosts - 1));
-    for &src in &hosts {
-        for &dst in &hosts {
-            if src != dst {
-                conns.push(sim.open_connection(src, dst, case.transport));
-            }
-        }
-    }
-    (sim, conns)
-}
 
 fn bench_hotpath(c: &mut Criterion) {
     let mut group = c.benchmark_group("engine_hotpath");
@@ -91,19 +44,41 @@ fn bench_hotpath(c: &mut Criterion) {
         group.throughput(Throughput::Elements(data_packets));
         group.bench_function(case.name, |b| {
             b.iter_batched(
-                || alltoall_sim(&case),
-                |(mut sim, conns)| {
-                    for (i, conn) in conns.iter().enumerate() {
-                        sim.send(*conn, case.message_bytes, i as u64);
-                    }
-                    sim.run_until_idle();
-                    assert!(sim.all_quiescent(), "{}: unfinished traffic", case.name);
-                    sim.stats().events_processed
-                },
+                || build_alltoall(&case, NoopRecorder),
+                |(mut sim, conns)| drive_alltoall(&case, &mut sim, &conns),
                 BatchSize::SmallInput,
             )
         });
     }
+    group.finish();
+}
+
+/// The telemetry tax, measured: the first hot-path case with the default
+/// no-op recorder (identical to `engine_hotpath/tcp_mtu1460_8hosts_64KiB`
+/// — the zero-cost-when-disabled claim rides on the pair staying equal)
+/// and with a recording `EngineRecorder`. The `overhead_gate` binary
+/// enforces both deltas in CI; the snapshot keeps their trajectory.
+fn bench_recorder_overhead(c: &mut Criterion) {
+    let case = &cases()[0];
+    let mtu = case.transport.mtu() as u64;
+    let data_packets = (case.hosts * (case.hosts - 1)) as u64 * case.message_bytes.div_ceil(mtu);
+    let mut group = c.benchmark_group("recorder_overhead");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(data_packets));
+    group.bench_function(RECORDER_OVERHEAD_BENCHES[0], |b| {
+        b.iter_batched(
+            || build_alltoall(case, NoopRecorder),
+            |(mut sim, conns)| drive_alltoall(case, &mut sim, &conns),
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function(RECORDER_OVERHEAD_BENCHES[1], |b| {
+        b.iter_batched(
+            || build_alltoall(case, EngineRecorder::new(TelemetryConfig::default())),
+            |(mut sim, conns)| drive_alltoall(case, &mut sim, &conns),
+            BatchSize::SmallInput,
+        )
+    });
     group.finish();
 }
 
@@ -312,5 +287,10 @@ fn bench_queue_burst(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_hotpath, bench_queue_burst);
+criterion_group!(
+    benches,
+    bench_hotpath,
+    bench_queue_burst,
+    bench_recorder_overhead
+);
 criterion_main!(benches);

@@ -1,0 +1,145 @@
+//! CI gate on the telemetry tax (see `crates/obs`): the engine's hot
+//! path must stay fast with the default no-op recorder, and a recording
+//! recorder must stay cheap.
+//!
+//! Two checks, both on the first `engine_hotpath` case (8 hosts, TCP,
+//! 64 KiB all-to-all — the most event-dense regime per byte):
+//!
+//! 1. **No-op regression** — the engine with `NoopRecorder` (the default
+//!    every simulation runs with) against the tracked
+//!    `BENCH_engine.json` median. The recorder hooks are compiled behind
+//!    `R::ENABLED`, so this holds the zero-cost-when-disabled claim to a
+//!    number. Tolerance: `--noop-pct` / `OVERHEAD_GATE_NOOP_PCT`
+//!    (default 2).
+//! 2. **Recording overhead** — `EngineRecorder` against `NoopRecorder`,
+//!    measured back-to-back in this process so machine speed cancels
+//!    out. Recording costs ~15% on this most-event-dense case (two
+//!    histogram updates plus link accounting per event); tolerance:
+//!    `--recording-pct` / `OVERHEAD_GATE_RECORDING_PCT` (default 25, the
+//!    measured tax plus CI headroom).
+//!
+//! Both comparisons use the minimum over the sample iterations: on a
+//! noisy CI box the minimum estimates the true cost far more stably than
+//! a mean, and a *regression* can only raise it.
+//!
+//! ```text
+//! cargo run --release -p contention-bench --bin overhead_gate [-- --snapshot PATH]
+//! ```
+//!
+//! Exits 0 when both checks pass, 1 otherwise (or if the snapshot is
+//! missing/unreadable). Run in release: a debug engine is ~20× slower
+//! and the snapshot was captured in release.
+
+use contention_bench::hotpath::{build_alltoall, cases, drive_alltoall};
+use simnet::obs::{EngineRecorder, NoopRecorder, Recorder, TelemetryConfig};
+use std::time::Instant;
+
+const WARMUP_ITERS: usize = 3;
+const SAMPLE_ITERS: usize = 15;
+
+/// Minimum wall-clock nanoseconds per iteration over the sample runs.
+fn measure<R: Recorder, F: Fn() -> R>(make_recorder: F) -> u64 {
+    let case = &cases()[0];
+    for _ in 0..WARMUP_ITERS {
+        let (mut sim, conns) = build_alltoall(case, make_recorder());
+        drive_alltoall(case, &mut sim, &conns);
+    }
+    let mut best = u64::MAX;
+    for _ in 0..SAMPLE_ITERS {
+        let (mut sim, conns) = build_alltoall(case, make_recorder());
+        let start = Instant::now();
+        drive_alltoall(case, &mut sim, &conns);
+        best = best.min(start.elapsed().as_nanos() as u64);
+    }
+    best
+}
+
+/// The snapshot's `median_ns` for a benchmark name, scanned from the
+/// save-json format (`{"name": …, "median_ns": …}` entries).
+fn snapshot_median_ns(json: &str, bench: &str) -> Option<u64> {
+    let needle = format!("\"name\": \"{bench}\"");
+    let entry = &json[json.find(&needle)? + needle.len()..];
+    let entry = &entry[entry.find("\"median_ns\":")? + "\"median_ns\":".len()..];
+    let digits: String = entry
+        .trim_start()
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect();
+    digits.parse().ok()
+}
+
+fn tolerance_pct(flag: &str, env: &str, args: &[String], default: f64) -> f64 {
+    if let Some(pos) = args.iter().position(|a| a == flag) {
+        if let Some(v) = args.get(pos + 1).and_then(|v| v.parse().ok()) {
+            return v;
+        }
+    }
+    std::env::var(env)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() -> std::process::ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let snapshot_path = args
+        .iter()
+        .position(|a| a == "--snapshot")
+        .and_then(|pos| args.get(pos + 1).cloned())
+        .unwrap_or_else(|| "BENCH_engine.json".to_string());
+    let noop_pct = tolerance_pct("--noop-pct", "OVERHEAD_GATE_NOOP_PCT", &args, 2.0);
+    let recording_pct = tolerance_pct(
+        "--recording-pct",
+        "OVERHEAD_GATE_RECORDING_PCT",
+        &args,
+        25.0,
+    );
+    if cfg!(debug_assertions) {
+        eprintln!("overhead_gate: warning: debug build; the snapshot check will not be meaningful");
+    }
+
+    let bench = format!("engine_hotpath/{}", cases()[0].name);
+    let snapshot = match std::fs::read_to_string(&snapshot_path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("overhead_gate: cannot read {snapshot_path}: {e}");
+            return std::process::ExitCode::FAILURE;
+        }
+    };
+    let Some(snapshot_ns) = snapshot_median_ns(&snapshot, &bench) else {
+        eprintln!("overhead_gate: {snapshot_path} has no median_ns for {bench}");
+        return std::process::ExitCode::FAILURE;
+    };
+
+    let noop_ns = measure(|| NoopRecorder);
+    let recording_ns = measure(|| EngineRecorder::new(TelemetryConfig::default()));
+
+    let noop_vs_snapshot = noop_ns as f64 / snapshot_ns as f64 - 1.0;
+    let recording_vs_noop = recording_ns as f64 / noop_ns as f64 - 1.0;
+    println!("overhead_gate: case {bench}");
+    println!("  snapshot median:  {snapshot_ns} ns");
+    println!(
+        "  noop recorder:    {noop_ns} ns  ({:+.2}% vs snapshot, tolerance {noop_pct}%)",
+        noop_vs_snapshot * 100.0
+    );
+    println!(
+        "  engine recorder:  {recording_ns} ns  ({:+.2}% vs noop, tolerance {recording_pct}%)",
+        recording_vs_noop * 100.0
+    );
+
+    let mut ok = true;
+    if noop_vs_snapshot * 100.0 > noop_pct {
+        eprintln!("overhead_gate: FAIL: no-op recorder hot path regressed past the snapshot");
+        ok = false;
+    }
+    if recording_vs_noop * 100.0 > recording_pct {
+        eprintln!("overhead_gate: FAIL: recording telemetry costs more than the budget");
+        ok = false;
+    }
+    if ok {
+        println!("overhead_gate: OK");
+        std::process::ExitCode::SUCCESS
+    } else {
+        std::process::ExitCode::FAILURE
+    }
+}

@@ -127,6 +127,14 @@ pub mod hotpath {
     pub const QUEUE_BURST_BENCHES: &[&str] =
         &["lane_queue", "lane_queue_runs", "binary_heap_reference"];
 
+    /// Benchmark ids of the `recorder_overhead` group: the first hot-path
+    /// case run with the default no-op recorder (the exact engine every
+    /// other benchmark measures) and with a recording `EngineRecorder`
+    /// attached. Their ratio is the live telemetry tax; the `overhead_gate`
+    /// binary holds both within tolerance in CI.
+    pub const RECORDER_OVERHEAD_BENCHES: &[&str] =
+        &["noop_tcp_8hosts_64KiB", "recording_tcp_8hosts_64KiB"];
+
     /// Every benchmark id the `BENCH_engine.json` snapshot must name —
     /// exactly these, no more, no fewer.
     pub fn expected_snapshot_names() -> Vec<String> {
@@ -138,6 +146,80 @@ pub mod hotpath {
                     .iter()
                     .map(|b| format!("queue_burst/{b}")),
             )
+            .chain(
+                RECORDER_OVERHEAD_BENCHES
+                    .iter()
+                    .map(|b| format!("recorder_overhead/{b}")),
+            )
             .collect()
+    }
+
+    /// A primed simulator on the case's lossless fabric with `recorder`
+    /// attached, one connection per ordered host pair. Shared by the
+    /// `engine_hotpath` benchmark and the `overhead_gate` binary so both
+    /// time exactly the same workload.
+    pub fn build_alltoall<R: simnet::obs::Recorder>(
+        case: &Case,
+        recorder: R,
+    ) -> (Simulator<R>, Vec<ConnId>) {
+        use simnet::generate::{dragonfly, torus_2d, DragonflyParams};
+        let link = LinkConfig::gigabit_ethernet();
+        let lossless = SwitchConfig::lossless_fabric();
+        let (builder, hosts) = match case.fabric {
+            Fabric::Star => {
+                let mut b = TopologyBuilder::new();
+                let hosts = b.add_hosts(case.hosts);
+                let sw = b.add_switch(lossless);
+                for &h in &hosts {
+                    b.link_host(h, sw, link);
+                }
+                (b, hosts)
+            }
+            Fabric::Torus2d { x, y } => {
+                assert_eq!(case.hosts % (x * y), 0, "hosts must fill the torus evenly");
+                let g = torus_2d(x, y, case.hosts / (x * y), link, lossless);
+                (g.builder, g.hosts)
+            }
+            Fabric::Dragonfly { groups, routers } => {
+                assert_eq!(case.hosts % (groups * routers), 0);
+                let g = dragonfly(&DragonflyParams {
+                    groups,
+                    routers_per_group: routers,
+                    hosts_per_router: case.hosts / (groups * routers),
+                    host_link: link,
+                    local_link: link,
+                    global_link: link,
+                    switch: lossless,
+                });
+                (g.builder, g.hosts)
+            }
+        };
+        let cfg = SimConfig::default();
+        let mut sim = Simulator::with_recorder(builder.build(&cfg).unwrap(), cfg, recorder);
+        let mut conns = Vec::with_capacity(case.hosts * (case.hosts - 1));
+        for &src in &hosts {
+            for &dst in &hosts {
+                if src != dst {
+                    conns.push(sim.open_connection(src, dst, case.transport));
+                }
+            }
+        }
+        (sim, conns)
+    }
+
+    /// One timed iteration of a case: inject the full all-to-all, run to
+    /// idle, return events processed. The workload every `engine_hotpath`
+    /// and `recorder_overhead` sample times.
+    pub fn drive_alltoall<R: simnet::obs::Recorder>(
+        case: &Case,
+        sim: &mut Simulator<R>,
+        conns: &[ConnId],
+    ) -> u64 {
+        for (i, conn) in conns.iter().enumerate() {
+            sim.send(*conn, case.message_bytes, i as u64);
+        }
+        sim.run_until_idle();
+        assert!(sim.all_quiescent(), "{}: unfinished traffic", case.name);
+        sim.stats().events_processed
     }
 }

@@ -215,6 +215,20 @@ impl ClusterPreset {
     /// # Panics
     /// Panics if `n` is zero or exceeds [`ClusterPreset::max_hosts`].
     pub fn build_world(&self, n: usize, seed: u64) -> World {
+        self.build_world_with(n, seed, simnet::obs::NoopRecorder)
+    }
+
+    /// [`ClusterPreset::build_world`] with a telemetry recorder attached
+    /// to the underlying simulator (see `simnet::obs`).
+    ///
+    /// # Panics
+    /// Panics if `n` is zero or exceeds [`ClusterPreset::max_hosts`].
+    pub fn build_world_with<R: simnet::obs::Recorder>(
+        &self,
+        n: usize,
+        seed: u64,
+        recorder: R,
+    ) -> World<R> {
         assert!(n > 0, "need at least one node");
         assert!(
             n <= self.max_hosts(),
@@ -248,7 +262,7 @@ impl ClusterPreset {
             ..SimConfig::default()
         };
         let topo = b.build(&sim_config).expect("preset topologies are valid");
-        let sim = Simulator::new(topo, sim_config);
+        let sim = Simulator::with_recorder(topo, sim_config, recorder);
         let mpi = MpiConfig {
             seed: seed ^ 0x5A5A_5A5A,
             ..self.mpi

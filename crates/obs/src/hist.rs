@@ -1,0 +1,89 @@
+//! Log2-bucketed histogram for queue-depth distributions.
+
+/// A 33-bucket power-of-two histogram over `u64` values: bucket 0 counts
+/// zeros, bucket `k` counts values in `[2^(k-1), 2^k)`. Recording is two
+/// instructions (leading-zeros + increment), cheap enough for the engine's
+/// per-event pop/push hooks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Log2Hist {
+    buckets: [u64; Self::BUCKETS],
+    count: u64,
+}
+
+impl Default for Log2Hist {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Log2Hist {
+    /// Bucket 0 for zero, plus one bucket per bit of a `u64` up to 2^31 —
+    /// queue depths beyond two billion events saturate the last bucket.
+    const BUCKETS: usize = 33;
+
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: [0; Self::BUCKETS],
+            count: 0,
+        }
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn record(&mut self, value: u64) {
+        let bucket = if value == 0 {
+            0
+        } else {
+            ((64 - value.leading_zeros()) as usize).min(Self::BUCKETS - 1)
+        };
+        self.buckets[bucket] += 1;
+        self.count += 1;
+    }
+
+    /// Total observations recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Bucket counts trimmed of trailing zeros: index 0 counts zeros,
+    /// index `k ≥ 1` counts values in `[2^(k-1), 2^k)`.
+    pub fn buckets(&self) -> Vec<u64> {
+        let last = self
+            .buckets
+            .iter()
+            .rposition(|&c| c != 0)
+            .map_or(0, |i| i + 1);
+        self.buckets[..last].to_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_split_on_powers_of_two() {
+        let mut h = Log2Hist::new();
+        for v in [0, 0, 1, 2, 3, 4, 7, 8] {
+            h.record(v);
+        }
+        // zeros | [1,2) | [2,4) | [4,8) | [8,16)
+        assert_eq!(h.buckets(), vec![2, 1, 2, 2, 1]);
+        assert_eq!(h.count(), 8);
+    }
+
+    #[test]
+    fn empty_histogram_has_no_buckets() {
+        assert!(Log2Hist::new().buckets().is_empty());
+    }
+
+    #[test]
+    fn huge_values_saturate_the_last_bucket() {
+        let mut h = Log2Hist::new();
+        h.record(u64::MAX);
+        let b = h.buckets();
+        assert_eq!(b.len(), 33);
+        assert_eq!(*b.last().unwrap(), 1);
+    }
+}

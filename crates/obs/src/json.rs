@@ -1,0 +1,62 @@
+//! Minimal JSON emission helpers.
+//!
+//! The vendored `serde` substitute has no `serde_json`, so every JSON
+//! surface in the workspace is hand-rolled. These helpers centralize the
+//! two places hand-rolled JSON goes wrong — string escaping and non-finite
+//! floats — and are shared by the metrics document and the Chrome trace
+//! writer. The output must satisfy the strict grammar checker in
+//! `scenario/tests/common/json_lint.rs` (no `NaN`, no `Infinity`, no raw
+//! control characters).
+
+/// Renders `s` as a JSON string literal, including the surrounding quotes.
+pub fn string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Renders a float as a JSON number; non-finite values become `null`
+/// (JSON has no NaN/Infinity).
+pub fn number(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_quotes_backslashes_and_controls() {
+        assert_eq!(string(r#"a"b"#), r#""a\"b""#);
+        assert_eq!(string(r"a\b"), r#""a\\b""#);
+        assert_eq!(string("a\nb\tc\rd"), r#""a\nb\tc\rd""#);
+        assert_eq!(string("\u{1}"), "\"\\u0001\"");
+        assert_eq!(string("plain"), r#""plain""#);
+        // Unicode beyond ASCII passes through unescaped (valid JSON).
+        assert_eq!(string("π≈3"), "\"π≈3\"");
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(number(1.5), "1.5");
+        assert_eq!(number(f64::NAN), "null");
+        assert_eq!(number(f64::INFINITY), "null");
+        assert_eq!(number(f64::NEG_INFINITY), "null");
+    }
+}

@@ -1,0 +1,153 @@
+//! Fixed-capacity ring sampling for time series.
+//!
+//! A cell can simulate seconds of virtual time at a 250 µs sampling
+//! interval — tens of thousands of samples per link on a large fabric
+//! would dwarf the simulation state itself. The ring keeps the most
+//! recent `capacity` samples and counts what it evicted, so exports can
+//! say "window covers the last N ticks, M older ticks dropped" instead of
+//! silently truncating.
+
+/// One time-series point for a link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Sample {
+    /// Tick timestamp (end of the sampled interval), nanoseconds.
+    pub t_ns: u64,
+    /// Link utilization over the interval, 0..=1000 permille.
+    pub util_permille: u16,
+    /// Queued bytes at the transmitter at the tick instant.
+    pub queue_bytes: u64,
+}
+
+/// A bounded ring of [`Sample`]s: pushes overwrite the oldest entry once
+/// the ring is full.
+#[derive(Debug, Clone)]
+pub struct RingSampler {
+    buf: Vec<Sample>,
+    capacity: usize,
+    /// Index of the oldest sample once the ring has wrapped.
+    start: usize,
+    /// Total samples ever pushed (≥ `buf.len()`).
+    pushed: u64,
+}
+
+impl RingSampler {
+    /// Creates a ring holding at most `capacity` samples (min 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Self {
+            buf: Vec::new(),
+            capacity,
+            start: 0,
+            pushed: 0,
+        }
+    }
+
+    /// Appends a sample, evicting the oldest if the ring is full.
+    pub fn push(&mut self, s: Sample) {
+        if self.buf.len() < self.capacity {
+            self.buf.push(s);
+        } else {
+            self.buf[self.start] = s;
+            self.start = (self.start + 1) % self.capacity;
+        }
+        self.pushed += 1;
+    }
+
+    /// Number of samples currently held.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if nothing has been pushed yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Samples evicted to make room (total pushed minus retained).
+    pub fn dropped(&self) -> u64 {
+        self.pushed - self.buf.len() as u64
+    }
+
+    /// The retained window in chronological order.
+    pub fn iter(&self) -> impl Iterator<Item = &Sample> {
+        let (tail, head) = self.buf.split_at(self.start);
+        head.iter().chain(tail.iter())
+    }
+
+    /// Consumes the ring into a chronological `Vec`.
+    pub fn into_vec(self) -> Vec<Sample> {
+        let mut v = self.buf;
+        v.rotate_left(self.start);
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(t: u64) -> Sample {
+        Sample {
+            t_ns: t,
+            util_permille: (t % 1001) as u16,
+            queue_bytes: t * 10,
+        }
+    }
+
+    #[test]
+    fn fills_without_rollover() {
+        let mut r = RingSampler::new(4);
+        for t in 0..3 {
+            r.push(s(t));
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.dropped(), 0);
+        let ts: Vec<u64> = r.iter().map(|x| x.t_ns).collect();
+        assert_eq!(ts, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn rollover_keeps_most_recent_window_in_order() {
+        let mut r = RingSampler::new(4);
+        for t in 0..10 {
+            r.push(s(t));
+        }
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.dropped(), 6);
+        let ts: Vec<u64> = r.iter().map(|x| x.t_ns).collect();
+        assert_eq!(ts, vec![6, 7, 8, 9], "oldest evicted, order preserved");
+        assert_eq!(
+            r.into_vec().iter().map(|x| x.t_ns).collect::<Vec<_>>(),
+            vec![6, 7, 8, 9]
+        );
+    }
+
+    #[test]
+    fn rollover_exactly_at_capacity_boundary() {
+        let mut r = RingSampler::new(3);
+        for t in 0..3 {
+            r.push(s(t));
+        }
+        assert_eq!(r.dropped(), 0);
+        r.push(s(3)); // first eviction
+        let ts: Vec<u64> = r.iter().map(|x| x.t_ns).collect();
+        assert_eq!(ts, vec![1, 2, 3]);
+        assert_eq!(r.dropped(), 1);
+        // Wrap all the way around a second time.
+        for t in 4..=9 {
+            r.push(s(t));
+        }
+        let ts: Vec<u64> = r.iter().map(|x| x.t_ns).collect();
+        assert_eq!(ts, vec![7, 8, 9]);
+        assert_eq!(r.dropped(), 7);
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped() {
+        let mut r = RingSampler::new(0);
+        r.push(s(1));
+        r.push(s(2));
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.iter().next().unwrap().t_ns, 2);
+    }
+}

@@ -1,0 +1,167 @@
+//! Chrome trace-event (Perfetto) timeline emission.
+//!
+//! Emits the JSON Object Format of the Trace Event spec: a top-level
+//! `{"traceEvents": [...]}` document whose events use `ph: "X"` (complete
+//! spans with microsecond `ts`/`dur`) and `ph: "M"` (metadata naming
+//! processes and threads). Files load directly in `chrome://tracing` and
+//! <https://ui.perfetto.dev>.
+
+use crate::json;
+
+/// Incrementally builds a trace-event document.
+#[derive(Debug, Default)]
+pub struct TraceBuilder {
+    events: Vec<String>,
+}
+
+impl TraceBuilder {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of events recorded so far.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True if no events were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Names the process row `pid` in the viewer.
+    pub fn process_name(&mut self, pid: u64, name: &str) {
+        self.events.push(format!(
+            "{{\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\"name\":\"process_name\",\"args\":{{\"name\":{}}}}}",
+            json::string(name)
+        ));
+    }
+
+    /// Names the thread row `pid`/`tid` in the viewer.
+    pub fn thread_name(&mut self, pid: u64, tid: u64, name: &str) {
+        self.events.push(format!(
+            "{{\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\"name\":\"thread_name\",\"args\":{{\"name\":{}}}}}",
+            json::string(name)
+        ));
+    }
+
+    /// A complete span (`ph: "X"`). Times are microseconds; `args` is a
+    /// list of key/value pairs rendered into the event's `args` object
+    /// (values must already be valid JSON — use [`json::string`] /
+    /// [`json::number`]).
+    // A trace span genuinely has this many coordinates (process, thread,
+    // name, category, start, duration, args); bundling them into a struct
+    // would just move the field list to every call site.
+    #[allow(clippy::too_many_arguments)]
+    pub fn span(
+        &mut self,
+        pid: u64,
+        tid: u64,
+        name: &str,
+        cat: &str,
+        ts_us: f64,
+        dur_us: f64,
+        args: &[(&str, String)],
+    ) {
+        let mut e = format!(
+            "{{\"ph\":\"X\",\"pid\":{pid},\"tid\":{tid},\"name\":{},\"cat\":{},\"ts\":{},\"dur\":{}",
+            json::string(name),
+            json::string(cat),
+            json::number(ts_us),
+            json::number(dur_us),
+        );
+        if !args.is_empty() {
+            e.push_str(",\"args\":{");
+            for (i, (k, v)) in args.iter().enumerate() {
+                if i > 0 {
+                    e.push(',');
+                }
+                e.push_str(&json::string(k));
+                e.push(':');
+                e.push_str(v);
+            }
+            e.push('}');
+        }
+        e.push('}');
+        self.events.push(e);
+    }
+
+    /// An instant event (`ph: "i"`, thread scope) — a vertical tick mark.
+    pub fn instant(&mut self, pid: u64, tid: u64, name: &str, cat: &str, ts_us: f64) {
+        self.events.push(format!(
+            "{{\"ph\":\"i\",\"s\":\"t\",\"pid\":{pid},\"tid\":{tid},\"name\":{},\"cat\":{},\"ts\":{}}}",
+            json::string(name),
+            json::string(cat),
+            json::number(ts_us),
+        ));
+    }
+
+    /// Renders the final `{"traceEvents": [...]}` document.
+    pub fn finish(self) -> String {
+        let mut out = String::from("{\n\"traceEvents\": [\n");
+        for (i, e) in self.events.iter().enumerate() {
+            out.push_str(e);
+            out.push_str(if i + 1 < self.events.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("],\n\"displayTimeUnit\": \"ms\"\n}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_trace_is_a_valid_document() {
+        let doc = TraceBuilder::new().finish();
+        assert!(doc.starts_with("{\n\"traceEvents\": [\n]"));
+        assert!(doc.contains("displayTimeUnit"));
+    }
+
+    #[test]
+    fn span_names_are_escaped() {
+        let mut t = TraceBuilder::new();
+        t.span(1, 2, "cell \"a\\b\"\n", "cat", 0.5, 10.0, &[]);
+        let doc = t.finish();
+        assert!(
+            doc.contains(r#""name":"cell \"a\\b\"\n""#),
+            "quotes, backslashes and newlines must be escaped: {doc}"
+        );
+        assert!(!doc.contains('\u{1}'));
+    }
+
+    #[test]
+    fn args_and_metadata_render_as_objects() {
+        let mut t = TraceBuilder::new();
+        t.process_name(1, "wall clock");
+        t.thread_name(1, 3, "worker 3");
+        t.span(
+            1,
+            3,
+            "cell",
+            "cell",
+            1.0,
+            2.0,
+            &[("n", "8".to_string()), ("util", crate::json::number(0.97))],
+        );
+        let doc = t.finish();
+        assert!(doc.contains(r#""args":{"name":"wall clock"}"#));
+        assert!(doc.contains(r#""args":{"n":8,"util":0.97}"#));
+        assert!(doc.contains(r#""name":"thread_name""#));
+    }
+
+    #[test]
+    fn non_finite_times_degrade_to_null_not_invalid_json() {
+        let mut t = TraceBuilder::new();
+        t.span(1, 1, "x", "c", f64::NAN, f64::INFINITY, &[]);
+        let doc = t.finish();
+        assert!(doc.contains(r#""ts":null,"dur":null"#));
+        assert!(!doc.contains("NaN") && !doc.contains("inf"));
+    }
+}

@@ -48,7 +48,13 @@ OPTIONS:
                       Not available on preset topologies.
     --format NAME     Output format: text, csv (default) or json
     --out FILE        Write the report to FILE instead of stdout
-    --progress        Stream per-cell progress to stderr while running
+    --progress        Stream per-cell progress to stderr while running,
+                      then a run summary (wall clock, cache hit rate)
+    --metrics FILE    Write per-run telemetry (cell spans, worker
+                      occupancy, link utilization series, protocol event
+                      marks) as a JSON document to FILE
+    --trace FILE      Write a Chrome trace-event timeline to FILE; open
+                      it in Perfetto (ui.perfetto.dev) or chrome://tracing
     --reps R          Measured repetitions per cell (override)
     --warmup W        Warm-up repetitions per cell (override)
 ";
@@ -73,6 +79,8 @@ struct Options {
     format: ReportFormat,
     out: Option<String>,
     progress: bool,
+    metrics: Option<String>,
+    trace: Option<String>,
     nodes: Option<Vec<usize>>,
     sizes: Option<Vec<u64>>,
     reps: Option<usize>,
@@ -89,6 +97,8 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         format: ReportFormat::Csv,
         out: None,
         progress: false,
+        metrics: None,
+        trace: None,
         nodes: None,
         sizes: None,
         reps: None,
@@ -135,6 +145,8 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             }
             "--out" => o.out = Some(value_of("--out")?),
             "--progress" => o.progress = true,
+            "--metrics" => o.metrics = Some(value_of("--metrics")?),
+            "--trace" => o.trace = Some(value_of("--trace")?),
             "--nodes" => o.nodes = Some(parse_list(&value_of("--nodes")?, "--nodes")?),
             "--sizes" => {
                 o.sizes = Some(
@@ -237,6 +249,7 @@ fn progress_observer(event: RunEvent<'_>) {
             cell,
             completed,
             total,
+            ..
         } => {
             let err = if cell.error_percent.is_finite() {
                 format!("{:+.1}%", cell.error_percent)
@@ -274,7 +287,8 @@ fn run_specs(mut specs: Vec<ScenarioSpec>, options: &Options) -> ExitCode {
     }
     let mut builder = Session::builder()
         .base_seed(options.seed)
-        .model(options.model);
+        .model(options.model)
+        .telemetry(options.metrics.is_some() || options.trace.is_some());
     if let Some(workers) = options.workers {
         builder = builder.workers(workers);
     }
@@ -288,12 +302,51 @@ fn run_specs(mut specs: Vec<ScenarioSpec>, options: &Options) -> ExitCode {
         session.run_many(&specs)
     };
     match outcome {
-        Ok(report) => match emit(options, &report) {
-            Ok(()) => ExitCode::SUCCESS,
-            Err(e) => fail(e),
-        },
+        Ok(report) => {
+            if let Err(e) = emit(options, &report) {
+                return fail(e);
+            }
+            match export_telemetry(options, &session) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => fail(e),
+            }
+        }
         Err(e) => fail(e),
     }
+}
+
+/// Writes `--metrics`/`--trace` exports and, under `--progress`, the run
+/// summary line. The [`SessionMetrics`] snapshot exists after every
+/// successful run; the flags only decide what gets written where.
+fn export_telemetry(options: &Options, session: &Session) -> Result<(), String> {
+    let Some(metrics) = session.metrics() else {
+        return Ok(());
+    };
+    if options.progress {
+        let busy: f64 = metrics.workers.iter().map(|w| w.busy_secs).sum();
+        eprintln!(
+            "ctnsim: {} cell(s) on {} worker(s) in {:.3}s wall ({:.3}s simulating); \
+             calibration cache: {} hit(s), {} miss(es) ({:.0}% hit rate)",
+            metrics.cells.len(),
+            metrics.workers.len(),
+            metrics.wall_secs,
+            busy,
+            metrics.cache.hits,
+            metrics.cache.misses,
+            metrics.cache.hit_rate() * 100.0
+        );
+    }
+    if let Some(path) = &options.metrics {
+        std::fs::write(path, metrics.render_json())
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("wrote run metrics to {path}");
+    }
+    if let Some(path) = &options.trace {
+        std::fs::write(path, metrics.render_chrome_trace())
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("wrote trace timeline to {path} (open in Perfetto or chrome://tracing)");
+    }
+    Ok(())
 }
 
 fn main() -> ExitCode {

@@ -30,6 +30,7 @@
 //! [`Session`](crate::session::Session).
 
 use crate::error::CtnError;
+use crate::metrics::{CellMetrics, SessionMetrics, WorkerMetrics};
 use crate::session::{CalibrationCache, CancelToken, RunEvent};
 use crate::spec::{ScenarioSpec, SpecError};
 use crate::{topology, workload};
@@ -39,7 +40,10 @@ use contention_model::metrics::estimation_error_percent;
 use contention_model::saturation::SaturationModel;
 use contention_model::signature::ContentionSignature;
 use simmpi::harness::ping_pong;
+use simmpi::world::World;
+use simnet::obs::{EngineRecorder, EngineTelemetry, NoopRecorder, Recorder, TelemetryConfig};
 use std::sync::{mpsc, Mutex, OnceLock};
+use std::time::Instant;
 
 /// Which completion-time predictor fills the `model_secs` column.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -166,6 +170,9 @@ struct Cell {
     /// Position in the deterministic nodes-major output order, across the
     /// whole batch.
     flat_idx: usize,
+    /// Position in the cost-aware execution schedule (0 pops first);
+    /// assigned after the LPT sort. Telemetry only — never affects output.
+    schedule_index: usize,
     n: usize,
     message_bytes: u64,
     seed: u64,
@@ -208,8 +215,10 @@ pub(crate) fn hockney_fit(
     let seed = mix(base_seed ^ name_hash(&spec.name));
     let key = (spec.fabric_fingerprint(), seed);
     if let Some(hit) = cache.hockney.lock().expect("cache lock").get(&key) {
+        cache.note_hit();
         return Ok(*hit);
     }
+    cache.note_miss();
     let sizes = [1024u64, 16 * 1024, 131_072, 524_288, 1_048_576];
     let mut world = topology::build_world(spec, 2, seed)
         .map_err(|e| CtnError::calibration(&spec.name, spec_error_detail(e)))?;
@@ -220,6 +229,7 @@ pub(crate) fn hockney_fit(
     let fit = HockneyParams::fit(&points)
         .map_err(|e| CtnError::calibration(&spec.name, format!("Hockney fit failed: {e}")))?;
     cache.hockney.lock().expect("cache lock").insert(key, fit);
+    cache.note_insert();
     Ok(fit)
 }
 
@@ -270,8 +280,10 @@ pub(crate) fn model_ctx(
     let seed = mix(base_seed ^ name_hash(&spec.name) ^ 0x5160_2A7E);
     let key = (spec.fabric_fingerprint(), seed, model.name());
     if let Some(hit) = cache.model.lock().expect("cache lock").get(&key) {
+        cache.note_hit();
         return Ok(*hit);
     }
+    cache.note_miss();
     let fit_err = |e: contention_model::error::ModelError| {
         CtnError::calibration(&spec.name, format!("{} fit failed: {e}", model.name()))
     };
@@ -320,6 +332,7 @@ pub(crate) fn model_ctx(
         }
     };
     cache.model.lock().expect("cache lock").insert(key, ctx);
+    cache.note_insert();
     Ok(ctx)
 }
 
@@ -344,13 +357,38 @@ impl ModelCtx {
     }
 }
 
+/// Simulates one cell, dispatching on whether telemetry is wanted. The
+/// `None` arm runs the no-op recorder — the exact engine the goldens
+/// pin — and both arms produce byte-identical [`CellResult`]s.
 fn run_cell(
     spec: &ScenarioSpec,
     cell: &Cell,
     hockney: &HockneyParams,
     ctx: &ModelCtx,
-) -> Result<CellResult, CtnError> {
-    let mut world = topology::build_world(spec, cell.n, cell.seed)
+    telemetry: Option<&TelemetryConfig>,
+) -> Result<(CellResult, Option<EngineTelemetry>), CtnError> {
+    match telemetry {
+        None => {
+            let (result, _world) = run_cell_in(spec, cell, hockney, ctx, NoopRecorder)?;
+            Ok((result, None))
+        }
+        Some(cfg) => {
+            let recorder = EngineRecorder::new(cfg.clone());
+            let (result, mut world) = run_cell_in(spec, cell, hockney, ctx, recorder)?;
+            let engine = world.sim_mut().recorder_mut().take_telemetry();
+            Ok((result, Some(engine)))
+        }
+    }
+}
+
+fn run_cell_in<R: Recorder>(
+    spec: &ScenarioSpec,
+    cell: &Cell,
+    hockney: &HockneyParams,
+    ctx: &ModelCtx,
+    recorder: R,
+) -> Result<(CellResult, World<R>), CtnError> {
+    let mut world = topology::build_world_with(spec, cell.n, cell.seed, recorder)
         .map_err(|e| CtnError::execution(&spec.name, spec_error_detail(e)))?;
     let programs = workload::programs(&spec.workload, cell.n, cell.message_bytes, cell.seed);
     for _ in 0..spec.sweep.warmup {
@@ -370,7 +408,7 @@ fn run_cell(
         hockney,
     );
     let model = ctx.predict(med_bound, cell.n, cell.message_bytes);
-    Ok(CellResult {
+    let result = CellResult {
         scenario: spec.name.clone(),
         workload: spec.workload.kind().to_string(),
         topology: spec.topology.kind().to_string(),
@@ -382,7 +420,20 @@ fn run_cell(
         max_secs: max,
         model_secs: model,
         error_percent: estimation_error_percent(mean, model),
-    })
+    };
+    Ok((result, world))
+}
+
+/// One worker's report of one simulated cell: the measurement plus the
+/// telemetry meta the collector folds into [`SessionMetrics`].
+struct CellReport {
+    spec_idx: usize,
+    flat_idx: usize,
+    worker: usize,
+    schedule_index: usize,
+    start_secs: f64,
+    wall_secs: f64,
+    outcome: Result<(CellResult, Option<EngineTelemetry>), CtnError>,
 }
 
 /// The streaming executor core behind every [`Session`] run: calibrates,
@@ -391,15 +442,24 @@ fn run_cell(
 /// thread, in completion order) as results land, and reassembles batches
 /// in deterministic nodes-major order.
 ///
+/// Alongside the batches it returns the run's [`SessionMetrics`] — wall
+/// clock, worker occupancy, cache-counter deltas and per-cell spans are
+/// always collected; per-cell engine telemetry is attached only when
+/// `telemetry` is set (the `None` path runs the no-op recorder the
+/// goldens pin).
+///
 /// [`Session`]: crate::session::Session
 pub(crate) fn execute(
     specs: &[ScenarioSpec],
     cfg: &BatchConfig,
     cache: &CalibrationCache,
+    telemetry: Option<&TelemetryConfig>,
     observer: &mut dyn FnMut(RunEvent<'_>),
     cancel: &CancelToken,
-) -> Result<Vec<BatchResult>, CtnError> {
+) -> Result<(Vec<BatchResult>, SessionMetrics), CtnError> {
     assert!(cfg.workers > 0, "need at least one worker");
+    let run_start = Instant::now();
+    let cache_before = cache.stats();
     for spec in specs {
         spec.validate().map_err(CtnError::Spec)?;
     }
@@ -452,6 +512,7 @@ pub(crate) fn execute(
                 cells.push(Cell {
                     spec_idx,
                     flat_idx,
+                    schedule_index: 0,
                     n,
                     message_bytes: m,
                     seed: cell_seed(&spec.name, cfg.base_seed, n, m),
@@ -479,6 +540,10 @@ pub(crate) fn execute(
             .cmp(&cell_cost(&specs[b.spec_idx], b))
             .then(b.flat_idx.cmp(&a.flat_idx))
     });
+    // Workers pop from the end, so the last element is schedule slot 0.
+    for (i, cell) in cells.iter_mut().rev().enumerate() {
+        cell.schedule_index = i;
+    }
 
     let mut slots: Vec<Vec<Option<Result<CellResult, CtnError>>>> = grid_sizes
         .iter()
@@ -487,11 +552,19 @@ pub(crate) fn execute(
     let mut batches: Vec<Option<BatchResult>> = (0..specs.len()).map(|_| None).collect();
     let mut received = 0usize;
     let mut completed: Vec<usize> = vec![0; specs.len()];
+    let spawned = cfg.workers.min(total);
+    let mut worker_metrics: Vec<WorkerMetrics> = (0..spawned)
+        .map(|worker| WorkerMetrics {
+            worker,
+            ..WorkerMetrics::default()
+        })
+        .collect();
+    let mut cell_metrics: Vec<CellMetrics> = Vec::with_capacity(total);
 
     let queue = Mutex::new(cells);
-    let (sender, receiver) = mpsc::channel::<(usize, usize, Result<CellResult, CtnError>)>();
+    let (sender, receiver) = mpsc::channel::<CellReport>();
     std::thread::scope(|scope| {
-        for _ in 0..cfg.workers.min(total) {
+        for worker in 0..spawned {
             let sender = sender.clone();
             let queue = &queue;
             let hockneys = &hockneys;
@@ -502,16 +575,24 @@ pub(crate) fn execute(
                 }
                 let cell = queue.lock().expect("queue lock").pop();
                 let Some(cell) = cell else { break };
+                let start_secs = run_start.elapsed().as_secs_f64();
                 let outcome = run_cell(
                     &specs[cell.spec_idx],
                     &cell,
                     &hockneys[cell.spec_idx],
                     &ctxs[cell.spec_idx],
+                    telemetry,
                 );
-                if sender
-                    .send((cell.spec_idx, cell.flat_idx, outcome))
-                    .is_err()
-                {
+                let report = CellReport {
+                    spec_idx: cell.spec_idx,
+                    flat_idx: cell.flat_idx,
+                    worker,
+                    schedule_index: cell.schedule_index,
+                    start_secs,
+                    wall_secs: run_start.elapsed().as_secs_f64() - start_secs,
+                    outcome,
+                };
+                if sender.send(report).is_err() {
                     break;
                 }
             });
@@ -519,19 +600,39 @@ pub(crate) fn execute(
         drop(sender);
         // The calling thread is the collector: events stream to the
         // observer while workers are still simulating.
-        for (spec_idx, flat, outcome) in receiver {
+        for report in receiver {
+            let spec_idx = report.spec_idx;
             let spec = &specs[spec_idx];
             received += 1;
-            if let Ok(cell) = &outcome {
-                completed[spec_idx] += 1;
-                observer(RunEvent::CellFinished {
-                    scenario: &spec.name,
-                    cell,
-                    completed: completed[spec_idx],
-                    total: grid_sizes[spec_idx],
-                });
+            let slot = &mut slots[spec_idx][report.flat_idx - offsets[spec_idx]];
+            match report.outcome {
+                Err(e) => *slot = Some(Err(e)),
+                Ok((cell, engine)) => {
+                    completed[spec_idx] += 1;
+                    let metrics = CellMetrics {
+                        scenario: spec.name.clone(),
+                        n: cell.n,
+                        message_bytes: cell.message_bytes,
+                        worker: report.worker,
+                        schedule_index: report.schedule_index,
+                        start_secs: report.start_secs,
+                        wall_secs: report.wall_secs,
+                        engine,
+                    };
+                    observer(RunEvent::CellFinished {
+                        scenario: &spec.name,
+                        cell: &cell,
+                        metrics: &metrics,
+                        completed: completed[spec_idx],
+                        total: grid_sizes[spec_idx],
+                    });
+                    let w = &mut worker_metrics[report.worker];
+                    w.cells += 1;
+                    w.busy_secs += report.wall_secs;
+                    cell_metrics.push(metrics);
+                    *slot = Some(Ok(cell));
+                }
             }
-            slots[spec_idx][flat - offsets[spec_idx]] = Some(outcome);
             if completed[spec_idx] == grid_sizes[spec_idx] {
                 // Every cell of this scenario succeeded: assemble the
                 // batch in grid order and announce it.
@@ -569,10 +670,20 @@ pub(crate) fn execute(
         debug_assert!(cancel.is_cancelled(), "only cancellation drops cells");
         return Err(CtnError::Cancelled);
     }
-    Ok(batches
+    let batches = batches
         .into_iter()
         .map(|b| b.expect("complete run assembles every batch"))
-        .collect())
+        .collect();
+    // Cells arrived in completion order; report them in schedule order so
+    // the LPT decisions read straight off the snapshot.
+    cell_metrics.sort_by_key(|c| c.schedule_index);
+    let metrics = SessionMetrics {
+        wall_secs: run_start.elapsed().as_secs_f64(),
+        workers: worker_metrics,
+        cache: cache.stats().since(&cache_before),
+        cells: cell_metrics,
+    };
+    Ok((batches, metrics))
 }
 
 /// The process-wide cache behind the legacy free functions; sessions own
@@ -615,8 +726,16 @@ pub fn run_batches(
     cfg: &BatchConfig,
 ) -> Result<Vec<BatchResult>, SpecError> {
     let mut ignore = |_event: RunEvent<'_>| {};
-    execute(specs, cfg, legacy_cache(), &mut ignore, &CancelToken::new())
-        .map_err(CtnError::into_spec_error)
+    execute(
+        specs,
+        cfg,
+        legacy_cache(),
+        None,
+        &mut ignore,
+        &CancelToken::new(),
+    )
+    .map(|(batches, _metrics)| batches)
+    .map_err(CtnError::into_spec_error)
 }
 
 #[cfg(test)]
@@ -718,6 +837,7 @@ mod tests {
         let small = Cell {
             spec_idx: 0,
             flat_idx: 0,
+            schedule_index: 0,
             n: 4,
             message_bytes: 128 * 1024,
             seed: 0,
@@ -725,6 +845,7 @@ mod tests {
         let big = Cell {
             spec_idx: 0,
             flat_idx: 1,
+            schedule_index: 0,
             n: 16,
             message_bytes: 512 * 1024,
             seed: 0,

@@ -22,6 +22,11 @@
 //!   byte-identical for any worker count);
 //! * [`report`] — the versioned [`Report`](report::Report) with one
 //!   render path for text/CSV/JSON;
+//! * [`metrics`] — per-run telemetry
+//!   ([`SessionMetrics`](metrics::SessionMetrics)): cell wall-clock
+//!   spans, worker occupancy, calibration-cache counters, and optional
+//!   engine telemetry, exportable as metrics JSON or a Chrome
+//!   trace-event timeline;
 //! * [`error`] — the typed [`CtnError`](error::CtnError) hierarchy;
 //! * [`registry`] — built-in scenarios (all constructed through the
 //!   builder), including the three paper clusters re-expressed as specs.
@@ -54,6 +59,7 @@
 pub mod builder;
 pub mod error;
 pub mod executor;
+pub mod metrics;
 pub mod registry;
 pub mod report;
 pub mod session;
@@ -67,6 +73,7 @@ pub mod prelude {
     pub use crate::builder::ScenarioBuilder;
     pub use crate::error::CtnError;
     pub use crate::executor::{BatchConfig, BatchResult, CellResult, ModelKind};
+    pub use crate::metrics::{CacheStats, CellMetrics, SessionMetrics, WorkerMetrics};
     pub use crate::registry;
     pub use crate::report::{Report, ReportFormat, SCHEMA_VERSION};
     pub use crate::session::{

@@ -46,13 +46,15 @@
 
 use crate::error::CtnError;
 use crate::executor::{self, BatchConfig, BatchResult, CellResult, ModelCtx, ModelKind};
+use crate::metrics::{CacheStats, CellMetrics, SessionMetrics};
 use crate::report::Report;
 use crate::spec::ScenarioSpec;
 use contention_model::hockney::HockneyParams;
 use contention_model::saturation::SaturationModel;
 use contention_model::signature::ContentionSignature;
+use simnet::obs::TelemetryConfig;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// An instance-owned memo of calibration fits, keyed by `(fabric
@@ -68,6 +70,9 @@ use std::sync::{Arc, Mutex};
 pub struct CalibrationCache {
     pub(crate) hockney: Mutex<HashMap<(u64, u64), HockneyParams>>,
     pub(crate) model: Mutex<HashMap<(u64, u64, &'static str), ModelCtx>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    inserts: AtomicU64,
 }
 
 impl CalibrationCache {
@@ -86,10 +91,34 @@ impl CalibrationCache {
         self.model.lock().expect("cache lock").len()
     }
 
-    /// Drops every memoized fit.
+    /// Drops every memoized fit. The lifetime counters keep counting —
+    /// they record activity, not contents.
     pub fn clear(&self) {
         self.hockney.lock().expect("cache lock").clear();
         self.model.lock().expect("cache lock").clear();
+    }
+
+    /// Lifetime hit/miss/insert counters across every session using this
+    /// cache. Subtract two snapshots ([`CacheStats::since`]) for a
+    /// per-run delta.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            inserts: self.inserts.load(Ordering::Relaxed),
+        }
+    }
+
+    pub(crate) fn note_hit(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_miss(&self) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_insert(&self) {
+        self.inserts.fetch_add(1, Ordering::Relaxed);
     }
 }
 
@@ -147,6 +176,10 @@ pub enum RunEvent<'a> {
         scenario: &'a str,
         /// The finished cell's measurements.
         cell: &'a CellResult,
+        /// Telemetry for the cell: wall-clock span, worker, schedule
+        /// position, and (when the session records telemetry) engine
+        /// counters.
+        metrics: &'a CellMetrics,
         /// Finished cells of this scenario so far (including this one).
         completed: usize,
         /// Total cells in this scenario's grid.
@@ -192,6 +225,7 @@ pub struct SessionBuilder {
     model: ModelKind,
     cache: Option<Arc<CalibrationCache>>,
     cancel: Option<CancelToken>,
+    telemetry: Option<TelemetryConfig>,
 }
 
 impl SessionBuilder {
@@ -232,6 +266,23 @@ impl SessionBuilder {
         self
     }
 
+    /// Enables (or disables) engine telemetry with default settings:
+    /// every cell's simulator runs with a recording `Recorder`, and
+    /// [`Session::metrics`] carries per-cell
+    /// [`EngineTelemetry`](simnet::obs::EngineTelemetry). Off by default —
+    /// the no-op recorder compiles down to the uninstrumented engine.
+    /// Telemetry observes only; reports stay byte-identical either way.
+    pub fn telemetry(self, enabled: bool) -> Self {
+        self.telemetry_config(enabled.then(TelemetryConfig::default))
+    }
+
+    /// Like [`SessionBuilder::telemetry`], with explicit sampling
+    /// settings (`None` disables).
+    pub fn telemetry_config(mut self, config: Option<TelemetryConfig>) -> Self {
+        self.telemetry = config;
+        self
+    }
+
     /// Builds the session. Fails with [`CtnError::Config`] when `workers`
     /// was set to zero.
     pub fn build(self) -> Result<Session, CtnError> {
@@ -251,6 +302,8 @@ impl SessionBuilder {
             },
             cache: self.cache.unwrap_or_default(),
             cancel: self.cancel.unwrap_or_default(),
+            telemetry: self.telemetry,
+            metrics: Mutex::new(None),
         })
     }
 }
@@ -267,6 +320,8 @@ pub struct Session {
     cfg: BatchConfig,
     cache: Arc<CalibrationCache>,
     cancel: CancelToken,
+    telemetry: Option<TelemetryConfig>,
+    metrics: Mutex<Option<SessionMetrics>>,
 }
 
 impl Session {
@@ -337,7 +392,25 @@ impl Session {
         observer: &mut O,
     ) -> Result<Report, CtnError> {
         let mut sink = |event: RunEvent<'_>| observer.on_event(event);
-        executor::execute(specs, &self.cfg, &self.cache, &mut sink, &self.cancel).map(Report::new)
+        let (batches, metrics) = executor::execute(
+            specs,
+            &self.cfg,
+            &self.cache,
+            self.telemetry.as_ref(),
+            &mut sink,
+            &self.cancel,
+        )?;
+        *self.metrics.lock().expect("metrics lock") = Some(metrics);
+        Ok(Report::new(batches))
+    }
+
+    /// Telemetry snapshot of the most recent completed run: wall clock,
+    /// worker occupancy, calibration-cache counters and per-cell spans
+    /// (always collected), plus per-cell engine telemetry when the
+    /// session was built with [`SessionBuilder::telemetry`]. `None`
+    /// before the first successful run.
+    pub fn metrics(&self) -> Option<SessionMetrics> {
+        self.metrics.lock().expect("metrics lock").clone()
     }
 
     /// Measures (or recalls from the cache) the scenario fabric's Hockney

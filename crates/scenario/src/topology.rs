@@ -173,12 +173,27 @@ fn generated(t: &TopologySpec) -> Result<Generated, SpecError> {
 /// # Panics
 /// Panics if `n` exceeds the spec's capacity (callers validate first).
 pub fn build_world(spec: &ScenarioSpec, n: usize, seed: u64) -> Result<World, SpecError> {
+    build_world_with(spec, n, seed, NoopRecorder)
+}
+
+/// [`build_world`] with a telemetry recorder attached to the underlying
+/// simulator (see `simnet::obs`). The recorder observes only; worlds built
+/// with and without one behave identically.
+///
+/// # Panics
+/// Panics if `n` exceeds the spec's capacity (callers validate first).
+pub fn build_world_with<R: Recorder>(
+    spec: &ScenarioSpec,
+    n: usize,
+    seed: u64,
+    recorder: R,
+) -> Result<World<R>, SpecError> {
     if let TopologySpec::Preset { preset } = &spec.topology {
         // Presets carry their own MPI stack; apply the spec's overrides on
         // top before building.
         let mut preset = preset_by_name(preset)?;
         preset.mpi = spec.mpi.apply(preset.mpi);
-        return Ok(preset.build_world(n, seed));
+        return Ok(preset.build_world_with(n, seed, recorder));
     }
     let g = generated(&spec.topology)?;
     let ranks = spec.placement.place(&g, n, seed);
@@ -190,7 +205,7 @@ pub fn build_world(spec: &ScenarioSpec, n: usize, seed: u64) -> Result<World, Sp
         .builder
         .build(&sim_config)
         .map_err(|e| SpecError::Invalid(format!("topology failed to build: {e}")))?;
-    let sim = Simulator::new(topo, sim_config);
+    let sim = Simulator::with_recorder(topo, sim_config, recorder);
     let mpi = simmpi::MpiConfig {
         seed: seed ^ 0x5A5A_5A5A,
         ..spec.mpi.apply(simmpi::MpiConfig::default())

@@ -180,4 +180,64 @@ fn run_emits_all_three_formats_and_streams_progress() {
     let progress = stderr(&text);
     assert!(progress.contains("[1/1]"), "{progress}");
     assert!(progress.contains("incast-burst: done"), "{progress}");
+    assert!(
+        progress.contains("hit rate"),
+        "--progress ends with the run summary line: {progress}"
+    );
+}
+
+/// `--metrics` and `--trace` write lint-clean JSON next to an unchanged
+/// report: the metrics document carries its schema version and the cell
+/// list, the trace file is Chrome trace-event JSON with span events.
+#[test]
+fn metrics_and_trace_flags_write_valid_json_files() {
+    let dir = std::env::temp_dir().join(format!("ctnsim-telemetry-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let metrics_path = dir.join("metrics.json");
+    let trace_path = dir.join("trace.json");
+    let out = ctnsim(&[
+        "run",
+        "incast-burst",
+        "--nodes",
+        "4",
+        "--sizes",
+        "16384",
+        "--reps",
+        "1",
+        "--warmup",
+        "0",
+        "--workers",
+        "2",
+        "--metrics",
+        metrics_path.to_str().unwrap(),
+        "--trace",
+        trace_path.to_str().unwrap(),
+    ]);
+    assert_eq!(code(&out), 0, "{}", stderr(&out));
+    assert!(
+        stdout(&out).starts_with("scenario,topology,workload,n,"),
+        "report still lands on stdout: {}",
+        stdout(&out)
+    );
+
+    let metrics = std::fs::read_to_string(&metrics_path).expect("metrics file written");
+    validate_json(&metrics).expect("--metrics emits valid JSON");
+    assert!(
+        metrics.contains("\"metrics_schema_version\": 1"),
+        "{metrics}"
+    );
+    assert!(
+        metrics.contains("\"engine\": {"),
+        "telemetry attached: {metrics}"
+    );
+
+    let trace = std::fs::read_to_string(&trace_path).expect("trace file written");
+    validate_json(&trace).expect("--trace emits valid JSON");
+    assert!(trace.contains("\"traceEvents\""), "{trace}");
+    assert!(
+        trace.contains("\"ph\":\"X\""),
+        "cell spans present: {trace}"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
 }

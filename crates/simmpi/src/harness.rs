@@ -5,6 +5,7 @@ use crate::alltoall::AllToAllAlgorithm;
 use crate::ops::{Op, Rank};
 use crate::world::World;
 use serde::{Deserialize, Serialize};
+use simnet::obs::Recorder;
 
 /// One ping-pong measurement point.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -19,8 +20,8 @@ pub struct PingPongPoint {
 /// Measures one-way point-to-point times between two ranks across `sizes`,
 /// with `round_trips` ping-pongs per size. This is the paper's "simple
 /// point-to-point measure" from which the Hockney `α` and `β` are fitted.
-pub fn ping_pong(
-    world: &mut World,
+pub fn ping_pong<R: Recorder>(
+    world: &mut World<R>,
     a: Rank,
     b: Rank,
     sizes: &[u64],
@@ -50,8 +51,8 @@ pub fn ping_pong(
 /// Timed All-to-All repetitions: returns one completion time (seconds) per
 /// measured repetition, after `warmup` discarded repetitions. Mirrors the
 /// paper's averaging of repeated `MPI_Alltoall` runs.
-pub fn alltoall_times(
-    world: &mut World,
+pub fn alltoall_times<R: Recorder>(
+    world: &mut World<R>,
     algorithm: AllToAllAlgorithm,
     message_bytes: u64,
     warmup: usize,
@@ -104,7 +105,11 @@ impl StressResult {
 /// # Panics
 /// Panics if `pairs` is empty or a rank appears twice (each connection
 /// needs dedicated endpoints, as in the paper's setup).
-pub fn stress_run(world: &mut World, pairs: &[(Rank, Rank)], bytes: u64) -> StressResult {
+pub fn stress_run<R: Recorder>(
+    world: &mut World<R>,
+    pairs: &[(Rank, Rank)],
+    bytes: u64,
+) -> StressResult {
     assert!(!pairs.is_empty(), "stress test needs at least one pair");
     let mut used = vec![false; world.n_ranks()];
     for &(s, r) in pairs {

@@ -116,8 +116,12 @@ impl RunResult {
 /// one program per rank to completion and reports per-rank finish times.
 /// Repeated runs on the same world reuse warm connections (persistent
 /// sockets, as LAM keeps), with an idle gap between repetitions.
-pub struct World {
-    sim: Simulator,
+///
+/// The `R` parameter is the telemetry recorder threaded into the owned
+/// simulator; the default [`NoopRecorder`] costs nothing (see
+/// `simnet::obs`).
+pub struct World<R: Recorder = NoopRecorder> {
+    sim: Simulator<R>,
     hosts: Vec<HostId>,
     mpi: MpiConfig,
     transport: TransportKind,
@@ -132,14 +136,15 @@ pub struct World {
     rng: StdRng,
 }
 
-impl World {
-    /// Builds a world of `hosts.len()` ranks over an existing simulator.
+impl<R: Recorder> World<R> {
+    /// Builds a world of `hosts.len()` ranks over an existing simulator
+    /// (any recorder the simulator carries rides along).
     ///
     /// # Panics
     /// Panics if `hosts` is empty, repeats a host, or references hosts
     /// outside the simulator's topology.
     pub fn new(
-        sim: Simulator,
+        sim: Simulator<R>,
         hosts: Vec<HostId>,
         mpi: MpiConfig,
         transport: TransportKind,
@@ -178,8 +183,13 @@ impl World {
     }
 
     /// The underlying simulator (counters, current time).
-    pub fn sim(&self) -> &Simulator {
+    pub fn sim(&self) -> &Simulator<R> {
         &self.sim
+    }
+
+    /// Mutable access to the simulator (e.g. to harvest its recorder).
+    pub fn sim_mut(&mut self) -> &mut Simulator<R> {
+        &mut self.sim
     }
 
     /// MPI-layer configuration in force.

@@ -40,6 +40,7 @@ use crate::topology::Topology;
 use crate::transport::{
     ConnCold, ConnHot, ConnView, Connection, SegmentRun, SendActions, TimerCmd,
 };
+use contention_obs::{NoopRecorder, Recorder};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::VecDeque;
@@ -216,7 +217,13 @@ impl SerializerState {
 }
 
 /// The discrete-event network simulator.
-pub struct Simulator {
+///
+/// The `R` parameter is the telemetry sink: the default
+/// [`NoopRecorder`] advertises `ENABLED = false`, so every hook call
+/// site below compiles away and the instrumented and uninstrumented
+/// engines are the same machine code. Attach a recording implementation
+/// with [`Simulator::with_recorder`].
+pub struct Simulator<R: Recorder = NoopRecorder> {
     topo: Topology,
     config: SimConfig,
     time: SimTime,
@@ -255,11 +262,20 @@ pub struct Simulator {
     notifications: VecDeque<Notification>,
     stats: NetStats,
     rng: StdRng,
+    recorder: R,
 }
 
 impl Simulator {
-    /// Creates a simulator over a built topology.
+    /// Creates a simulator over a built topology with telemetry disabled
+    /// (the zero-cost [`NoopRecorder`]).
     pub fn new(topo: Topology, config: SimConfig) -> Self {
+        Self::with_recorder(topo, config, NoopRecorder)
+    }
+}
+
+impl<R: Recorder> Simulator<R> {
+    /// Creates a simulator that reports engine events to `recorder`.
+    pub fn with_recorder(topo: Topology, config: SimConfig, recorder: R) -> Self {
         let n_serializers = topo.n_serializers;
         let n_tx = topo.tx_params.len();
         let n_pools = topo.pool_capacity.len();
@@ -305,6 +321,32 @@ impl Simulator {
             notifications: VecDeque::new(),
             stats: NetStats::default(),
             rng: StdRng::seed_from_u64(config.seed),
+            recorder,
+        }
+    }
+
+    /// The attached telemetry recorder.
+    pub fn recorder(&self) -> &R {
+        &self.recorder
+    }
+
+    /// Mutable access to the recorder (e.g. to harvest a snapshot).
+    pub fn recorder_mut(&mut self) -> &mut R {
+        &mut self.recorder
+    }
+
+    /// Consumes the simulator, returning the recorder.
+    pub fn into_recorder(self) -> R {
+        self.recorder
+    }
+
+    /// Reports a queue push to the recorder (compiled out when `R` is the
+    /// no-op recorder).
+    #[inline]
+    fn note_push(&mut self) {
+        if R::ENABLED {
+            let len = self.queue.len();
+            self.recorder.on_event_push(len);
         }
     }
 
@@ -381,6 +423,7 @@ impl Simulator {
     pub fn schedule_wakeup(&mut self, at: SimTime, token: u64) {
         debug_assert!(at >= self.time, "wakeups cannot be scheduled in the past");
         self.queue.push_once(at, Event::AppWakeup { token });
+        self.note_push();
     }
 
     /// Returns the next notification, advancing the simulation as needed.
@@ -410,6 +453,10 @@ impl Simulator {
         debug_assert!(at >= self.time, "time must be monotonic");
         self.time = at;
         self.stats.events_processed += 1;
+        if R::ENABLED {
+            let len = self.queue.len();
+            self.recorder.on_event_pop(at.as_nanos(), len);
+        }
         match event {
             Event::Arrival { tx, pkt } => self.handle_arrival(tx, pkt),
             Event::Departure { tx, pkt } => self.handle_departure(tx, pkt),
@@ -445,10 +492,20 @@ impl Simulator {
             {
                 self.stats.packets_dropped += 1;
                 self.pool_drops[pool] += 1;
+                if R::ENABLED {
+                    self.recorder
+                        .on_drop(tx.index() as u32, self.time.as_nanos());
+                }
                 return;
             }
             self.pool_occupancy[pool] += wire;
             self.port_occupancy[tx.index()] += wire;
+            if self.port_occupancy[tx.index()] > self.stats.max_queue_depth {
+                self.stats.max_queue_depth = self.port_occupancy[tx.index()];
+            }
+        }
+        if R::ENABLED {
+            self.recorder.on_queue_enqueue(tx.index() as u32, wire);
         }
         let q = &mut self.tx_queues[tx.index()];
         if self.tx_host_owned[tx.index()] && wire <= Self::CONTROL_BAND_WIRE {
@@ -475,11 +532,20 @@ impl Simulator {
         let params = self.topo.tx_params[tx.index()];
         let wire = self.wire_size(pkt);
         let serialization = (wire as f64 * params.ns_per_byte).ceil() as u64;
+        if R::ENABLED {
+            self.recorder.on_tx_busy(
+                tx.index() as u32,
+                self.time.as_nanos(),
+                (self.time + serialization).as_nanos(),
+                wire,
+            );
+        }
         self.queue.push(
             self.ser_lane[slot],
             self.time + serialization,
             Event::Departure { tx, pkt },
         );
+        self.note_push();
     }
 
     /// Selects the next packet a slot should serialize. Control bands of
@@ -539,6 +605,9 @@ impl Simulator {
             self.pool_occupancy[pool] -= wire;
             self.port_occupancy[tx.index()] -= wire;
         }
+        if R::ENABLED {
+            self.recorder.on_queue_dequeue(tx.index() as u32, wire);
+        }
         self.advance(tx, pkt, self.time + params.latency_ns);
         // Keep the wire busy: serve the next queued packet on this slot.
         self.begin_service(params.serializer as usize);
@@ -563,6 +632,7 @@ impl Simulator {
             self.queue
                 .push(lane, arrive_at, Event::Arrival { tx: next_tx, pkt });
         }
+        self.note_push();
     }
 
     fn handle_delivery(&mut self, host: HostId, pkt: PackedPacket) {
@@ -578,6 +648,11 @@ impl Simulator {
                     self.inject_ack(conn, ack);
                     return;
                 }
+                if pkt.seq > self.conn_hot[conn.index()].rcv_nxt {
+                    // A gap: this segment arrived ahead of the next
+                    // expected byte (the fast path above never sees one).
+                    self.stats.ooo_segments += 1;
+                }
                 let recv = self.conn(conn).on_data(pkt.seq, pkt.len(), now);
                 for tag in recv.delivered {
                     self.stats.messages_delivered += 1;
@@ -590,7 +665,13 @@ impl Simulator {
             }
             PacketKind::Ack => {
                 debug_assert_eq!(self.conn_cold[conn.index()].src, host);
+                self.stats.acks_received += 1;
                 let actions = self.conn(conn).on_ack(pkt.seq, now);
+                if R::ENABLED {
+                    let cwnd = self.conn_hot[conn.index()].cwnd_bytes();
+                    self.recorder
+                        .on_cwnd(conn.index() as u32, now.as_nanos(), cwnd);
+                }
                 self.apply_send_actions(conn, actions);
             }
         }
@@ -607,6 +688,7 @@ impl Simulator {
                 // (ACKs restarted the timer); chase it with one event.
                 c.timer_pushed = true;
                 self.queue.push_once(deadline, Event::RtoTimer { conn });
+                self.note_push();
             }
             Some(_) => {
                 let actions = self.conn(conn).on_rto(now);
@@ -618,9 +700,17 @@ impl Simulator {
     fn apply_send_actions(&mut self, conn: ConnId, actions: SendActions) {
         if actions.fast_retransmit {
             self.stats.fast_retransmits += 1;
+            if R::ENABLED {
+                self.recorder
+                    .on_fast_retransmit(conn.index() as u32, self.time.as_nanos());
+            }
         }
         if actions.timeout {
             self.stats.timeouts += 1;
+            if R::ENABLED {
+                self.recorder
+                    .on_timeout(conn.index() as u32, self.time.as_nanos());
+            }
         }
         for tag in actions.send_done {
             self.notifications.push_back(Notification::SendDone {
@@ -651,6 +741,7 @@ impl Simulator {
                 if !c.timer_pushed {
                     c.timer_pushed = true;
                     self.queue.push_once(deadline, Event::RtoTimer { conn });
+                    self.note_push();
                 }
                 // If an event is already pushed (necessarily at an earlier
                 // or equal time), it will chase the new deadline on fire.
@@ -679,6 +770,10 @@ impl Simulator {
         self.stats.data_bytes_sent += run.total_bytes();
         if run.retransmit {
             self.stats.retransmissions += run.count as u64;
+            if R::ENABLED {
+                self.recorder
+                    .on_retransmit(conn.index() as u32, self.time.as_nanos(), run.count);
+            }
         }
         let flow = conn.index() * 2;
         let first_hop = self.topo.first_hop(self.flow_routes[flow]);
@@ -693,6 +788,7 @@ impl Simulator {
                 seq_stride: run.len as u64,
             };
             self.queue.push_run(lane, at, 0, run.count, template);
+            self.note_push();
         } else {
             for (seq, len) in run.iter() {
                 let jitter = self.jitter();
@@ -702,6 +798,7 @@ impl Simulator {
                 let pkt = PackedPacket::data(conn, seq, len, run.retransmit);
                 self.queue
                     .push(lane, at, Event::Arrival { tx: first_hop, pkt });
+                self.note_push();
             }
         }
     }
@@ -718,6 +815,7 @@ impl Simulator {
         let lane = self.conn_lanes[conn.index()].1;
         self.queue
             .push(lane, at, Event::Arrival { tx: first_hop, pkt });
+        self.note_push();
     }
 
     /// True when every connection has acknowledged all queued bytes.
@@ -1135,6 +1233,65 @@ mod tests {
         assert_eq!(sim.stats().data_packets_sent, 10);
         assert_eq!(sim.stats().data_bytes_sent, 14_600);
         assert_eq!(sim.stats().ack_packets_sent, 10, "ack per segment");
+    }
+
+    #[test]
+    fn recording_recorder_observes_without_perturbing() {
+        use contention_obs::{EngineRecorder, MarkKind, TelemetryConfig};
+        // The same incast, once bare and once instrumented: identical
+        // simulation outcome, and the recorder must have seen the drops,
+        // link busy time and event flow the bare run only counts.
+        let sw = SwitchConfig {
+            shared_buffer_bytes: 32 * 1024,
+            per_port_cap_bytes: 16 * 1024,
+        };
+        let build = || {
+            let cfg = SimConfig::default();
+            let mut b = TopologyBuilder::new();
+            let hosts = b.add_hosts(5);
+            let s = b.add_switch(sw);
+            for &h in &hosts {
+                b.link_host(h, s, LinkConfig::gigabit_ethernet());
+            }
+            (b.build(&cfg).unwrap(), cfg, hosts)
+        };
+        let drive = |sim: &mut Simulator<EngineRecorder>, hosts: &[HostId]| {
+            for &h in &hosts[..4] {
+                let c = sim.open_connection(h, hosts[4], TransportKind::Tcp(TcpConfig::default()));
+                sim.send(c, 1_000_000, h.index() as u64);
+            }
+            sim.run_until_idle();
+        };
+        let (topo, cfg, hosts) = build();
+        let mut bare = Simulator::new(topo, cfg);
+        for &h in &hosts[..4] {
+            let c = bare.open_connection(h, hosts[4], TransportKind::Tcp(TcpConfig::default()));
+            bare.send(c, 1_000_000, h.index() as u64);
+        }
+        bare.run_until_idle();
+
+        let (topo, cfg, hosts) = build();
+        let mut sim =
+            Simulator::with_recorder(topo, cfg, EngineRecorder::new(TelemetryConfig::default()));
+        drive(&mut sim, &hosts);
+
+        assert_eq!(sim.now(), bare.now(), "recorder must not perturb time");
+        assert_eq!(*sim.stats(), *bare.stats());
+        let t = sim.recorder_mut().take_telemetry();
+        assert_eq!(t.events, sim.stats().events_processed);
+        assert!(t.pushes > 0);
+        assert!(t.links.iter().any(|l| l.busy_ns > 0));
+        assert_eq!(
+            t.links.iter().map(|l| l.drops).sum::<u64>(),
+            sim.stats().packets_dropped
+        );
+        assert!(
+            sim.stats().packets_dropped == 0 || t.marks.iter().any(|m| m.kind == MarkKind::Drop)
+        );
+        assert!(t.marks.iter().any(|m| m.kind == MarkKind::Cwnd));
+        assert!(t.links.iter().any(|l| !l.samples.is_empty()));
+        let s = sim.stats();
+        assert!(s.acks_received > 0 && s.acks_received <= s.ack_packets_sent);
     }
 
     #[test]

@@ -42,6 +42,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use contention_obs as obs;
+
 pub mod config;
 pub mod engine;
 pub mod event;
@@ -65,6 +67,7 @@ pub mod prelude {
     pub use crate::stats::NetStats;
     pub use crate::time::SimTime;
     pub use crate::topology::{Topology, TopologyBuilder, TopologyError};
+    pub use contention_obs::{EngineRecorder, NoopRecorder, Recorder, TelemetryConfig};
 }
 
 pub use prelude::*;
