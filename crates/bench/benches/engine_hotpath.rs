@@ -26,7 +26,10 @@
 //! end-to-end through `Session`). It has no scenario-crate call sites,
 //! deprecated or otherwise.
 
-use contention_bench::hotpath::{build_alltoall, cases, drive_alltoall, RECORDER_OVERHEAD_BENCHES};
+use contention_bench::hotpath::{
+    build_alltoall, build_fabric, cases, drive_alltoall, drive_fluid, event_equivalents,
+    fluid_cases, Case, Fabric, FLUID_VS_PACKET_BASELINE, RECORDER_OVERHEAD_BENCHES,
+};
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use simnet::event::{Event, EventQueue, RunTemplate};
 use simnet::ids::TxId;
@@ -49,6 +52,55 @@ fn bench_hotpath(c: &mut Criterion) {
                 BatchSize::SmallInput,
             )
         });
+    }
+    group.finish();
+}
+
+/// The fluid-vs-packet throughput gap, measured in packet-engine
+/// event-equivalents (`hotpath::event_equivalents`: MTU-sized packets ×
+/// route hops + delivery — acks and timers excluded, so every ratio read
+/// off this group understates the real speedup). The star-32 pair is
+/// like-for-like: same fabric, same 992 × 64 KiB all-to-all, same
+/// denominator, packet engine vs max-min fluid solver. The fat-tree row
+/// is the capacity-planning scale only the fluid tier reaches — 1024
+/// hosts, 1 046 529 concurrent flows — where the packet engine would need
+/// hours per run. Topologies are built once outside the timing loop; each
+/// sample times a fresh solver over the prebuilt fabric, matching what a
+/// `ctnsim run --backend fluid` cell pays after topology construction.
+fn bench_fluid_vs_packet(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fluid_vs_packet");
+
+    let baseline = Case {
+        name: FLUID_VS_PACKET_BASELINE,
+        fabric: Fabric::Star,
+        hosts: 32,
+        message_bytes: 64 * 1024,
+        transport: TransportKind::Tcp(TcpConfig::default()),
+    };
+    let (topo, hosts) = build_fabric(baseline.fabric, baseline.hosts);
+    let equiv = event_equivalents(
+        &topo,
+        &hosts,
+        baseline.transport.mtu() as u64,
+        baseline.message_bytes,
+    );
+    drop(topo);
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(equiv));
+    group.bench_function(baseline.name, |b| {
+        b.iter_batched(
+            || build_alltoall(&baseline, NoopRecorder),
+            |(mut sim, conns)| drive_alltoall(&baseline, &mut sim, &conns),
+            BatchSize::SmallInput,
+        )
+    });
+
+    for case in fluid_cases() {
+        let (topo, hosts) = build_fabric(case.fabric, case.hosts);
+        let equiv = event_equivalents(&topo, &hosts, case.mtu, case.message_bytes);
+        group.sample_size(case.sample_size);
+        group.throughput(Throughput::Elements(equiv));
+        group.bench_function(case.name, |b| b.iter(|| drive_fluid(&case, &topo, &hosts)));
     }
     group.finish();
 }
@@ -291,6 +343,7 @@ criterion_group!(
     benches,
     bench_hotpath,
     bench_queue_burst,
-    bench_recorder_overhead
+    bench_recorder_overhead,
+    bench_fluid_vs_packet
 );
 criterion_main!(benches);

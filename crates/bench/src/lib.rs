@@ -48,6 +48,14 @@ pub mod hotpath {
             /// Routers per group.
             routers: usize,
         },
+        /// Three-level `k`-ary fat-tree, ECMP routing (the fluid tier's
+        /// capacity-planning scale).
+        FatTree {
+            /// Arity.
+            k: usize,
+            /// Hosts per edge switch.
+            hosts_per_edge: usize,
+        },
     }
 
     /// One cell of the engine hot-path grid.
@@ -135,6 +143,59 @@ pub mod hotpath {
     pub const RECORDER_OVERHEAD_BENCHES: &[&str] =
         &["noop_tcp_8hosts_64KiB", "recording_tcp_8hosts_64KiB"];
 
+    /// One cell of the `fluid_vs_packet` grid: a full all-to-all (or the
+    /// packet baseline of the same workload) whose throughput is reported
+    /// in packet-engine event-equivalents (see [`event_equivalents`]).
+    pub struct FluidCase {
+        /// Benchmark id within the `fluid_vs_packet` group.
+        pub name: &'static str,
+        /// Fabric shape.
+        pub fabric: Fabric,
+        /// Total host count.
+        pub hosts: usize,
+        /// Per-pair message size of the all-to-all round.
+        pub message_bytes: u64,
+        /// MTU used for the event-equivalent denominator (1460 = TCP MSS).
+        pub mtu: u64,
+        /// Criterion samples; the million-flow fat-tree needs fewer.
+        pub sample_size: usize,
+    }
+
+    /// The `fluid_vs_packet` grid. The star-32 pair is like-for-like —
+    /// identical fabric, flows and denominator, packet engine vs fluid
+    /// solver — so their ratio is the per-workload speedup. The 1024-host
+    /// fat-tree is the capacity-planning scale only the fluid tier can
+    /// run (1 046 529 concurrent flows); the packet engine extrapolates to
+    /// hours there.
+    pub fn fluid_cases() -> Vec<FluidCase> {
+        vec![
+            FluidCase {
+                name: "fluid_tcp_star32_64KiB",
+                fabric: Fabric::Star,
+                hosts: 32,
+                message_bytes: 64 * 1024,
+                mtu: 1460,
+                sample_size: 10,
+            },
+            FluidCase {
+                name: "fluid_tcp_fattree1024_1MiB",
+                fabric: Fabric::FatTree {
+                    k: 16,
+                    hosts_per_edge: 8,
+                },
+                hosts: 1024,
+                message_bytes: 1 << 20,
+                mtu: 1460,
+                sample_size: 3,
+            },
+        ]
+    }
+
+    /// Packet-engine baseline of the `fluid_vs_packet` group: the same
+    /// star-32 workload as `fluid_tcp_star32_64KiB`, timed through the
+    /// packet engine with the same event-equivalent denominator.
+    pub const FLUID_VS_PACKET_BASELINE: &str = "packet_tcp_star32_64KiB";
+
     /// Every benchmark id the `BENCH_engine.json` snapshot must name —
     /// exactly these, no more, no fewer.
     pub fn expected_snapshot_names() -> Vec<String> {
@@ -151,7 +212,116 @@ pub mod hotpath {
                     .iter()
                     .map(|b| format!("recorder_overhead/{b}")),
             )
+            .chain(std::iter::once(format!(
+                "fluid_vs_packet/{FLUID_VS_PACKET_BASELINE}"
+            )))
+            .chain(
+                fluid_cases()
+                    .iter()
+                    .map(|c| format!("fluid_vs_packet/{}", c.name)),
+            )
             .collect()
+    }
+
+    /// Build a case fabric: gigabit links, lossless switches, all-pairs
+    /// routes resolved. Shared by the packet benchmarks (via
+    /// [`build_alltoall`]) and the fluid tier of `fluid_vs_packet`, so
+    /// both engines run over byte-identical topologies.
+    pub fn build_fabric(fabric: Fabric, n_hosts: usize) -> (Topology, Vec<HostId>) {
+        use simnet::generate::{dragonfly, fat_tree, torus_2d, DragonflyParams, FatTreeParams};
+        let link = LinkConfig::gigabit_ethernet();
+        let lossless = SwitchConfig::lossless_fabric();
+        let (builder, hosts) = match fabric {
+            Fabric::Star => {
+                let mut b = TopologyBuilder::new();
+                let hosts = b.add_hosts(n_hosts);
+                let sw = b.add_switch(lossless);
+                for &h in &hosts {
+                    b.link_host(h, sw, link);
+                }
+                (b, hosts)
+            }
+            Fabric::Torus2d { x, y } => {
+                assert_eq!(n_hosts % (x * y), 0, "hosts must fill the torus evenly");
+                let g = torus_2d(x, y, n_hosts / (x * y), link, lossless);
+                (g.builder, g.hosts)
+            }
+            Fabric::Dragonfly { groups, routers } => {
+                assert_eq!(n_hosts % (groups * routers), 0);
+                let g = dragonfly(&DragonflyParams {
+                    groups,
+                    routers_per_group: routers,
+                    hosts_per_router: n_hosts / (groups * routers),
+                    host_link: link,
+                    local_link: link,
+                    global_link: link,
+                    switch: lossless,
+                });
+                (g.builder, g.hosts)
+            }
+            Fabric::FatTree { k, hosts_per_edge } => {
+                let g = fat_tree(&FatTreeParams {
+                    k,
+                    hosts_per_edge,
+                    link,
+                    switch: lossless,
+                });
+                assert_eq!(g.hosts.len(), n_hosts, "fat-tree host count mismatch");
+                (g.builder, g.hosts)
+            }
+        };
+        let hosts_out = hosts;
+        (builder.build(&SimConfig::default()).unwrap(), hosts_out)
+    }
+
+    /// Packet-engine event-equivalents of a full all-to-all: each
+    /// MTU-sized packet crosses every transmitter on its route plus a
+    /// final delivery, so one packet ≈ `hops + 1` engine events. Acks,
+    /// window clocking and timers are ignored — the packet engine does
+    /// strictly more work per packet than this counts, so speedup ratios
+    /// quoted against this denominator are conservative.
+    pub fn event_equivalents(
+        topo: &Topology,
+        hosts: &[HostId],
+        mtu: u64,
+        message_bytes: u64,
+    ) -> u64 {
+        let packets = message_bytes.div_ceil(mtu);
+        let mut total = 0u64;
+        for &src in hosts {
+            for &dst in hosts {
+                if src != dst {
+                    total += packets * (topo.hop_count(src, dst) as u64 + 1);
+                }
+            }
+        }
+        total
+    }
+
+    /// One timed iteration of a fluid case: start the full all-to-all on a
+    /// fresh solver over the prebuilt topology and run it dry. Uses the
+    /// same 1% finish-coalescing window as the scenario tier's fluid
+    /// backend, so the benchmark times what `ctnsim` ships.
+    pub fn drive_fluid(case: &FluidCase, topo: &Topology, hosts: &[HostId]) -> usize {
+        let mut sim = simnet::fluid::FluidSim::new(topo);
+        sim.set_finish_window(1e-2);
+        let mut tag = 0u64;
+        for &src in hosts {
+            for &dst in hosts {
+                if src != dst {
+                    sim.start_flow(src, dst, case.message_bytes, tag);
+                    tag += 1;
+                }
+            }
+        }
+        let done = sim.run_to_completion();
+        assert_eq!(
+            done.len(),
+            hosts.len() * (hosts.len() - 1),
+            "{}: unfinished fluid flows",
+            case.name
+        );
+        done.len()
     }
 
     /// A primed simulator on the case's lossless fabric with `recorder`
@@ -162,40 +332,8 @@ pub mod hotpath {
         case: &Case,
         recorder: R,
     ) -> (Simulator<R>, Vec<ConnId>) {
-        use simnet::generate::{dragonfly, torus_2d, DragonflyParams};
-        let link = LinkConfig::gigabit_ethernet();
-        let lossless = SwitchConfig::lossless_fabric();
-        let (builder, hosts) = match case.fabric {
-            Fabric::Star => {
-                let mut b = TopologyBuilder::new();
-                let hosts = b.add_hosts(case.hosts);
-                let sw = b.add_switch(lossless);
-                for &h in &hosts {
-                    b.link_host(h, sw, link);
-                }
-                (b, hosts)
-            }
-            Fabric::Torus2d { x, y } => {
-                assert_eq!(case.hosts % (x * y), 0, "hosts must fill the torus evenly");
-                let g = torus_2d(x, y, case.hosts / (x * y), link, lossless);
-                (g.builder, g.hosts)
-            }
-            Fabric::Dragonfly { groups, routers } => {
-                assert_eq!(case.hosts % (groups * routers), 0);
-                let g = dragonfly(&DragonflyParams {
-                    groups,
-                    routers_per_group: routers,
-                    hosts_per_router: case.hosts / (groups * routers),
-                    host_link: link,
-                    local_link: link,
-                    global_link: link,
-                    switch: lossless,
-                });
-                (g.builder, g.hosts)
-            }
-        };
-        let cfg = SimConfig::default();
-        let mut sim = Simulator::with_recorder(builder.build(&cfg).unwrap(), cfg, recorder);
+        let (topology, hosts) = build_fabric(case.fabric, case.hosts);
+        let mut sim = Simulator::with_recorder(topology, SimConfig::default(), recorder);
         let mut conns = Vec::with_capacity(case.hosts * (case.hosts - 1));
         for &src in &hosts {
             for &dst in &hosts {

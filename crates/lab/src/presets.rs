@@ -229,6 +229,27 @@ impl ClusterPreset {
         seed: u64,
         recorder: R,
     ) -> World<R> {
+        let (topo, hosts) = self.build_fabric(n, seed);
+        let sim_config = SimConfig {
+            seed,
+            ..SimConfig::default()
+        };
+        let sim = Simulator::with_recorder(topo, sim_config, recorder);
+        let mpi = MpiConfig {
+            seed: seed ^ 0x5A5A_5A5A,
+            ..self.mpi
+        };
+        World::new(sim, hosts, mpi, self.transport)
+    }
+
+    /// Builds just the cluster's wiring for `n` ranks — the [`Topology`]
+    /// plus the round-robin host assignment — without instantiating a
+    /// packet simulator. The fluid (flow-level) backend runs directly over
+    /// this fabric.
+    ///
+    /// # Panics
+    /// Panics if `n` is zero or exceeds [`ClusterPreset::max_hosts`].
+    pub fn build_fabric(&self, n: usize, seed: u64) -> (Topology, Vec<HostId>) {
         assert!(n > 0, "need at least one node");
         assert!(
             n <= self.max_hosts(),
@@ -262,12 +283,7 @@ impl ClusterPreset {
             ..SimConfig::default()
         };
         let topo = b.build(&sim_config).expect("preset topologies are valid");
-        let sim = Simulator::with_recorder(topo, sim_config, recorder);
-        let mpi = MpiConfig {
-            seed: seed ^ 0x5A5A_5A5A,
-            ..self.mpi
-        };
-        World::new(sim, hosts, mpi, self.transport)
+        (topo, hosts)
     }
 }
 

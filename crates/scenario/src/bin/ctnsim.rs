@@ -46,6 +46,11 @@ OPTIONS:
                       (round-robin across edge groups), pack (fill groups
                       in order) or random (seeded partial permutation).
                       Not available on preset topologies.
+    --backend NAME    Override which simulation tier runs the cells:
+                      packet (per-packet discrete events, the calibrated
+                      reference) or fluid (flow-level max-min fair
+                      sharing; orders of magnitude faster on 1k+-host
+                      fabrics, see the README error bands)
     --format NAME     Output format: text, csv (default) or json
     --out FILE        Write the report to FILE instead of stdout
     --progress        Stream per-cell progress to stderr while running,
@@ -76,6 +81,7 @@ struct Options {
     seed: u64,
     model: ModelKind,
     placement: Option<Placement>,
+    backend: Option<Backend>,
     format: ReportFormat,
     out: Option<String>,
     progress: bool,
@@ -94,6 +100,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         seed: 42,
         model: ModelKind::Med,
         placement: None,
+        backend: None,
         format: ReportFormat::Csv,
         out: None,
         progress: false,
@@ -135,6 +142,12 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 let name = value_of("--placement")?;
                 o.placement = Some(Placement::parse(&name).ok_or_else(|| {
                     format!("unknown placement {name:?} (expected scatter, pack or random)")
+                })?);
+            }
+            "--backend" => {
+                let name = value_of("--backend")?;
+                o.backend = Some(Backend::parse(&name).ok_or_else(|| {
+                    format!("unknown backend {name:?} (expected packet or fluid)")
                 })?);
             }
             "--format" => {
@@ -283,6 +296,9 @@ fn run_specs(mut specs: Vec<ScenarioSpec>, options: &Options) -> ExitCode {
         }
         if let Some(placement) = options.placement {
             spec.placement = placement;
+        }
+        if let Some(backend) = options.backend {
+            spec.backend = backend;
         }
     }
     let mut builder = Session::builder()

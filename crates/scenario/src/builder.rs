@@ -32,8 +32,8 @@
 //! ```
 
 use crate::spec::{
-    LinkSpec, MpiSpec, ScenarioSpec, SpecError, SweepSpec, SwitchSpec, TopologySpec, TransportSpec,
-    WorkloadSpec,
+    Backend, LinkSpec, MpiSpec, ScenarioSpec, SpecError, SweepSpec, SwitchSpec, TopologySpec,
+    TransportSpec, WorkloadSpec,
 };
 use simnet::generate::Placement;
 
@@ -54,6 +54,7 @@ pub struct ScenarioBuilder {
     mpi: MpiSpec,
     workload: Option<WorkloadSpec>,
     sweep: SweepSpec,
+    backend: Backend,
 }
 
 impl ScenarioBuilder {
@@ -156,6 +157,12 @@ impl ScenarioBuilder {
     /// How ranks map onto the fabric's hosts (default scatter).
     pub fn placement(mut self, placement: Placement) -> Self {
         self.placement = placement;
+        self
+    }
+
+    /// Which simulation tier runs the cells (default packet).
+    pub fn backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
         self
     }
 
@@ -309,6 +316,7 @@ impl ScenarioBuilder {
             mpi: self.mpi,
             workload,
             sweep: self.sweep,
+            backend: self.backend,
         };
         spec.validate()?;
         Ok(spec)

@@ -32,7 +32,7 @@
 use crate::error::CtnError;
 use crate::metrics::{CellMetrics, SessionMetrics, WorkerMetrics};
 use crate::session::{CalibrationCache, CancelToken, RunEvent};
-use crate::spec::{ScenarioSpec, SpecError};
+use crate::spec::{Backend, ScenarioSpec, SpecError};
 use crate::{topology, workload};
 use contention_lab::runner::parallel_map;
 use contention_model::hockney::HockneyParams;
@@ -357,9 +357,10 @@ impl ModelCtx {
     }
 }
 
-/// Simulates one cell, dispatching on whether telemetry is wanted. The
-/// `None` arm runs the no-op recorder — the exact engine the goldens
-/// pin — and both arms produce byte-identical [`CellResult`]s.
+/// Simulates one cell, dispatching on the spec's backend and on whether
+/// telemetry is wanted. The packet/`None` arm runs the no-op recorder —
+/// the exact engine the goldens pin — and both telemetry arms produce
+/// byte-identical [`CellResult`]s.
 fn run_cell(
     spec: &ScenarioSpec,
     cell: &Cell,
@@ -367,6 +368,9 @@ fn run_cell(
     ctx: &ModelCtx,
     telemetry: Option<&TelemetryConfig>,
 ) -> Result<(CellResult, Option<EngineTelemetry>), CtnError> {
+    if spec.backend == Backend::Fluid {
+        return run_cell_fluid(spec, cell, hockney, ctx, telemetry);
+    }
     match telemetry {
         None => {
             let (result, _world) = run_cell_in(spec, cell, hockney, ctx, NoopRecorder)?;
@@ -379,6 +383,56 @@ fn run_cell(
             Ok((result, Some(engine)))
         }
     }
+}
+
+/// The fluid-tier cell path: builds the bare fabric once and interprets
+/// the cell's programs flow-by-flow. The fluid interpreter is fully
+/// deterministic and stateless across repetitions (no queues or
+/// transport windows survive a run), so warmup and repeated measurements
+/// would reproduce the same number — one run fills mean = min = max.
+/// Model columns are computed exactly as on the packet path, so the
+/// error column reads as distance-from-bound in both tiers.
+fn run_cell_fluid(
+    spec: &ScenarioSpec,
+    cell: &Cell,
+    hockney: &HockneyParams,
+    ctx: &ModelCtx,
+    telemetry: Option<&TelemetryConfig>,
+) -> Result<(CellResult, Option<EngineTelemetry>), CtnError> {
+    let (topo, hosts, mpi) = topology::build_fluid_fabric(spec, cell.n, cell.seed)
+        .map_err(|e| CtnError::execution(&spec.name, spec_error_detail(e)))?;
+    let world = simmpi::FluidWorld::new(&topo, hosts, mpi);
+    let programs = workload::programs(&spec.workload, cell.n, cell.message_bytes, cell.seed);
+    let (result, engine) = match telemetry {
+        None => (world.run(programs), None),
+        Some(cfg) => {
+            let (result, mut recorder) = world.run_with(programs, EngineRecorder::new(cfg.clone()));
+            (result, Some(recorder.take_telemetry()))
+        }
+    };
+    let secs = result.duration_secs();
+    let med_bound = workload::model_bound(
+        &spec.workload,
+        cell.n,
+        cell.message_bytes,
+        cell.seed,
+        hockney,
+    );
+    let model = ctx.predict(med_bound, cell.n, cell.message_bytes);
+    let result = CellResult {
+        scenario: spec.name.clone(),
+        workload: spec.workload.kind().to_string(),
+        topology: spec.topology.kind().to_string(),
+        n: cell.n,
+        message_bytes: cell.message_bytes,
+        cell_seed: cell.seed,
+        mean_secs: secs,
+        min_secs: secs,
+        max_secs: secs,
+        model_secs: model,
+        error_percent: estimation_error_percent(secs, model),
+    };
+    Ok((result, engine))
 }
 
 fn run_cell_in<R: Recorder>(
@@ -795,8 +849,11 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_match_the_session_byte_for_byte() {
+    fn legacy_entry_points_match_the_session_byte_for_byte() {
+        // Exercises the un-deprecated legacy surface only (run_batches and
+        // the shared fit procedure); the #[deprecated] run_batch /
+        // calibrate_hockney shims no longer have internal callers, so
+        // their warnings can graduate to hard errors next release.
         let spec = by_name("incast-burst").unwrap();
         let session = Session::builder()
             .workers(2)
@@ -804,19 +861,20 @@ mod tests {
             .build()
             .unwrap();
         let report = session.run(&spec).unwrap();
-        let shim = run_batch(
-            &spec,
+        let shim = run_batches(
+            std::slice::from_ref(&spec),
             &BatchConfig {
                 workers: 2,
                 base_seed: 123,
                 model: ModelKind::Med,
             },
         )
-        .unwrap();
+        .unwrap()
+        .remove(0);
         assert_eq!(report.batches[0], shim);
-        let a = calibrate_hockney(&spec, 123).unwrap();
+        let a = hockney_fit(legacy_cache(), &spec, 123).unwrap();
         let b = session.calibrate_hockney(&spec).unwrap();
-        assert_eq!(a, b, "shim and session share the fit procedure");
+        assert_eq!(a, b, "legacy cache and session share the fit procedure");
     }
 
     #[test]

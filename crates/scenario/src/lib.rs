@@ -80,7 +80,7 @@ pub mod prelude {
         CalibrationCache, CancelToken, RunEvent, RunObserver, Session, SessionBuilder,
     };
     pub use crate::spec::{
-        LinkSpec, MpiSpec, ScenarioSpec, SpecError, SweepSpec, SwitchSpec, TopologySpec,
+        Backend, LinkSpec, MpiSpec, ScenarioSpec, SpecError, SweepSpec, SwitchSpec, TopologySpec,
         TransportSpec, WorkloadSpec,
     };
     pub use simnet::generate::Placement;

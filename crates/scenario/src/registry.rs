@@ -10,7 +10,7 @@
 //! API expresses everything the engine can run.
 
 use crate::builder::ScenarioBuilder;
-use crate::spec::{LinkSpec, ScenarioSpec, SwitchSpec, TopologySpec, WorkloadSpec};
+use crate::spec::{Backend, LinkSpec, ScenarioSpec, SwitchSpec, TopologySpec, WorkloadSpec};
 use simnet::generate::Placement;
 
 fn kib(n: u64) -> u64 {
@@ -274,6 +274,50 @@ pub fn builtin() -> Vec<ScenarioSpec> {
                 .message_bytes([kib(64), kib(256)])
                 .warmup(1)
                 .reps(2),
+        ),
+        valid(
+            ScenarioBuilder::new("fat-tree-1024-alltoall")
+                .description(
+                    "Uniform All-to-All across a full 16-ary fat-tree (1024 hosts, ~1M \
+                     simultaneous flows) — the capacity-planning scale only the fluid \
+                     tier can reach",
+                )
+                .fat_tree(16, 8, fast_link, deep_switch)
+                .tcp(kib(64))
+                .uniform("direct-nb")
+                .nodes([1024])
+                .message_bytes([kib(1024)])
+                .warmup(0)
+                .reps(1)
+                .backend(Backend::Fluid),
+        ),
+        valid(
+            ScenarioBuilder::new("dragonfly-4k-adversarial")
+                .description(
+                    "Permutation traffic on a packed 16\u{d7}16\u{d7}16 dragonfly (4096 \
+                     hosts): packing fills whole groups, so the permutation's cross-group \
+                     bytes all funnel through single global links — fluid tier only",
+                )
+                .topology(TopologySpec::Dragonfly {
+                    groups: 16,
+                    routers_per_group: 16,
+                    hosts_per_router: 16,
+                    host_link: fast_link,
+                    local_link: fast_link,
+                    global_link: LinkSpec {
+                        bandwidth_bytes_per_sec: 250e6,
+                        latency_ns: 40_000,
+                    },
+                    switch: lossless_switch,
+                })
+                .placement(Placement::Pack)
+                .gm(kib(1024))
+                .permutation()
+                .nodes([4096])
+                .message_bytes([kib(1024)])
+                .warmup(0)
+                .reps(1)
+                .backend(Backend::Fluid),
         ),
     ]
 }

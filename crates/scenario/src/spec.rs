@@ -364,6 +364,45 @@ impl Default for SweepSpec {
     }
 }
 
+/// Which simulation tier executes a scenario's cells.
+///
+/// The packet engine replays every MTU-sized frame through the switch
+/// queues — it is the calibrated reference and the default, but tops out
+/// around a million events per second. The fluid tier models each
+/// transfer as a flow with a max-min fair share of every link on its
+/// route and advances time only at flow start/finish boundaries, trading
+/// per-packet effects (buffer occupancy, drops, retransmits) for
+/// orders-of-magnitude more hosts. See the README "Backends" section for
+/// the measured per-scenario error bands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum Backend {
+    /// Per-packet discrete-event engine (the calibrated reference).
+    #[default]
+    Packet,
+    /// Flow-level max-min fair-sharing engine for 1k–4k-host fabrics.
+    Fluid,
+}
+
+impl Backend {
+    /// All backends, in documentation order.
+    pub fn all() -> [Backend; 2] {
+        [Backend::Packet, Backend::Fluid]
+    }
+
+    /// The TOML / CLI name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Backend::Packet => "packet",
+            Backend::Fluid => "fluid",
+        }
+    }
+
+    /// Inverse of [`Backend::name`].
+    pub fn parse(name: &str) -> Option<Backend> {
+        Backend::all().into_iter().find(|b| b.name() == name)
+    }
+}
+
 /// A complete, runnable scenario description.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ScenarioSpec {
@@ -384,6 +423,9 @@ pub struct ScenarioSpec {
     pub workload: WorkloadSpec,
     /// The grid.
     pub sweep: SweepSpec,
+    /// Which simulation tier runs the cells (TOML: a top-level
+    /// `backend = "packet" | "fluid"`; packet when absent).
+    pub backend: Backend,
 }
 
 /// Spec validation / decoding failure.
@@ -415,6 +457,10 @@ impl From<TomlError> for SpecError {
 fn invalid(msg: impl Into<String>) -> SpecError {
     SpecError::Invalid(msg.into())
 }
+
+/// Buffer sizes at or above this are treated as lossless-grade (no
+/// backpressure deadlock risk) by the fluid-backend GM validation.
+pub(crate) const LOSSLESS_BUFFER_FLOOR: u64 = 1 << 60;
 
 /// FNV-1a over `bytes` — the crate's one hashing primitive (fingerprints,
 /// name-derived seeds).
@@ -575,7 +621,55 @@ impl ScenarioSpec {
                 )));
             }
         }
+        if self.backend == Backend::Fluid
+            && matches!(self.transport, TransportSpec::Gm { .. })
+            && self.finite_buffer_switch().is_some()
+        {
+            let what = self.finite_buffer_switch().expect("checked");
+            return Err(invalid(format!(
+                "backend = \"fluid\" cannot combine a GM transport with the \
+                 finite-buffer switch {what}: the fluid tier's packet-engine \
+                 calibration run can deadlock when lossless backpressure \
+                 exhausts a finite shared buffer (GM never retransmits). Use \
+                 lossless-grade buffers (>= 2^60 bytes) or a TCP transport"
+            )));
+        }
         Ok(())
+    }
+
+    /// The first topology switch whose buffering is not lossless-grade
+    /// (either field below [`LOSSLESS_BUFFER_FLOOR`]), with its TOML path.
+    fn finite_buffer_switch(&self) -> Option<&'static str> {
+        let finite = |s: &SwitchSpec| {
+            s.shared_buffer_bytes < LOSSLESS_BUFFER_FLOOR
+                || s.per_port_cap_bytes < LOSSLESS_BUFFER_FLOOR
+        };
+        match &self.topology {
+            // Presets carry the paper's calibrated fabrics, which are known
+            // to drain under the packet engine's GM flow control.
+            TopologySpec::Preset { .. } => None,
+            TopologySpec::SingleSwitch { switch, .. }
+            | TopologySpec::FatTree { switch, .. }
+            | TopologySpec::Torus2d { switch, .. }
+            | TopologySpec::Torus3d { switch, .. }
+            | TopologySpec::Dragonfly { switch, .. } => finite(switch).then_some("topology.switch"),
+            TopologySpec::StarOfSwitches {
+                edge_switch,
+                core_switch,
+                ..
+            }
+            | TopologySpec::Tree {
+                edge_switch,
+                core_switch,
+                ..
+            } => {
+                if finite(edge_switch) {
+                    Some("topology.edge_switch")
+                } else {
+                    finite(core_switch).then_some("topology.core_switch")
+                }
+            }
+        }
     }
 
     fn validate_workload(&self, w: &WorkloadSpec) -> Result<(), SpecError> {
@@ -673,6 +767,12 @@ impl ScenarioSpec {
                     .ok_or_else(|| invalid(format!("unknown placement {name:?}")))?,
             );
         }
+        if let Some(name) = opt_str(v, "backend")? {
+            b = b.backend(
+                Backend::parse(&name)
+                    .ok_or_else(|| invalid(format!("unknown backend {name:?}")))?,
+            );
+        }
         if let Some(t) = v.get("transport") {
             b = b.transport(decode_transport(t)?);
         }
@@ -708,6 +808,14 @@ impl ScenarioSpec {
         );
         fabric.insert("transport".to_string(), encode_transport(&self.transport));
         fabric.insert("mpi".to_string(), encode_mpi(&self.mpi));
+        // Omitted for the packet default so every pre-fluid fingerprint
+        // (and the calibration caches keyed on them) stays stable.
+        if self.backend != Backend::default() {
+            fabric.insert(
+                "backend".to_string(),
+                Value::Str(self.backend.name().to_string()),
+            );
+        }
         let encoded = toml::serialize(&Value::Table(fabric));
         fnv1a(encoded.as_bytes())
     }
@@ -723,6 +831,12 @@ impl ScenarioSpec {
             root.insert(
                 "placement".into(),
                 Value::Str(self.placement.name().to_string()),
+            );
+        }
+        if self.backend != Backend::default() {
+            root.insert(
+                "backend".into(),
+                Value::Str(self.backend.name().to_string()),
             );
         }
         root.insert("transport".into(), encode_transport(&self.transport));

@@ -213,10 +213,52 @@ pub fn build_world_with<R: Recorder>(
     Ok(World::new(sim, ranks, mpi, spec.transport.to_kind()))
 }
 
+/// Builds the bare fabric for the fluid backend: the routed
+/// [`Topology`] plus the rank→host map and the effective MPI stack, with
+/// every stochastic element seeded from `seed` exactly as
+/// [`build_world`] seeds the packet path (same placement, same
+/// `seed ^ 0x5A5A_5A5A` MPI seed). The caller owns the topology and
+/// lends it to a [`simmpi::FluidWorld`].
+///
+/// # Panics
+/// Panics if `n` exceeds the spec's capacity (callers validate first).
+pub fn build_fluid_fabric(
+    spec: &ScenarioSpec,
+    n: usize,
+    seed: u64,
+) -> Result<(Topology, Vec<HostId>, simmpi::MpiConfig), SpecError> {
+    if let TopologySpec::Preset { preset } = &spec.topology {
+        let mut preset = preset_by_name(preset)?;
+        preset.mpi = spec.mpi.apply(preset.mpi);
+        let (topo, hosts) = preset.build_fabric(n, seed);
+        let mpi = simmpi::MpiConfig {
+            seed: seed ^ 0x5A5A_5A5A,
+            ..preset.mpi
+        };
+        return Ok((topo, hosts, mpi));
+    }
+    let g = generated(&spec.topology)?;
+    let ranks = spec.placement.place(&g, n, seed);
+    let sim_config = SimConfig {
+        seed,
+        ..SimConfig::default()
+    };
+    let topo = g
+        .builder
+        .build(&sim_config)
+        .map_err(|e| SpecError::Invalid(format!("topology failed to build: {e}")))?;
+    let mpi = simmpi::MpiConfig {
+        seed: seed ^ 0x5A5A_5A5A,
+        ..spec.mpi.apply(simmpi::MpiConfig::default())
+    };
+    Ok((topo, ranks, mpi))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::registry::builtin;
+    use crate::spec::Backend;
 
     #[test]
     fn capacities_are_positive_for_all_builtins() {
@@ -228,9 +270,33 @@ mod tests {
     #[test]
     fn worlds_build_for_all_builtins() {
         for spec in builtin() {
+            if spec.backend == Backend::Fluid {
+                // Huge-fabric fluid builtins never build a packet world.
+                continue;
+            }
             let n = *spec.sweep.nodes.iter().min().unwrap();
             let world = build_world(&spec, n, 7).unwrap();
             assert_eq!(world.n_ranks(), n, "{}", spec.name);
+        }
+    }
+
+    #[test]
+    fn fluid_fabric_matches_the_packet_world_mapping() {
+        for spec in builtin() {
+            if spec.backend == Backend::Fluid {
+                continue;
+            }
+            let n = *spec.sweep.nodes.iter().min().unwrap();
+            let world = build_world(&spec, n, 7).unwrap();
+            let (topo, hosts, mpi) = build_fluid_fabric(&spec, n, 7).unwrap();
+            assert_eq!(hosts.len(), n, "{}", spec.name);
+            assert_eq!(
+                topo.n_hosts,
+                world.sim().topology().n_hosts,
+                "{}",
+                spec.name
+            );
+            assert_eq!(mpi.seed, 7 ^ 0x5A5A_5A5A, "{}", spec.name);
         }
     }
 }

@@ -6,7 +6,7 @@
 
 use contention_scenario::builder::ScenarioBuilder;
 use contention_scenario::registry::builtin;
-use contention_scenario::spec::{ScenarioSpec, TopologySpec, TransportSpec, WorkloadSpec};
+use contention_scenario::spec::{Backend, ScenarioSpec, TopologySpec, TransportSpec, WorkloadSpec};
 use proptest::prelude::*;
 
 /// Reassembles a spec through the builder's shape-specific sugar (falling
@@ -66,7 +66,8 @@ fn rebuild(spec: &ScenarioSpec) -> ScenarioSpec {
         WorkloadSpec::Outcast { senders } => b.outcast(*senders),
         WorkloadSpec::Phases { phases } => b.phases(phases.clone()),
     };
-    b.nodes(spec.sweep.nodes.clone())
+    b.backend(spec.backend)
+        .nodes(spec.sweep.nodes.clone())
         .message_bytes(spec.sweep.message_bytes.clone())
         .warmup(spec.sweep.warmup)
         .reps(spec.sweep.reps)
@@ -123,6 +124,7 @@ proptest! {
             .transport(edited.transport)
             .mpi(edited.mpi)
             .workload(edited.workload.clone())
+            .backend(edited.backend)
             .nodes(nodes)
             .message_bytes([size_kib * 1024])
             .reps(reps);
@@ -152,6 +154,10 @@ proptest! {
 /// The proptests above index builtins modulo the registry length; this
 /// anchor makes a registry growth/shrink visible here too.
 #[test]
-fn registry_ships_thirteen_builtins() {
-    assert_eq!(builtin().len(), 13);
+fn registry_ships_thirteen_packet_and_two_fluid_builtins() {
+    let all = builtin();
+    assert_eq!(all.len(), 15);
+    let packet = all.iter().filter(|s| s.backend == Backend::Packet).count();
+    assert_eq!(packet, 13, "packet builtin count moved");
+    assert_eq!(all.len() - packet, 2, "fluid builtin count moved");
 }

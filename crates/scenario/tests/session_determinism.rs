@@ -40,9 +40,18 @@ fn incast_full_grid_through_the_session_matches_the_prerefactor_golden() {
 }
 
 #[test]
-fn all_thirteen_builtins_are_byte_identical_across_workers() {
-    let all = registry::builtin();
-    assert_eq!(all.len(), 13, "builtin count moved; update this oracle");
+fn all_thirteen_packet_builtins_are_byte_identical_across_workers() {
+    // The huge-fabric fluid builtins are covered by fluid_validation and
+    // the CI smoke run; this oracle pins the packet tier's byte-identity.
+    let all: Vec<_> = registry::builtin()
+        .into_iter()
+        .filter(|s| s.backend == Backend::Packet)
+        .collect();
+    assert_eq!(
+        all.len(),
+        13,
+        "packet builtin count moved; update this oracle"
+    );
     let cache = Arc::new(CalibrationCache::new());
     for mut spec in all {
         // One cheap cell per builtin: enough to cross calibration, world

@@ -57,9 +57,18 @@ fn incast_full_grid_with_telemetry_matches_the_prerefactor_golden() {
 }
 
 #[test]
-fn all_thirteen_builtins_are_byte_identical_with_a_recording_recorder() {
-    let all = registry::builtin();
-    assert_eq!(all.len(), 13, "builtin count moved; update this oracle");
+fn all_thirteen_packet_builtins_are_byte_identical_with_a_recording_recorder() {
+    // Fluid builtins run grids far too large for a debug-mode triple run;
+    // fluid telemetry transparency is covered in fluid_validation.
+    let all: Vec<_> = registry::builtin()
+        .into_iter()
+        .filter(|s| s.backend == Backend::Packet)
+        .collect();
+    assert_eq!(
+        all.len(),
+        13,
+        "packet builtin count moved; update this oracle"
+    );
     let plain_cache = Arc::new(CalibrationCache::new());
     let telem_cache = Arc::new(CalibrationCache::new());
     for spec in all {

@@ -2,7 +2,7 @@
 //! decode to exactly the expected spec, re-encode, and decode back equal.
 
 use contention_scenario::spec::{
-    LinkSpec, MpiSpec, ScenarioSpec, SweepSpec, SwitchSpec, TopologySpec, TransportSpec,
+    Backend, LinkSpec, MpiSpec, ScenarioSpec, SweepSpec, SwitchSpec, TopologySpec, TransportSpec,
     WorkloadSpec,
 };
 use simnet::generate::Placement;
@@ -59,6 +59,7 @@ fn expected() -> ScenarioSpec {
             warmup: 1,
             reps: 2,
         },
+        backend: Backend::Packet,
     }
 }
 

@@ -1,0 +1,582 @@
+//! Fluid (flow-level) program execution: the MPI semantics of
+//! [`World`](crate::world::World) idealized over [`simnet::fluid::FluidSim`].
+//!
+//! [`FluidWorld`] interprets the same per-rank [`Op`] programs as the
+//! packet-level executor, but every payload travels as a max-min fair
+//! fluid flow instead of a packet train, and simulated time advances only
+//! at flow start/finish boundaries. The protocol is deliberately the
+//! *deterministic skeleton* of the packet world:
+//!
+//! * a [`Op::Transfer`] posts all receives and issues all sends at the
+//!   instant the op starts (no per-message CPU stagger — the sender's
+//!   serialized send calls are charged as one `sends × send_overhead`
+//!   CPU interval the op also waits on);
+//! * **eager** payloads (≤ `eager_threshold`) start flowing at send issue
+//!   and the blocking send completes with the CPU charge, exactly like
+//!   the packet world's buffered short-message path;
+//! * **rendezvous** payloads start flowing when both the send has issued
+//!   and a matching receive has posted (the RTS/CTS round-trip itself is
+//!   elided), and the blocking send completes when the flow finishes;
+//! * a receive completes at `max(arrival, post) + recv_overhead`, where
+//!   arrival is the flow's finish plus the route's one-way latency;
+//! * messages between a rank pair match strictly in issue/post order
+//!   (MPI non-overtaking), and [`Op::Barrier`] releases every rank at the
+//!   last arrival;
+//! * there is **no jitter and no OS hiccup** — the fluid tier answers
+//!   "what does bandwidth sharing alone predict", so a run is a pure
+//!   function of the program and the fabric.
+//!
+//! What the idealization drops relative to the packet engine — per-MTU
+//! framing bytes, control round-trips, serialized receiver overheads,
+//! TCP loss recovery — is exactly the per-scenario error band the
+//! scenario layer's `fluid_validation` test documents.
+
+use crate::config::MpiConfig;
+use crate::ops::{Op, Rank};
+use crate::world::RunResult;
+use simnet::fluid::{FluidCompletion, FluidSim};
+use simnet::ids::HostId;
+use simnet::obs::Recorder;
+use simnet::time::SimTime;
+use simnet::topology::Topology;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+
+/// Relative finish-coalescing window handed to [`FluidSim`]: flow finishes
+/// within 1 % of the earliest one complete under a single rate
+/// recomputation, stamped at their exact projected instants. The solver
+/// slack errs completion times late by at most 1 % — small next to the
+/// packet-vs-fluid model error bands this tier documents — and is what
+/// keeps the staggered ECMP finish waves of 1k–4k-host fabrics from
+/// costing one full max-min recomputation each (measured: ~10× fewer
+/// recomputations on the 1024-host fat-tree all-to-all).
+const FINISH_WINDOW_REL: f64 = 1e-2;
+
+/// One pending point-to-point message (identified by its index in
+/// `FluidWorld::transfers`).
+#[derive(Debug)]
+struct Transfer {
+    src: Rank,
+    dst: Rank,
+    bytes: u64,
+    eager: bool,
+    /// Receive post instant; NaN until a receive has matched.
+    post_ns: f64,
+    /// Data arrival instant at the receiver (flow finish + route
+    /// latency); NaN until the flow finishes.
+    arrival_ns: f64,
+}
+
+/// Unmatched sends/receives between one ordered rank pair, matched FIFO.
+#[derive(Debug, Default)]
+struct PairQueue {
+    /// Issued sends (transfer ids) with no matching receive yet.
+    sends: VecDeque<u64>,
+    /// Posted receives (post instants) with no matching send yet.
+    recvs: VecDeque<f64>,
+}
+
+/// A heap event: something a rank waits on resolves at `at_ns`.
+#[derive(Debug, Clone, Copy)]
+struct Pending {
+    at_bits: u64,
+    seq: u64,
+    rank: Rank,
+}
+
+impl PartialEq for Pending {
+    fn eq(&self, other: &Self) -> bool {
+        self.at_bits == other.at_bits && self.seq == other.seq
+    }
+}
+impl Eq for Pending {}
+impl PartialOrd for Pending {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Pending {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Min-heap via reversal: earliest time, then insertion order.
+        (other.at_bits, other.seq).cmp(&(self.at_bits, self.seq))
+    }
+}
+
+struct RankState {
+    program: Vec<Op>,
+    pc: usize,
+    outstanding: usize,
+    finished: Option<f64>,
+}
+
+/// A set of MPI ranks mapped onto fabric hosts, executed fluidly.
+///
+/// Unlike the packet [`World`](crate::world::World), a `FluidWorld`
+/// borrows its [`Topology`] (no simulator state to own) and every
+/// [`FluidWorld::run`] is independent: deterministic, jitter-free, always
+/// starting at simulated time zero. The scenario layer's `backend =
+/// "fluid"` tier runs each measurement cell through one of these.
+pub struct FluidWorld<'a> {
+    topo: &'a Topology,
+    hosts: Vec<HostId>,
+    mpi: MpiConfig,
+    n: usize,
+}
+
+struct Interp<'w, 'a, R: Recorder> {
+    topo: &'a Topology,
+    hosts: &'w [HostId],
+    mpi: &'w MpiConfig,
+    n: usize,
+    net: FluidSim<'a, R>,
+    ranks: Vec<RankState>,
+    transfers: Vec<Transfer>,
+    pair_queues: HashMap<u64, PairQueue>,
+    heap: BinaryHeap<Pending>,
+    next_seq: u64,
+    barrier_waiting: usize,
+    unfinished: usize,
+    finish_buf: Vec<FluidCompletion>,
+}
+
+impl<'a> FluidWorld<'a> {
+    /// Builds a fluid world of `hosts.len()` ranks over a built topology.
+    ///
+    /// # Panics
+    /// Panics if `hosts` is empty, repeats a host, or references hosts
+    /// outside the topology.
+    pub fn new(topo: &'a Topology, hosts: Vec<HostId>, mpi: MpiConfig) -> Self {
+        assert!(!hosts.is_empty(), "a world needs at least one rank");
+        let mut seen = vec![false; topo.n_hosts];
+        for &h in &hosts {
+            assert!(h.index() < topo.n_hosts, "host outside topology");
+            assert!(!seen[h.index()], "one rank per host");
+            seen[h.index()] = true;
+        }
+        let n = hosts.len();
+        Self {
+            topo,
+            hosts,
+            mpi,
+            n,
+        }
+    }
+
+    /// Number of ranks.
+    pub fn n_ranks(&self) -> usize {
+        self.n
+    }
+
+    /// MPI-layer configuration in force (jitter/hiccup fields ignored).
+    pub fn mpi_config(&self) -> &MpiConfig {
+        &self.mpi
+    }
+
+    /// Runs one program per rank to completion and returns per-rank
+    /// finish times, with `recorder` receiving link-utilization samples
+    /// integrated from the fluid rates.
+    ///
+    /// # Panics
+    /// Panics if `programs.len()` differs from the rank count or the
+    /// programs deadlock (a rank blocked with no flow or event pending).
+    pub fn run_with<R: Recorder>(&self, programs: Vec<Vec<Op>>, recorder: R) -> (RunResult, R) {
+        assert_eq!(programs.len(), self.n, "one program per rank");
+        let mut net = FluidSim::with_recorder(self.topo, recorder);
+        net.set_finish_window(FINISH_WINDOW_REL);
+        let mut interp = Interp {
+            topo: self.topo,
+            hosts: &self.hosts,
+            mpi: &self.mpi,
+            n: self.n,
+            net,
+            ranks: programs
+                .into_iter()
+                .map(|program| RankState {
+                    program,
+                    pc: 0,
+                    outstanding: 0,
+                    finished: None,
+                })
+                .collect(),
+            transfers: Vec::new(),
+            pair_queues: HashMap::new(),
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            barrier_waiting: 0,
+            unfinished: self.n,
+            finish_buf: Vec::new(),
+        };
+        let result = interp.execute();
+        (result, interp.net.into_recorder())
+    }
+
+    /// [`FluidWorld::run_with`] without telemetry.
+    pub fn run(&self, programs: Vec<Vec<Op>>) -> RunResult {
+        self.run_with(programs, simnet::obs::NoopRecorder).0
+    }
+}
+
+impl<R: Recorder> Interp<'_, '_, R> {
+    fn execute(&mut self) -> RunResult {
+        for rank in 0..self.n {
+            self.issue_current_op(rank, 0.0);
+        }
+        while self.unfinished > 0 {
+            let t_event = self.heap.peek().map(|p| f64::from_bits(p.at_bits));
+            let t_flow = self.net.next_finish_ns();
+            let t = match (t_event, t_flow) {
+                (Some(a), Some(b)) => a.min(b),
+                (Some(a), None) => a,
+                (None, Some(b)) => b,
+                (None, None) => {
+                    let blocked: Vec<usize> = self
+                        .ranks
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, r)| r.finished.is_none())
+                        .map(|(i, _)| i)
+                        .collect();
+                    panic!("deadlock: ranks {blocked:?} blocked with no pending events");
+                }
+            };
+            // When the next boundary is a flow finish, advance through its
+            // whole coalescing window (clamped to the next rank event) so
+            // the engine can batch the finish wave under one rate
+            // recomputation. Rank events stay exact boundaries.
+            let t_adv = match (t_event, t_flow) {
+                (event, Some(flow)) if flow <= event.unwrap_or(f64::INFINITY) => {
+                    (flow * (1.0 + FINISH_WINDOW_REL)).min(event.unwrap_or(f64::INFINITY))
+                }
+                _ => t,
+            }
+            .max(self.net.now_ns());
+            let mut finishes = std::mem::take(&mut self.finish_buf);
+            finishes.clear();
+            self.net.advance_to(t_adv, &mut finishes);
+            // Windowed finishes carry their own (rounded) stamps, all
+            // within [t, t_adv]; clamping to t_adv keeps cascaded events
+            // from ever being scheduled fractionally past the clock.
+            for c in &finishes {
+                self.on_flow_finish(c.tag, (c.at.0 as f64).clamp(t, t_adv));
+            }
+            self.finish_buf = finishes;
+            while let Some(p) = self.heap.peek() {
+                if f64::from_bits(p.at_bits) > t_adv {
+                    break;
+                }
+                let p = self.heap.pop().unwrap();
+                self.complete_part(p.rank, f64::from_bits(p.at_bits));
+            }
+        }
+        RunResult {
+            start: SimTime(0),
+            finished: self
+                .ranks
+                .iter()
+                .map(|r| SimTime(r.finished.unwrap().round() as u64))
+                .collect(),
+        }
+    }
+
+    fn schedule(&mut self, rank: Rank, at_ns: f64) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Pending {
+            at_bits: at_ns.to_bits(),
+            seq,
+            rank,
+        });
+    }
+
+    fn pair_key(&self, src: Rank, dst: Rank) -> u64 {
+        (src * self.n + dst) as u64
+    }
+
+    /// One-way wire latency of the src → dst route in nanoseconds.
+    fn route_latency(&self, src: Rank, dst: Rank) -> f64 {
+        self.topo
+            .route(self.hosts[src], self.hosts[dst])
+            .iter()
+            .map(|tx| self.topo.tx_params[tx.index()].latency_ns)
+            .sum::<u64>() as f64
+    }
+
+    fn issue_current_op(&mut self, rank: Rank, now_ns: f64) {
+        loop {
+            let state = &self.ranks[rank];
+            if state.pc >= state.program.len() {
+                self.ranks[rank].finished = Some(now_ns);
+                self.unfinished -= 1;
+                return;
+            }
+            let op = state.program[state.pc].clone();
+            match op {
+                Op::Transfer { sends, recvs } => {
+                    if sends.is_empty() && recvs.is_empty() {
+                        self.ranks[rank].pc += 1;
+                        continue;
+                    }
+                    let rendezvous = sends
+                        .iter()
+                        .filter(|(_, b)| *b > self.mpi.eager_threshold)
+                        .count();
+                    let cpu_parts = usize::from(!sends.is_empty());
+                    self.ranks[rank].outstanding = cpu_parts + rendezvous + recvs.len();
+                    // Receives post first (instantaneous state change) so a
+                    // sendrecv against the same peer cannot deadlock.
+                    for from in recvs {
+                        assert_ne!(from, rank, "self-receives are local copies");
+                        self.post_recv(from, rank, now_ns);
+                    }
+                    if cpu_parts > 0 {
+                        let cpu_ns = sends.len() as u64 * self.mpi.send_overhead_ns;
+                        self.schedule(rank, now_ns + cpu_ns as f64);
+                    }
+                    for (to, bytes) in sends {
+                        assert_ne!(to, rank, "self-sends are local copies");
+                        self.issue_send(rank, to, bytes, now_ns);
+                    }
+                    return;
+                }
+                Op::Barrier => {
+                    self.ranks[rank].outstanding = 1;
+                    self.barrier_waiting += 1;
+                    if self.barrier_waiting == self.n {
+                        self.barrier_waiting = 0;
+                        for r in 0..self.n {
+                            self.schedule(r, now_ns);
+                        }
+                    }
+                    return;
+                }
+            }
+        }
+    }
+
+    fn issue_send(&mut self, src: Rank, dst: Rank, bytes: u64, now_ns: f64) {
+        let tid = self.transfers.len() as u64;
+        let eager = bytes <= self.mpi.eager_threshold;
+        let mut tr = Transfer {
+            src,
+            dst,
+            bytes,
+            eager,
+            post_ns: f64::NAN,
+            arrival_ns: f64::NAN,
+        };
+        if eager && bytes == 0 {
+            // Zero-byte message: nothing flows; it "arrives" one wire
+            // latency after issue.
+            tr.arrival_ns = now_ns + self.route_latency(src, dst);
+        }
+        // FIFO match against an already-posted receive.
+        let key = self.pair_key(src, dst);
+        let waiting_post = self
+            .pair_queues
+            .get_mut(&key)
+            .and_then(|q| q.recvs.pop_front());
+        if let Some(post) = waiting_post {
+            tr.post_ns = post;
+        } else {
+            self.pair_queues
+                .entry(key)
+                .or_default()
+                .sends
+                .push_back(tid);
+        }
+        let matched = !tr.post_ns.is_nan();
+        let arrival = tr.arrival_ns;
+        self.transfers.push(tr);
+        if eager {
+            if bytes > 0 {
+                self.net
+                    .start_flow(self.hosts[src], self.hosts[dst], bytes, tid);
+            } else if matched {
+                // Arrival already known; the receive can complete.
+                let post = self.transfers[tid as usize].post_ns;
+                self.finish_recv(dst, arrival, post);
+            }
+        } else if matched {
+            // Rendezvous with the receive already posted: flow starts now.
+            self.net
+                .start_flow(self.hosts[src], self.hosts[dst], bytes, tid);
+        }
+    }
+
+    fn post_recv(&mut self, src: Rank, dst: Rank, now_ns: f64) {
+        let key = self.pair_key(src, dst);
+        let waiting_send = self
+            .pair_queues
+            .get_mut(&key)
+            .and_then(|q| q.sends.pop_front());
+        let Some(tid) = waiting_send else {
+            self.pair_queues
+                .entry(key)
+                .or_default()
+                .recvs
+                .push_back(now_ns);
+            return;
+        };
+        let tr = &mut self.transfers[tid as usize];
+        tr.post_ns = now_ns;
+        let (eager, arrival, bytes) = (tr.eager, tr.arrival_ns, tr.bytes);
+        if !eager {
+            // Rendezvous: the late receive releases the data. The flow
+            // starts at the post instant (= max(issue, post)). Rendezvous
+            // payloads are > eager_threshold ≥ 0, never empty.
+            let (s, d) = (tr.src, tr.dst);
+            self.net
+                .start_flow(self.hosts[s], self.hosts[d], bytes, tid);
+        } else if !arrival.is_nan() {
+            // Eager data already arrived and waited as unexpected.
+            self.finish_recv(dst, arrival, now_ns);
+        }
+    }
+
+    /// Schedules the receiver-side completion of a matched message whose
+    /// data arrives at `arrival_ns` and whose receive posted by
+    /// `ready_ns`.
+    fn finish_recv(&mut self, dst: Rank, arrival_ns: f64, ready_ns: f64) {
+        let done = arrival_ns.max(ready_ns) + self.mpi.recv_overhead_ns as f64;
+        self.schedule(dst, done);
+    }
+
+    fn on_flow_finish(&mut self, tid: u64, at_ns: f64) {
+        let lat = {
+            let tr = &self.transfers[tid as usize];
+            self.route_latency(tr.src, tr.dst)
+        };
+        let tr = &mut self.transfers[tid as usize];
+        let arrival = at_ns + lat;
+        tr.arrival_ns = arrival;
+        let (eager, src, dst, post) = (tr.eager, tr.src, tr.dst, tr.post_ns);
+        if !eager {
+            // The blocking rendezvous send completes with the flow.
+            self.complete_part(src, at_ns);
+        }
+        if !post.is_nan() {
+            self.finish_recv(dst, arrival, post);
+        }
+    }
+
+    fn complete_part(&mut self, rank: Rank, now_ns: f64) {
+        let state = &mut self.ranks[rank];
+        debug_assert!(state.outstanding > 0, "completion without a pending op");
+        state.outstanding -= 1;
+        if state.outstanding == 0 {
+            state.pc += 1;
+            self.issue_current_op(rank, now_ns);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alltoall::AllToAllAlgorithm;
+    use simnet::config::{LinkConfig, SimConfig, SwitchConfig};
+    use simnet::topology::TopologyBuilder;
+
+    fn star(n: usize) -> (Topology, Vec<HostId>) {
+        let mut b = TopologyBuilder::new();
+        let hosts = b.add_hosts(n);
+        let sw = b.add_switch(SwitchConfig::lossless_fabric());
+        for &h in &hosts {
+            b.link_host(h, sw, LinkConfig::gigabit_ethernet());
+        }
+        (b.build(&SimConfig::default()).unwrap(), hosts)
+    }
+
+    fn world<'a>(topo: &'a Topology, hosts: &'a [HostId]) -> FluidWorld<'a> {
+        FluidWorld::new(topo, hosts.to_vec(), MpiConfig::default())
+    }
+
+    #[test]
+    fn single_rendezvous_send_spans_the_transfer() {
+        let (topo, hosts) = star(2);
+        let w = world(&topo, &hosts);
+        let r = w.run(vec![vec![Op::send(1, 125_000_000)], vec![Op::recv(0)]]);
+        // 1 s of fluid plus microsecond-scale overheads.
+        let d = r.duration_secs();
+        assert!((d - 1.0).abs() < 1e-3, "duration = {d}");
+        // Sender completes at flow finish; receiver a hair later
+        // (latency + recv overhead).
+        assert!(r.finished[0] < r.finished[1]);
+    }
+
+    #[test]
+    fn eager_send_completes_before_receiver_posts() {
+        let (topo, hosts) = star(2);
+        let w = world(&topo, &hosts);
+        let r = w.run(vec![vec![Op::send(1, 100)], vec![Op::recv(0)]]);
+        assert!(r.finished[0] <= r.finished[1]);
+    }
+
+    #[test]
+    fn barrier_releases_all_ranks_together() {
+        let (topo, hosts) = star(4);
+        let w = world(&topo, &hosts);
+        let r = w.run(vec![
+            vec![Op::send(1, 200_000), Op::Barrier],
+            vec![Op::recv(0), Op::Barrier],
+            vec![Op::Barrier],
+            vec![Op::Barrier],
+        ]);
+        let min = r.finished.iter().min().unwrap();
+        let max = r.finished.iter().max().unwrap();
+        assert!(max.since(*min) < 1_000_000, "all release within 1 ms");
+    }
+
+    #[test]
+    fn all_alltoall_algorithms_complete_fluidly() {
+        for algo in AllToAllAlgorithm::all() {
+            let n = 8;
+            let (topo, hosts) = star(n);
+            let w = world(&topo, &hosts);
+            let r = w.run(algo.programs(n, 64 * 1024));
+            let d = r.duration_secs();
+            // 7 × 64 KiB into each 125 MB/s sink ≈ 3.6 ms minimum.
+            assert!(d > 3.5e-3, "{}: {d}", algo.name());
+            assert!(d < 1.0, "{}: {d}", algo.name());
+        }
+    }
+
+    #[test]
+    fn fluid_run_is_deterministic() {
+        let (topo, hosts) = star(6);
+        let w = world(&topo, &hosts);
+        let progs = AllToAllAlgorithm::DirectExchange.programs(6, 32 * 1024);
+        let a = w.run(progs.clone()).duration_secs();
+        let b = w.run(progs).duration_secs();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fluid_tracks_receiver_bottleneck_for_direct_alltoall() {
+        let n = 8;
+        let (topo, hosts) = star(n);
+        let w = world(&topo, &hosts);
+        let m = 1_000_000u64;
+        let r = w.run(AllToAllAlgorithm::DirectExchangeNonblocking.programs(n, m));
+        let ideal = (n as f64 - 1.0) * m as f64 / 125e6;
+        let d = r.duration_secs();
+        assert!(d >= ideal * 0.999, "{d} vs {ideal}");
+        assert!(d <= ideal * 1.05, "{d} vs {ideal}");
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlock")]
+    fn mismatched_programs_deadlock_with_diagnostic() {
+        let (topo, hosts) = star(2);
+        let w = world(&topo, &hosts);
+        // Rank 0 sends rendezvous-size data, rank 1 never posts a receive.
+        let _ = w.run(vec![vec![Op::send(1, 1_000_000)], vec![]]);
+    }
+
+    #[test]
+    fn zero_byte_sends_complete() {
+        let (topo, hosts) = star(2);
+        let w = world(&topo, &hosts);
+        let r = w.run(vec![vec![Op::send(1, 0)], vec![Op::recv(0)]]);
+        assert!(r.duration_secs() < 1e-3);
+    }
+}

@@ -39,6 +39,7 @@
 pub mod alltoall;
 pub mod collectives;
 pub mod config;
+pub mod fluid;
 pub mod harness;
 pub mod irregular;
 pub mod ops;
@@ -49,6 +50,7 @@ pub mod prelude {
     pub use crate::alltoall::AllToAllAlgorithm;
     pub use crate::collectives::Collective;
     pub use crate::config::MpiConfig;
+    pub use crate::fluid::FluidWorld;
     pub use crate::harness::{alltoall_times, ping_pong, stress_run, PingPongPoint, StressResult};
     pub use crate::irregular::ExchangeMatrix;
     pub use crate::ops::{Op, Rank};

@@ -1,0 +1,173 @@
+//! Property-based tests of the fluid max-min fair-sharing engine:
+//!
+//! * on a randomized single-bottleneck topology (an incast star), the
+//!   simulated completion instants must equal the analytic water-filling
+//!   schedule of max-min fair shares;
+//! * under a randomized flow start/finish churn sequence, simulated time
+//!   must advance monotonically and every serializer slot must conserve
+//!   capacity (sum of flow rates ≤ link capacity at all times), audited
+//!   through the `on_tx_busy` recorder samples the fluid drain emits.
+
+use proptest::prelude::*;
+use simnet::fluid::FluidSim;
+use simnet::obs::Recorder;
+use simnet::prelude::*;
+
+/// `n` hosts around one switch, every link at `bandwidth` bytes/sec.
+fn star(n: usize, bandwidth: f64) -> (Topology, Vec<HostId>) {
+    let mut b = TopologyBuilder::new();
+    let hosts = b.add_hosts(n);
+    let sw = b.add_switch(SwitchConfig::commodity_ethernet());
+    for &h in &hosts {
+        b.link_host(
+            h,
+            sw,
+            LinkConfig {
+                bandwidth_bytes_per_sec: bandwidth,
+                latency_ns: 1_000,
+            },
+        );
+    }
+    let cfg = SimConfig::default();
+    (b.build(&cfg).expect("star builds"), hosts)
+}
+
+/// Recorder that audits capacity conservation: every utilization sample
+/// must fit under its transmitter's line rate (with rounding slack for
+/// the integer-nanosecond sample edges).
+struct CapacityAudit {
+    /// Bytes/sec per transmitter.
+    cap: Vec<f64>,
+    violations: Vec<String>,
+}
+
+impl Recorder for CapacityAudit {
+    fn on_tx_busy(&mut self, tx: u32, from_ns: u64, until_ns: u64, wire_bytes: u64) {
+        let dt_ns = until_ns.saturating_sub(from_ns) as f64;
+        let limit = self.cap[tx as usize] * (dt_ns + 2.0) / 1e9 + 1.0;
+        if wire_bytes as f64 > limit {
+            self.violations.push(format!(
+                "tx {tx}: {wire_bytes} bytes in [{from_ns}, {until_ns}]ns exceeds {limit:.1}"
+            ));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Incast onto one host: the receiver's downlink is the single
+    /// bottleneck, so max-min fair sharing degenerates to the analytic
+    /// water-filling schedule — k active flows each get C/k, and each
+    /// finish lifts the survivors' share. The simulated completion of
+    /// every flow must match that closed form.
+    #[test]
+    fn single_bottleneck_shares_equal_the_analytic_fair_share(
+        sizes_kib in proptest::collection::vec(1u64..16_384, 1..9),
+        cap_mb in 1u64..100,
+    ) {
+        let capacity = cap_mb as f64 * 1e6;
+        let senders = sizes_kib.len();
+        let (topo, hosts) = star(senders + 1, capacity);
+        let mut sim = FluidSim::new(&topo);
+        for (i, &kib) in sizes_kib.iter().enumerate() {
+            sim.start_flow(hosts[i + 1], hosts[0], kib * 1024, i as u64);
+        }
+        let completions = sim.run_to_completion();
+        prop_assert_eq!(completions.len(), senders);
+
+        // Analytic water-filling over the sorted sizes: the j-th finisher
+        // (0-based, b_0 ≤ b_1 ≤ …) completes at
+        //   t_j = t_{j-1} + (b_j − b_{j-1}) · (k − j) / C.
+        let mut sorted: Vec<(usize, u64)> = sizes_kib
+            .iter()
+            .map(|&k| k * 1024)
+            .enumerate()
+            .collect();
+        sorted.sort_by_key(|&(i, b)| (b, i));
+        let mut analytic_ns = vec![0.0f64; senders];
+        let mut t = 0.0f64;
+        let mut prev_bytes = 0.0f64;
+        for (j, &(flow, bytes)) in sorted.iter().enumerate() {
+            let active = (senders - j) as f64;
+            t += (bytes as f64 - prev_bytes) * active / capacity * 1e9;
+            prev_bytes = bytes as f64;
+            analytic_ns[flow] = t;
+        }
+        for c in &completions {
+            let expect = analytic_ns[c.tag as usize];
+            let got = c.at.0 as f64;
+            // Slack: one nanosecond of clock rounding plus the 1-byte
+            // finish-coalescing tolerance at the fair share.
+            let slack = 2.0 + (senders as f64 / capacity) * 1e9 + expect * 1e-9;
+            prop_assert!(
+                (got - expect).abs() <= slack,
+                "flow {}: simulated {got}ns vs analytic {expect}ns (slack {slack}ns)",
+                c.tag
+            );
+        }
+    }
+
+    /// A randomized churn sequence (staggered starts, interleaved
+    /// finishes, random src→dst pairs): the clock never moves backwards,
+    /// completions are reported in non-decreasing order, every flow
+    /// finishes, and no serializer slot ever carries more than its
+    /// capacity (conservation of the max-min shares).
+    #[test]
+    fn churn_keeps_time_monotone_and_conserves_capacity(
+        flows in proptest::collection::vec(
+            (0usize..6, 1usize..6, 1u64..4_096, 0u64..2_000_000),
+            1..12,
+        ),
+        cap_mb in 1u64..100,
+    ) {
+        let capacity = cap_mb as f64 * 1e6;
+        let n = 7;
+        let (topo, hosts) = star(n, capacity);
+        let audit = CapacityAudit {
+            cap: topo.tx_params.iter().map(|tx| 1e9 / tx.ns_per_byte).collect(),
+            violations: Vec::new(),
+        };
+        let mut sim = FluidSim::with_recorder(&topo, audit);
+
+        // Cumulative gaps give a sorted start schedule by construction.
+        let mut at_ns = 0.0f64;
+        let mut started = 0usize;
+        let mut finished = 0usize;
+        let mut last_completion = 0.0f64;
+        let mut buf = Vec::new();
+        for (tag, &(src, dst_off, kib, gap_ns)) in flows.iter().enumerate() {
+            at_ns += gap_ns as f64;
+            let before = sim.now_ns();
+            sim.advance_to(at_ns, &mut buf);
+            prop_assert!(sim.now_ns() >= before, "clock moved backwards");
+            prop_assert!(sim.now_ns() <= at_ns + 1e-6);
+            for c in buf.drain(..) {
+                let t = c.at.0 as f64;
+                prop_assert!(
+                    t + 2.0 >= last_completion,
+                    "completion at {t}ns after one at {last_completion}ns"
+                );
+                last_completion = last_completion.max(t);
+                finished += 1;
+            }
+            let dst = (src + dst_off) % n;
+            sim.start_flow(hosts[src], hosts[dst], kib * 1024, tag as u64);
+            started += 1;
+        }
+        for c in sim.run_to_completion() {
+            let t = c.at.0 as f64;
+            prop_assert!(t + 2.0 >= last_completion);
+            last_completion = last_completion.max(t);
+            finished += 1;
+        }
+        prop_assert_eq!(finished, started, "every flow completes exactly once");
+        prop_assert_eq!(sim.active_flows(), 0);
+        let audit = sim.into_recorder();
+        prop_assert!(
+            audit.violations.is_empty(),
+            "capacity conservation violated: {:?}",
+            audit.violations
+        );
+    }
+}
