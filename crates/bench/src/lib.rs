@@ -143,6 +143,15 @@ pub mod hotpath {
     pub const RECORDER_OVERHEAD_BENCHES: &[&str] =
         &["noop_tcp_8hosts_64KiB", "recording_tcp_8hosts_64KiB"];
 
+    /// Benchmark ids of the `guard_overhead` group: the first hot-path
+    /// case run with no guard installed and with the supervision guard a
+    /// `Session` wires by default (a cancel-flag-only `RunGuard`, polled
+    /// every `GUARD_CHECK_INTERVAL` events). Their ratio is the
+    /// preemption-point tax; the `overhead_gate` binary holds it within
+    /// tolerance in CI.
+    pub const GUARD_OVERHEAD_BENCHES: &[&str] =
+        &["unguarded_tcp_8hosts_64KiB", "guarded_tcp_8hosts_64KiB"];
+
     /// One cell of the `fluid_vs_packet` grid: a full all-to-all (or the
     /// packet baseline of the same workload) whose throughput is reported
     /// in packet-engine event-equivalents (see [`event_equivalents`]).
@@ -211,6 +220,11 @@ pub mod hotpath {
                 RECORDER_OVERHEAD_BENCHES
                     .iter()
                     .map(|b| format!("recorder_overhead/{b}")),
+            )
+            .chain(
+                GUARD_OVERHEAD_BENCHES
+                    .iter()
+                    .map(|b| format!("guard_overhead/{b}")),
             )
             .chain(std::iter::once(format!(
                 "fluid_vs_packet/{FLUID_VS_PACKET_BASELINE}"

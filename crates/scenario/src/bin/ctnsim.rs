@@ -13,10 +13,14 @@
 //!
 //! Exit codes: `0` success, `1` runtime failure (unknown scenario,
 //! invalid spec, simulation or I/O error), `2` usage error (unknown
-//! command, flag or flag value).
+//! command, flag or flag value), `3` partial failure (the run finished
+//! and the report was emitted, but some cells were stopped by a
+//! supervision limit, a deadlock, a panic or a cancellation — see the
+//! report's `status` column).
 
 use contention_scenario::prelude::*;
 use std::process::ExitCode;
+use std::time::Duration;
 
 const USAGE: &str = "ctnsim — contention scenario runner
 
@@ -62,6 +66,17 @@ OPTIONS:
                       it in Perfetto (ui.perfetto.dev) or chrome://tracing
     --reps R          Measured repetitions per cell (override)
     --warmup W        Warm-up repetitions per cell (override)
+    --deadline SECS   Wall-clock ceiling per cell; a cell that exceeds it
+                      is stopped at the engine's next preemption point and
+                      reported with status timed-out while its siblings
+                      finish (exit code 3 marks the partial failure)
+    --event-budget N  Engine-event ceiling per cell (rate recomputations
+                      on the fluid backend); exhausted cells report
+                      status budget-exceeded
+
+Exit codes: 0 success; 1 runtime failure; 2 usage error; 3 partial
+failure — the report was emitted but some cells carry a non-ok status
+(timed-out, budget-exceeded, deadlocked, panicked or cancelled).
 ";
 
 /// Runtime failure (unknown scenario, invalid spec, simulation error).
@@ -91,6 +106,8 @@ struct Options {
     sizes: Option<Vec<u64>>,
     reps: Option<usize>,
     warmup: Option<usize>,
+    deadline: Option<Duration>,
+    event_budget: Option<u64>,
     positional: Vec<String>,
 }
 
@@ -110,6 +127,8 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         sizes: None,
         reps: None,
         warmup: None,
+        deadline: None,
+        event_budget: None,
         positional: Vec::new(),
     };
     let mut it = args.iter();
@@ -181,6 +200,22 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                     value_of("--warmup")?
                         .parse()
                         .map_err(|_| "--warmup expects an integer".to_string())?,
+                )
+            }
+            "--deadline" => {
+                let secs: f64 = value_of("--deadline")?
+                    .parse()
+                    .map_err(|_| "--deadline expects seconds (a positive number)".to_string())?;
+                if !secs.is_finite() || secs <= 0.0 {
+                    return Err("--deadline expects seconds (a positive number)".to_string());
+                }
+                o.deadline = Some(Duration::from_secs_f64(secs));
+            }
+            "--event-budget" => {
+                o.event_budget = Some(
+                    value_of("--event-budget")?
+                        .parse()
+                        .map_err(|_| "--event-budget expects a non-negative integer".to_string())?,
                 )
             }
             flag if flag.starts_with("--") => return Err(format!("unknown option {flag}")),
@@ -269,8 +304,13 @@ fn progress_observer(event: RunEvent<'_>) {
             } else {
                 "-".to_string()
             };
+            let status = if cell.status.is_ok() {
+                String::new()
+            } else {
+                format!(" status={}", cell.status.name())
+            };
             eprintln!(
-                "ctnsim: {scenario}: [{completed}/{total}] n={} m={} mean={:.6}s err={err}",
+                "ctnsim: {scenario}: [{completed}/{total}] n={} m={} mean={:.6}s err={err}{status}",
                 cell.n, cell.message_bytes, cell.mean_secs
             );
         }
@@ -308,6 +348,12 @@ fn run_specs(mut specs: Vec<ScenarioSpec>, options: &Options) -> ExitCode {
     if let Some(workers) = options.workers {
         builder = builder.workers(workers);
     }
+    if let Some(deadline) = options.deadline {
+        builder = builder.deadline(deadline);
+    }
+    if let Some(budget) = options.event_budget {
+        builder = builder.event_budget(budget);
+    }
     let session = match builder.build() {
         Ok(s) => s,
         Err(e) => return fail_usage(e),
@@ -323,6 +369,7 @@ fn run_specs(mut specs: Vec<ScenarioSpec>, options: &Options) -> ExitCode {
                 return fail(e);
             }
             match export_telemetry(options, &session) {
+                Ok(()) if report.has_failures() => ExitCode::from(3),
                 Ok(()) => ExitCode::SUCCESS,
                 Err(e) => fail(e),
             }

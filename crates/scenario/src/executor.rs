@@ -40,10 +40,13 @@ use contention_model::metrics::estimation_error_percent;
 use contention_model::saturation::SaturationModel;
 use contention_model::signature::ContentionSignature;
 use simmpi::harness::ping_pong;
-use simmpi::world::World;
+use simmpi::world::{RunInterrupt, World};
+use simnet::guard::{GuardStop, RunGuard};
 use simnet::obs::{EngineRecorder, EngineTelemetry, NoopRecorder, Recorder, TelemetryConfig};
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{mpsc, Mutex, OnceLock};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Which completion-time predictor fills the `model_secs` column.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -81,7 +84,224 @@ impl ModelKind {
     }
 }
 
-/// Executor configuration: the policy triple a
+/// Per-cell supervision limits. The default is **unlimited**: no limit
+/// is checked, every run behaves (and renders) exactly as an
+/// unsupervised one — which is what keeps the goldens byte-identical.
+///
+/// Each limit covers one whole cell — warmup plus every measured
+/// repetition — and a tripped limit stops that cell only; the rest of
+/// the batch completes and the report carries the stopped cell as a
+/// status row (see [`CellStatus`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct GuardLimits {
+    /// Wall-clock ceiling per cell.
+    pub deadline: Option<Duration>,
+    /// Engine-event budget per cell (rate recomputations in the fluid
+    /// tier).
+    pub event_budget: Option<u64>,
+    /// Simulated-time ceiling per cell.
+    pub sim_horizon: Option<Duration>,
+}
+
+impl GuardLimits {
+    /// True when no limit is set (the default).
+    pub fn is_unlimited(&self) -> bool {
+        self.deadline.is_none() && self.event_budget.is_none() && self.sim_horizon.is_none()
+    }
+
+    /// The engine guard for one cell. The deadline is anchored at the
+    /// call (`now + deadline`), so build the guard when the cell starts.
+    /// The session's cancellation flag is always wired in — that is what
+    /// makes cancellation preempt a cell *mid-run* at the engine's check
+    /// points instead of only between cells.
+    fn guard(&self, cancel: &CancelToken) -> RunGuard {
+        let mut guard = RunGuard::unlimited().with_cancel_flag(cancel.flag());
+        if let Some(deadline) = self.deadline {
+            guard = guard.with_deadline(Instant::now() + deadline);
+        }
+        if let Some(budget) = self.event_budget {
+            guard = guard.with_event_budget(budget);
+        }
+        if let Some(horizon) = self.sim_horizon {
+            guard = guard.with_horizon_ns(horizon.as_nanos().min(u64::MAX as u128) as u64);
+        }
+        guard
+    }
+
+    /// Provenance string for a tripped wall-clock deadline.
+    fn deadline_limit(&self) -> String {
+        match self.deadline {
+            Some(d) => format!("wall-clock deadline {d:?}"),
+            None => "wall-clock deadline".to_string(),
+        }
+    }
+
+    /// Maps an engine interruption to the cell status it reports,
+    /// attaching the limit that stopped the cell as provenance.
+    fn status_of(&self, interrupt: RunInterrupt) -> CellStatus {
+        match interrupt {
+            RunInterrupt::Guard(GuardStop::Deadline) => CellStatus::TimedOut {
+                limit: self.deadline_limit(),
+            },
+            RunInterrupt::Guard(GuardStop::Horizon { horizon_ns }) => CellStatus::TimedOut {
+                limit: format!("simulated-time horizon {horizon_ns} ns"),
+            },
+            RunInterrupt::Guard(GuardStop::Budget { budget }) => {
+                CellStatus::BudgetExceeded { budget }
+            }
+            RunInterrupt::Guard(GuardStop::Cancelled) => CellStatus::Cancelled,
+            RunInterrupt::Deadlocked { detail, .. } => CellStatus::Deadlocked { detail },
+        }
+    }
+}
+
+/// Terminal status of one grid cell under supervision.
+///
+/// `Ok` rows carry measurements. Every other status marks a cell the
+/// supervision layer stopped: its measurement columns are `NaN` (CSV
+/// renders them as `NaN`, JSON as `null`, text as `-`) and the variant
+/// carries the limit or diagnostic that stopped it. A report containing
+/// any non-`Ok` row renders under schema v2, which adds the `status` /
+/// `status_detail` columns.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum CellStatus {
+    /// The cell ran to completion.
+    #[default]
+    Ok,
+    /// A wall-clock deadline or simulated-time horizon stopped the cell.
+    TimedOut {
+        /// The limit that tripped, with its configured value.
+        limit: String,
+    },
+    /// The event budget (packet tier) or rate-recompute budget (fluid
+    /// tier) ran out.
+    BudgetExceeded {
+        /// The exhausted budget.
+        budget: u64,
+    },
+    /// The engine stalled: unfinished ranks, but no pending event, timer
+    /// or flow that could ever unblock them (e.g. the GM transport's
+    /// tail-dropped data on a finite-buffer switch — GM never
+    /// retransmits).
+    Deadlocked {
+        /// The stall detector's blocked-rank/connection diagnostic.
+        detail: String,
+    },
+    /// The cell's worker panicked; the panic was isolated to this cell
+    /// and the rest of the batch completed.
+    Panicked {
+        /// The panic payload, when it carried a message.
+        detail: String,
+    },
+    /// The run was cancelled before or while this cell executed.
+    Cancelled,
+}
+
+impl CellStatus {
+    /// True for a cell that ran to completion.
+    pub fn is_ok(&self) -> bool {
+        matches!(self, CellStatus::Ok)
+    }
+
+    /// The stable kebab-case name rendered in reports and metrics.
+    pub fn name(&self) -> &'static str {
+        match self {
+            CellStatus::Ok => "ok",
+            CellStatus::TimedOut { .. } => "timed-out",
+            CellStatus::BudgetExceeded { .. } => "budget-exceeded",
+            CellStatus::Deadlocked { .. } => "deadlocked",
+            CellStatus::Panicked { .. } => "panicked",
+            CellStatus::Cancelled => "cancelled",
+        }
+    }
+
+    /// The status's provenance or diagnostic (empty for `Ok` and
+    /// `Cancelled`, which need none).
+    pub fn detail(&self) -> String {
+        match self {
+            CellStatus::Ok | CellStatus::Cancelled => String::new(),
+            CellStatus::TimedOut { limit } => limit.clone(),
+            CellStatus::BudgetExceeded { budget } => format!("event budget {budget}"),
+            CellStatus::Deadlocked { detail } | CellStatus::Panicked { detail } => detail.clone(),
+        }
+    }
+}
+
+/// What a [`FaultPlan`] injects into one cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Fault {
+    /// Panic inside the per-cell isolation boundary.
+    Panic,
+    /// Park the worker until the cell's deadline or the session's
+    /// cancellation fires (a stall under no limit stalls for real —
+    /// that is what a stall means; supervised tests always set one).
+    Stall,
+    /// Sleep before running the cell normally: wall-clock noise only,
+    /// the simulated results stay byte-identical.
+    Slow(Duration),
+}
+
+/// Deterministic, test-only fault injection for the supervision layer.
+///
+/// A plan maps `(scenario, n, message_bytes)` cells to faults; the
+/// executor's worker consults it just before simulating each cell.
+/// Untouched cells run exactly as without a plan — injection happens
+/// outside the engine, so it can never perturb a cell it does not name.
+/// Install a plan with
+/// [`SessionBuilder::inject_faults`](crate::session::SessionBuilder::inject_faults).
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    faults: HashMap<(String, usize, u64), Fault>,
+}
+
+impl FaultPlan {
+    /// An empty plan (injects nothing).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// True when the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Panics the named cell's worker (surfaces as status `panicked`).
+    pub fn panic_cell(mut self, scenario: &str, n: usize, message_bytes: u64) -> Self {
+        self.faults
+            .insert((scenario.to_string(), n, message_bytes), Fault::Panic);
+        self
+    }
+
+    /// Stalls the named cell until its deadline or a cancellation fires
+    /// (surfaces as status `timed-out` or `cancelled`).
+    pub fn stall_cell(mut self, scenario: &str, n: usize, message_bytes: u64) -> Self {
+        self.faults
+            .insert((scenario.to_string(), n, message_bytes), Fault::Stall);
+        self
+    }
+
+    /// Delays the named cell by `delay` before running it normally (the
+    /// cell still reports `ok` with byte-identical measurements).
+    pub fn slow_cell(
+        mut self,
+        scenario: &str,
+        n: usize,
+        message_bytes: u64,
+        delay: Duration,
+    ) -> Self {
+        self.faults
+            .insert((scenario.to_string(), n, message_bytes), Fault::Slow(delay));
+        self
+    }
+
+    fn fault_for(&self, scenario: &str, n: usize, message_bytes: u64) -> Option<Fault> {
+        self.faults
+            .get(&(scenario.to_string(), n, message_bytes))
+            .copied()
+    }
+}
+
+/// Executor configuration: the policy a
 /// [`Session`](crate::session::Session) is built around.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BatchConfig {
@@ -91,6 +311,8 @@ pub struct BatchConfig {
     pub base_seed: u64,
     /// Predictor behind the `model_secs` / `error_percent` columns.
     pub model: ModelKind,
+    /// Per-cell supervision limits (default unlimited).
+    pub limits: GuardLimits,
 }
 
 impl Default for BatchConfig {
@@ -99,6 +321,7 @@ impl Default for BatchConfig {
             workers: contention_lab::runner::default_workers(),
             base_seed: 42,
             model: ModelKind::Med,
+            limits: GuardLimits::default(),
         }
     }
 }
@@ -129,6 +352,9 @@ pub struct CellResult {
     pub model_secs: f64,
     /// The paper's estimation error `(measured/estimated − 1)·100`.
     pub error_percent: f64,
+    /// Terminal status under supervision; non-`Ok` rows carry `NaN`
+    /// measurements and the limit or diagnostic that stopped them.
+    pub status: CellStatus,
 }
 
 /// A whole scenario's results plus its calibration.
@@ -357,28 +583,54 @@ impl ModelCtx {
     }
 }
 
+/// The report row of a cell the supervision layer stopped: coordinates
+/// and status only, `NaN` measurements.
+fn stopped_cell(spec: &ScenarioSpec, cell: &Cell, status: CellStatus) -> CellResult {
+    CellResult {
+        scenario: spec.name.clone(),
+        workload: spec.workload.kind().to_string(),
+        topology: spec.topology.kind().to_string(),
+        n: cell.n,
+        message_bytes: cell.message_bytes,
+        cell_seed: cell.seed,
+        mean_secs: f64::NAN,
+        min_secs: f64::NAN,
+        max_secs: f64::NAN,
+        model_secs: f64::NAN,
+        error_percent: f64::NAN,
+        status,
+    }
+}
+
 /// Simulates one cell, dispatching on the spec's backend and on whether
 /// telemetry is wanted. The packet/`None` arm runs the no-op recorder —
 /// the exact engine the goldens pin — and both telemetry arms produce
-/// byte-identical [`CellResult`]s.
+/// byte-identical [`CellResult`]s. A cell an engine guard stops (or the
+/// stall detector flags) comes back as `Ok` with a non-`Ok`
+/// [`CellStatus`]; `Err` is reserved for hard failures (invalid builds),
+/// which still fail the whole run.
 fn run_cell(
     spec: &ScenarioSpec,
     cell: &Cell,
     hockney: &HockneyParams,
     ctx: &ModelCtx,
     telemetry: Option<&TelemetryConfig>,
+    limits: &GuardLimits,
+    cancel: &CancelToken,
 ) -> Result<(CellResult, Option<EngineTelemetry>), CtnError> {
     if spec.backend == Backend::Fluid {
-        return run_cell_fluid(spec, cell, hockney, ctx, telemetry);
+        return run_cell_fluid(spec, cell, hockney, ctx, telemetry, limits, cancel);
     }
     match telemetry {
         None => {
-            let (result, _world) = run_cell_in(spec, cell, hockney, ctx, NoopRecorder)?;
+            let (result, _world) =
+                run_cell_in(spec, cell, hockney, ctx, NoopRecorder, limits, cancel)?;
             Ok((result, None))
         }
         Some(cfg) => {
             let recorder = EngineRecorder::new(cfg.clone());
-            let (result, mut world) = run_cell_in(spec, cell, hockney, ctx, recorder)?;
+            let (result, mut world) =
+                run_cell_in(spec, cell, hockney, ctx, recorder, limits, cancel)?;
             let engine = world.sim_mut().recorder_mut().take_telemetry();
             Ok((result, Some(engine)))
         }
@@ -398,16 +650,29 @@ fn run_cell_fluid(
     hockney: &HockneyParams,
     ctx: &ModelCtx,
     telemetry: Option<&TelemetryConfig>,
+    limits: &GuardLimits,
+    cancel: &CancelToken,
 ) -> Result<(CellResult, Option<EngineTelemetry>), CtnError> {
     let (topo, hosts, mpi) = topology::build_fluid_fabric(spec, cell.n, cell.seed)
         .map_err(|e| CtnError::execution(&spec.name, spec_error_detail(e)))?;
     let world = simmpi::FluidWorld::new(&topo, hosts, mpi);
     let programs = workload::programs(&spec.workload, cell.n, cell.message_bytes, cell.seed);
-    let (result, engine) = match telemetry {
-        None => (world.run(programs), None),
+    let guard = limits.guard(cancel);
+    let (outcome, engine) = match telemetry {
+        None => (world.try_run(programs, guard), None),
         Some(cfg) => {
-            let (result, mut recorder) = world.run_with(programs, EngineRecorder::new(cfg.clone()));
-            (result, Some(recorder.take_telemetry()))
+            let (outcome, mut recorder) =
+                world.try_run_with(programs, EngineRecorder::new(cfg.clone()), guard);
+            (outcome, Some(recorder.take_telemetry()))
+        }
+    };
+    let result = match outcome {
+        Ok(r) => r,
+        Err(interrupt) => {
+            return Ok((
+                stopped_cell(spec, cell, limits.status_of(interrupt)),
+                engine,
+            ));
         }
     };
     let secs = result.duration_secs();
@@ -431,6 +696,7 @@ fn run_cell_fluid(
         max_secs: secs,
         model_secs: model,
         error_percent: estimation_error_percent(secs, model),
+        status: CellStatus::Ok,
     };
     Ok((result, engine))
 }
@@ -441,16 +707,37 @@ fn run_cell_in<R: Recorder>(
     hockney: &HockneyParams,
     ctx: &ModelCtx,
     recorder: R,
+    limits: &GuardLimits,
+    cancel: &CancelToken,
 ) -> Result<(CellResult, World<R>), CtnError> {
     let mut world = topology::build_world_with(spec, cell.n, cell.seed, recorder)
         .map_err(|e| CtnError::execution(&spec.name, spec_error_detail(e)))?;
+    // One guard installation spans the whole cell: budgets and the
+    // horizon accumulate across warmup and every repetition.
+    world.sim_mut().set_guard(limits.guard(cancel));
     let programs = workload::programs(&spec.workload, cell.n, cell.message_bytes, cell.seed);
+    let mut interrupted = None;
     for _ in 0..spec.sweep.warmup {
-        let _ = world.run(programs.clone());
+        if let Err(i) = world.try_run(programs.clone()) {
+            interrupted = Some(i);
+            break;
+        }
     }
-    let times: Vec<f64> = (0..spec.sweep.reps)
-        .map(|_| world.run(programs.clone()).duration_secs())
-        .collect();
+    let mut times: Vec<f64> = Vec::with_capacity(spec.sweep.reps);
+    if interrupted.is_none() {
+        for _ in 0..spec.sweep.reps {
+            match world.try_run(programs.clone()) {
+                Ok(r) => times.push(r.duration_secs()),
+                Err(i) => {
+                    interrupted = Some(i);
+                    break;
+                }
+            }
+        }
+    }
+    if let Some(interrupt) = interrupted {
+        return Ok((stopped_cell(spec, cell, limits.status_of(interrupt)), world));
+    }
     let mean = times.iter().sum::<f64>() / times.len() as f64;
     let min = times.iter().cloned().fold(f64::INFINITY, f64::min);
     let max = times.iter().cloned().fold(0.0f64, f64::max);
@@ -474,8 +761,50 @@ fn run_cell_in<R: Recorder>(
         max_secs: max,
         model_secs: model,
         error_percent: estimation_error_percent(mean, model),
+        status: CellStatus::Ok,
     };
     Ok((result, world))
+}
+
+/// The injected-stall cell body: parks the worker until the cell's
+/// deadline or the session's cancellation fires, then reports the
+/// corresponding status — the analogue of host-side code hanging
+/// *outside* the engine, where no event-loop preemption point can reach.
+fn stalled_cell(
+    spec: &ScenarioSpec,
+    cell: &Cell,
+    limits: &GuardLimits,
+    cancel: &CancelToken,
+) -> CellResult {
+    let deadline = limits.deadline.map(|d| Instant::now() + d);
+    loop {
+        if cancel.is_cancelled() {
+            return stopped_cell(spec, cell, CellStatus::Cancelled);
+        }
+        if let Some(deadline) = deadline {
+            if Instant::now() >= deadline {
+                return stopped_cell(
+                    spec,
+                    cell,
+                    CellStatus::TimedOut {
+                        limit: limits.deadline_limit(),
+                    },
+                );
+            }
+        }
+        std::thread::sleep(Duration::from_micros(200));
+    }
+}
+
+/// Extracts a human-readable message from a caught panic payload.
+fn panic_detail(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 /// One worker's report of one simulated cell: the measurement plus the
@@ -496,6 +825,14 @@ struct CellReport {
 /// thread, in completion order) as results land, and reassembles batches
 /// in deterministic nodes-major order.
 ///
+/// Supervision: each cell runs under `cfg.limits` (engine guard) inside
+/// a `catch_unwind` isolation boundary, so a cell that times out,
+/// exhausts its budget, deadlocks, panics or is cancelled becomes a
+/// status row in its batch while its siblings complete normally. Hard
+/// failures (invalid builds, calibration errors) still fail the whole
+/// run with a [`CtnError`]; a run cancelled before anything started
+/// still returns [`CtnError::Cancelled`].
+///
 /// Alongside the batches it returns the run's [`SessionMetrics`] — wall
 /// clock, worker occupancy, cache-counter deltas and per-cell spans are
 /// always collected; per-cell engine telemetry is attached only when
@@ -508,6 +845,7 @@ pub(crate) fn execute(
     cfg: &BatchConfig,
     cache: &CalibrationCache,
     telemetry: Option<&TelemetryConfig>,
+    faults: Option<&FaultPlan>,
     observer: &mut dyn FnMut(RunEvent<'_>),
     cancel: &CancelToken,
 ) -> Result<(Vec<BatchResult>, SessionMetrics), CtnError> {
@@ -629,14 +967,56 @@ pub(crate) fn execute(
                 }
                 let cell = queue.lock().expect("queue lock").pop();
                 let Some(cell) = cell else { break };
+                let spec = &specs[cell.spec_idx];
                 let start_secs = run_start.elapsed().as_secs_f64();
-                let outcome = run_cell(
-                    &specs[cell.spec_idx],
-                    &cell,
-                    &hockneys[cell.spec_idx],
-                    &ctxs[cell.spec_idx],
-                    telemetry,
-                );
+                let fault =
+                    faults.and_then(|f| f.fault_for(&spec.name, cell.n, cell.message_bytes));
+                // Panic isolation: a panicking cell (injected or real)
+                // becomes a `panicked` status row; its siblings keep
+                // running on the surviving workers.
+                let caught = catch_unwind(AssertUnwindSafe(|| match fault {
+                    Some(Fault::Panic) => panic!(
+                        "injected fault: forced panic in cell {} n={} m={}",
+                        spec.name, cell.n, cell.message_bytes
+                    ),
+                    Some(Fault::Stall) => {
+                        Ok((stalled_cell(spec, &cell, &cfg.limits, cancel), None))
+                    }
+                    Some(Fault::Slow(delay)) => {
+                        std::thread::sleep(delay);
+                        run_cell(
+                            spec,
+                            &cell,
+                            &hockneys[cell.spec_idx],
+                            &ctxs[cell.spec_idx],
+                            telemetry,
+                            &cfg.limits,
+                            cancel,
+                        )
+                    }
+                    None => run_cell(
+                        spec,
+                        &cell,
+                        &hockneys[cell.spec_idx],
+                        &ctxs[cell.spec_idx],
+                        telemetry,
+                        &cfg.limits,
+                        cancel,
+                    ),
+                }));
+                let outcome = match caught {
+                    Ok(outcome) => outcome,
+                    Err(payload) => Ok((
+                        stopped_cell(
+                            spec,
+                            &cell,
+                            CellStatus::Panicked {
+                                detail: panic_detail(payload.as_ref()),
+                            },
+                        ),
+                        None,
+                    )),
+                };
                 let report = CellReport {
                     spec_idx: cell.spec_idx,
                     flat_idx: cell.flat_idx,
@@ -671,6 +1051,7 @@ pub(crate) fn execute(
                         schedule_index: report.schedule_index,
                         start_secs: report.start_secs,
                         wall_secs: report.wall_secs,
+                        status: cell.status.name().to_string(),
                         engine,
                     };
                     observer(RunEvent::CellFinished {
@@ -688,8 +1069,9 @@ pub(crate) fn execute(
                 }
             }
             if completed[spec_idx] == grid_sizes[spec_idx] {
-                // Every cell of this scenario succeeded: assemble the
-                // batch in grid order and announce it.
+                // Every cell of this scenario produced a row (measured
+                // or status): assemble the batch in grid order and
+                // announce it.
                 let cells: Vec<CellResult> = slots[spec_idx]
                     .iter_mut()
                     .map(|s| {
@@ -712,17 +1094,59 @@ pub(crate) fn execute(
         }
     });
 
-    // Surface the first failure in deterministic grid order.
+    // Hard failures (invalid builds, calibration errors surfacing at
+    // cell level) still fail the whole run, in deterministic grid order.
+    // By this point assembled batches have already taken their slots, so
+    // only incomplete batches' slots remain.
     for spec_slots in &mut slots {
         for slot in spec_slots.iter_mut() {
-            if let Some(Err(e)) = slot.take() {
-                return Err(e);
+            if matches!(slot, Some(Err(_))) {
+                match slot.take() {
+                    Some(Err(e)) => return Err(e),
+                    _ => unreachable!("just matched an Err slot"),
+                }
             }
         }
     }
     if received < total {
+        // Only a mid-run cancellation leaves cells unpopped (a run
+        // cancelled before anything started returned CtnError::Cancelled
+        // above). The unstarted cells become `cancelled` status rows so
+        // the partial-failure report still covers the full grid.
         debug_assert!(cancel.is_cancelled(), "only cancellation drops cells");
-        return Err(CtnError::Cancelled);
+        for (spec_idx, spec) in specs.iter().enumerate() {
+            if batches[spec_idx].is_some() {
+                continue;
+            }
+            let sizes = spec.sweep.message_bytes.len();
+            let cells: Vec<CellResult> = slots[spec_idx]
+                .iter_mut()
+                .enumerate()
+                .map(|(i, slot)| match slot.take() {
+                    Some(Ok(cell)) => cell,
+                    Some(Err(_)) => unreachable!("hard failures returned above"),
+                    None => {
+                        let n = spec.sweep.nodes[i / sizes];
+                        let m = spec.sweep.message_bytes[i % sizes];
+                        let cell = Cell {
+                            spec_idx,
+                            flat_idx: offsets[spec_idx] + i,
+                            schedule_index: 0,
+                            n,
+                            message_bytes: m,
+                            seed: cell_seed(&spec.name, cfg.base_seed, n, m),
+                        };
+                        stopped_cell(spec, &cell, CellStatus::Cancelled)
+                    }
+                })
+                .collect();
+            batches[spec_idx] = Some(BatchResult {
+                scenario: spec.name.clone(),
+                alpha_secs: hockneys[spec_idx].alpha_secs,
+                beta_secs_per_byte: hockneys[spec_idx].beta_secs_per_byte,
+                cells,
+            });
+        }
     }
     let batches = batches
         .into_iter()
@@ -784,6 +1208,7 @@ pub fn run_batches(
         specs,
         cfg,
         legacy_cache(),
+        None,
         None,
         &mut ignore,
         &CancelToken::new(),
@@ -867,6 +1292,7 @@ mod tests {
                 workers: 2,
                 base_seed: 123,
                 model: ModelKind::Med,
+                limits: GuardLimits::default(),
             },
         )
         .unwrap()

@@ -72,10 +72,12 @@ pub mod workload;
 pub mod prelude {
     pub use crate::builder::ScenarioBuilder;
     pub use crate::error::CtnError;
-    pub use crate::executor::{BatchConfig, BatchResult, CellResult, ModelKind};
+    pub use crate::executor::{
+        BatchConfig, BatchResult, CellResult, CellStatus, FaultPlan, GuardLimits, ModelKind,
+    };
     pub use crate::metrics::{CacheStats, CellMetrics, SessionMetrics, WorkerMetrics};
     pub use crate::registry;
-    pub use crate::report::{Report, ReportFormat, SCHEMA_VERSION};
+    pub use crate::report::{Report, ReportFormat, SCHEMA_VERSION, SUPERVISED_SCHEMA_VERSION};
     pub use crate::session::{
         CalibrationCache, CancelToken, RunEvent, RunObserver, Session, SessionBuilder,
     };

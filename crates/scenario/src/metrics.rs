@@ -83,6 +83,10 @@ pub struct CellMetrics {
     pub start_secs: f64,
     /// Wall-clock duration of the cell (warmup + measured reps).
     pub wall_secs: f64,
+    /// Terminal status name (`ok`, `timed-out`, `budget-exceeded`,
+    /// `deadlocked`, `panicked`, `cancelled`) — the supervision outcome
+    /// of the cell this telemetry describes.
+    pub status: String,
     /// Engine telemetry, present when the session records telemetry.
     pub engine: Option<EngineTelemetry>,
 }
@@ -245,9 +249,10 @@ fn render_cell_json(c: &CellMetrics) -> String {
         c.n, c.message_bytes, c.worker, c.schedule_index
     ));
     out.push_str(&format!(
-        "\"start_secs\": {}, \"wall_secs\": {}, ",
+        "\"start_secs\": {}, \"wall_secs\": {}, \"status\": {}, ",
         json::number(c.start_secs),
-        json::number(c.wall_secs)
+        json::number(c.wall_secs),
+        json::string(&c.status)
     ));
     out.push_str("\"engine\": ");
     match &c.engine {
@@ -393,6 +398,7 @@ mod tests {
                 schedule_index: 0,
                 start_secs: 0.1,
                 wall_secs: 1.2,
+                status: "ok".to_string(),
                 engine,
             }],
         }
@@ -428,6 +434,7 @@ mod tests {
         assert!(doc.contains(r#""scenario": "quote\"me""#));
         assert!(doc.contains("\"metrics_schema_version\": 1"));
         assert!(doc.contains("\"hit_rate\": 0.75"));
+        assert!(doc.contains(r#""status": "ok""#));
         assert!(doc.contains("[1000, 990, 1500]"), "sample triplet: {doc}");
         assert!(doc.contains(r#""kind": "timeout""#));
     }

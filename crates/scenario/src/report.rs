@@ -15,12 +15,26 @@
 //!   model_secs, error_percent` (unchanged from the pre-session emitters,
 //!   which carried no version stamp); JSON gained the top-level
 //!   `schema_version` / `scenarios` envelope.
+//! * **2** — the supervised schema: CSV appends `status, status_detail`
+//!   columns, JSON cells gain `status` / `status_detail` fields, text
+//!   gains a status column. A report renders under v2 only when
+//!   supervision is in play — the session configured limits, or some
+//!   cell carries a non-`Ok` [`CellStatus`](crate::executor::CellStatus)
+//!   — so unsupervised output stays byte-identical to v1. Stopped cells'
+//!   measurement columns are `NaN` in CSV, `null` in JSON and `-` in
+//!   text.
 
 use crate::executor::BatchResult;
 use std::fmt::Write as _;
 
-/// The schema version stamped on every [`Report`] this build produces.
+/// The schema version stamped on every unsupervised [`Report`] this
+/// build produces.
 pub const SCHEMA_VERSION: u32 = 1;
+
+/// The schema version stamped on supervised reports (limits configured
+/// or some cell stopped): the v1 columns plus `status` /
+/// `status_detail`.
+pub const SUPERVISED_SCHEMA_VERSION: u32 = 2;
 
 /// How a [`Report`] is rendered.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -69,10 +83,31 @@ pub struct Report {
 }
 
 impl Report {
-    /// Wraps batch results under the current [`SCHEMA_VERSION`].
+    /// Wraps batch results, stamping [`SCHEMA_VERSION`] when every cell
+    /// is `Ok` and [`SUPERVISED_SCHEMA_VERSION`] when any cell carries a
+    /// non-`Ok` status (its row needs the status columns to be
+    /// readable).
     pub fn new(batches: Vec<BatchResult>) -> Self {
+        let schema_version = if batches
+            .iter()
+            .any(|b| b.cells.iter().any(|c| !c.status.is_ok()))
+        {
+            SUPERVISED_SCHEMA_VERSION
+        } else {
+            SCHEMA_VERSION
+        };
         Self {
-            schema_version: SCHEMA_VERSION,
+            schema_version,
+            batches,
+        }
+    }
+
+    /// Wraps batch results under [`SUPERVISED_SCHEMA_VERSION`]
+    /// unconditionally — for sessions with supervision limits, where the
+    /// status columns belong in the output even when every cell passed.
+    pub fn supervised(batches: Vec<BatchResult>) -> Self {
+        Self {
+            schema_version: SUPERVISED_SCHEMA_VERSION,
             batches,
         }
     }
@@ -82,13 +117,24 @@ impl Report {
         self.batches.iter().map(|b| b.cells.len()).sum()
     }
 
+    /// True when any cell was stopped by the supervision layer (status
+    /// other than `Ok`) — the CLI's partial-failure exit code keys off
+    /// this.
+    pub fn has_failures(&self) -> bool {
+        self.batches
+            .iter()
+            .any(|b| b.cells.iter().any(|c| !c.status.is_ok()))
+    }
+
     /// Renders the report; the single emission path every consumer
-    /// (CLI, files, embedders) shares.
+    /// (CLI, files, embedders) shares. Reports stamped with the
+    /// supervised schema render the extra status columns.
     pub fn render(&self, format: ReportFormat) -> String {
+        let supervised = self.schema_version >= SUPERVISED_SCHEMA_VERSION;
         match format {
-            ReportFormat::Csv => csv_of(&self.batches),
-            ReportFormat::Json => json_of(self.schema_version, &self.batches),
-            ReportFormat::Text => text_of(self.schema_version, &self.batches),
+            ReportFormat::Csv => csv_of(&self.batches, supervised),
+            ReportFormat::Json => json_of(self.schema_version, &self.batches, supervised),
+            ReportFormat::Text => text_of(self.schema_version, &self.batches, supervised),
         }
     }
 }
@@ -104,13 +150,18 @@ fn csv_field(s: &str) -> String {
     }
 }
 
-fn csv_of(results: &[BatchResult]) -> String {
+fn csv_of(results: &[BatchResult], supervised: bool) -> String {
     let mut out = String::from(
-        "scenario,topology,workload,n,message_bytes,cell_seed,mean_secs,min_secs,max_secs,model_secs,error_percent\n",
+        "scenario,topology,workload,n,message_bytes,cell_seed,mean_secs,min_secs,max_secs,model_secs,error_percent",
     );
+    out.push_str(if supervised {
+        ",status,status_detail\n"
+    } else {
+        "\n"
+    });
     for batch in results {
         for c in &batch.cells {
-            let _ = writeln!(
+            let _ = write!(
                 out,
                 "{},{},{},{},{},{},{},{},{},{},{}",
                 csv_field(&c.scenario),
@@ -125,6 +176,15 @@ fn csv_of(results: &[BatchResult]) -> String {
                 c.model_secs,
                 c.error_percent
             );
+            if supervised {
+                let _ = write!(
+                    out,
+                    ",{},{}",
+                    c.status.name(),
+                    csv_field(&c.status.detail())
+                );
+            }
+            out.push('\n');
         }
     }
     out
@@ -159,7 +219,7 @@ fn json_f64(v: f64) -> String {
     }
 }
 
-fn json_of(schema_version: u32, results: &[BatchResult]) -> String {
+fn json_of(schema_version: u32, results: &[BatchResult], supervised: bool) -> String {
     let mut out = format!("{{\n\"schema_version\": {schema_version},\n\"scenarios\": [\n");
     for (bi, batch) in results.iter().enumerate() {
         let _ = writeln!(
@@ -170,11 +230,20 @@ fn json_of(schema_version: u32, results: &[BatchResult]) -> String {
             json_f64(batch.beta_secs_per_byte)
         );
         for (ci, c) in batch.cells.iter().enumerate() {
+            let status = if supervised {
+                format!(
+                    ", \"status\": {}, \"status_detail\": {}",
+                    json_str(c.status.name()),
+                    json_str(&c.status.detail())
+                )
+            } else {
+                String::new()
+            };
             let _ = writeln!(
                 out,
                 "    {{\"topology\": {}, \"workload\": {}, \"n\": {}, \"message_bytes\": {}, \
                  \"cell_seed\": {}, \"mean_secs\": {}, \"min_secs\": {}, \"max_secs\": {}, \
-                 \"model_secs\": {}, \"error_percent\": {}}}{}",
+                 \"model_secs\": {}, \"error_percent\": {}{}}}{}",
                 json_str(&c.topology),
                 json_str(&c.workload),
                 c.n,
@@ -185,6 +254,7 @@ fn json_of(schema_version: u32, results: &[BatchResult]) -> String {
                 json_f64(c.max_secs),
                 json_f64(c.model_secs),
                 json_f64(c.error_percent),
+                status,
                 if ci + 1 < batch.cells.len() { "," } else { "" }
             );
         }
@@ -208,7 +278,7 @@ fn text_secs(v: f64) -> String {
     }
 }
 
-fn text_of(schema_version: u32, results: &[BatchResult]) -> String {
+fn text_of(schema_version: u32, results: &[BatchResult], supervised: bool) -> String {
     let mut out = format!("report v{schema_version}\n");
     for batch in results {
         let _ = writeln!(
@@ -216,18 +286,22 @@ fn text_of(schema_version: u32, results: &[BatchResult]) -> String {
             "\n== {} (alpha = {} s, beta = {} s/B) ==",
             batch.scenario, batch.alpha_secs, batch.beta_secs_per_byte
         );
-        let _ = writeln!(
+        let _ = write!(
             out,
             "{:>6} {:>12} {:>12} {:>12} {:>12} {:>8}",
             "n", "bytes", "mean_s", "model_s", "min..max_s", "err%"
         );
+        if supervised {
+            let _ = write!(out, " {:<15}", "status");
+        }
+        out.push('\n');
         for c in &batch.cells {
             let range = if c.min_secs.is_finite() && c.max_secs.is_finite() {
                 format!("{:.4}..{:.4}", c.min_secs, c.max_secs)
             } else {
                 "-".to_string()
             };
-            let _ = writeln!(
+            let _ = write!(
                 out,
                 "{:>6} {:>12} {:>12} {:>12} {:>12} {:>8}",
                 c.n,
@@ -241,6 +315,10 @@ fn text_of(schema_version: u32, results: &[BatchResult]) -> String {
                     "-".to_string()
                 }
             );
+            if supervised {
+                let _ = write!(out, " {:<15}", c.status.name());
+            }
+            out.push('\n');
         }
     }
     out
@@ -252,21 +330,22 @@ fn text_of(schema_version: u32, results: &[BatchResult]) -> String {
 /// un-deprecated for one release) because the byte-identity determinism
 /// goldens pin it; new code should render a [`Report`].
 pub fn to_csv(results: &[BatchResult]) -> String {
-    csv_of(results)
+    csv_of(results, false)
 }
 
-/// JSON under the current schema version.
+/// JSON under the v1 schema (the legacy emitters predate supervision, so
+/// they always render the unsupervised column set).
 ///
 /// Legacy wrapper over the [`Report`] render path; new code should render
 /// a [`Report`].
 pub fn to_json(results: &[BatchResult]) -> String {
-    json_of(SCHEMA_VERSION, results)
+    json_of(SCHEMA_VERSION, results, false)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::executor::CellResult;
+    use crate::executor::{CellResult, CellStatus};
 
     fn sample() -> Vec<BatchResult> {
         vec![BatchResult {
@@ -285,8 +364,31 @@ mod tests {
                 max_secs: 0.013,
                 model_secs: 0.01,
                 error_percent: 25.0,
+                status: CellStatus::Ok,
             }],
         }]
+    }
+
+    /// A sample with one stopped cell (deadlocked, NaN measurements).
+    fn supervised_sample() -> Vec<BatchResult> {
+        let mut results = sample();
+        results[0].cells.push(CellResult {
+            scenario: "s".into(),
+            workload: "uniform".into(),
+            topology: "single-switch".into(),
+            n: 8,
+            message_bytes: 65536,
+            cell_seed: 100,
+            mean_secs: f64::NAN,
+            min_secs: f64::NAN,
+            max_secs: f64::NAN,
+            model_secs: f64::NAN,
+            error_percent: f64::NAN,
+            status: CellStatus::Deadlocked {
+                detail: "ranks [1] blocked, \"quoted\"".into(),
+            },
+        });
+        results
     }
 
     #[test]
@@ -355,5 +457,69 @@ mod tests {
             assert_eq!(ReportFormat::parse(f.name()), Some(f));
         }
         assert_eq!(ReportFormat::parse("yaml"), None);
+    }
+
+    #[test]
+    fn any_stopped_cell_upgrades_the_report_to_the_supervised_schema() {
+        let report = Report::new(supervised_sample());
+        assert_eq!(report.schema_version, SUPERVISED_SCHEMA_VERSION);
+        assert!(report.has_failures());
+        let all_ok = Report::new(sample());
+        assert_eq!(all_ok.schema_version, SCHEMA_VERSION);
+        assert!(!all_ok.has_failures());
+        // A supervised session forces v2 even when every cell passed.
+        let forced = Report::supervised(sample());
+        assert_eq!(forced.schema_version, SUPERVISED_SCHEMA_VERSION);
+        assert!(!forced.has_failures());
+    }
+
+    #[test]
+    fn supervised_csv_appends_status_columns() {
+        let csv = Report::new(supervised_sample()).render(ReportFormat::Csv);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].ends_with("error_percent,status,status_detail"));
+        assert!(lines[1].ends_with(",ok,"), "ok row: {}", lines[1]);
+        assert!(
+            lines[2].contains(",NaN,") && lines[2].contains(",deadlocked,"),
+            "stopped row: {}",
+            lines[2]
+        );
+        // The hostile detail is RFC-4180 quoted, so field counts match.
+        assert!(lines[2].ends_with("\"ranks [1] blocked, \"\"quoted\"\"\""));
+    }
+
+    #[test]
+    fn supervised_json_carries_status_and_null_measurements() {
+        let report = Report::new(supervised_sample());
+        let json = report.render(ReportFormat::Json);
+        assert!(json.starts_with("{\n\"schema_version\": 2,\n"));
+        assert!(json.contains(r#""status": "ok", "status_detail": """#));
+        assert!(json.contains(r#""status": "deadlocked""#));
+        assert!(json.contains(r#""mean_secs": null"#));
+        let opens = json.matches(['{', '[']).count();
+        let closes = json.matches(['}', ']']).count();
+        assert_eq!(opens, closes);
+    }
+
+    #[test]
+    fn supervised_text_shows_the_status_column() {
+        let text = Report::new(supervised_sample()).render(ReportFormat::Text);
+        assert!(text.starts_with("report v2\n"));
+        assert!(text.contains("status"));
+        assert!(text.contains("deadlocked"));
+        // Stopped measurements render as placeholders, not NaN.
+        assert!(!text.contains("NaN"));
+    }
+
+    #[test]
+    fn legacy_wrappers_always_render_v1() {
+        // Even over batches with stopped cells, the legacy emitters keep
+        // the v1 column set (their consumers predate supervision).
+        let csv = to_csv(&supervised_sample());
+        assert!(csv.lines().next().unwrap().ends_with("error_percent"));
+        let json = to_json(&supervised_sample());
+        assert!(json.starts_with("{\n\"schema_version\": 1,\n"));
+        assert!(!json.contains("\"status\""));
     }
 }

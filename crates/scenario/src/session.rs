@@ -45,7 +45,9 @@
 //! ```
 
 use crate::error::CtnError;
-use crate::executor::{self, BatchConfig, BatchResult, CellResult, ModelCtx, ModelKind};
+use crate::executor::{
+    self, BatchConfig, BatchResult, CellResult, FaultPlan, GuardLimits, ModelCtx, ModelKind,
+};
 use crate::metrics::{CacheStats, CellMetrics, SessionMetrics};
 use crate::report::Report;
 use crate::spec::ScenarioSpec;
@@ -56,6 +58,7 @@ use simnet::obs::TelemetryConfig;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
 /// An instance-owned memo of calibration fits, keyed by `(fabric
 /// fingerprint, derived seed)` (plus the model kind for the
@@ -122,11 +125,14 @@ impl CalibrationCache {
     }
 }
 
-/// A cloneable handle that aborts a running sweep between cells.
+/// A cloneable handle that aborts a running sweep.
 ///
-/// Workers check the token before starting each cell, so cancellation is
-/// prompt but never tears a cell mid-simulation; the interrupted
-/// [`Session::run`] returns [`CtnError::Cancelled`].
+/// Workers check the token before starting each cell, and the engines
+/// poll it at their preemption points (every few thousand events), so
+/// cancellation lands with bounded latency even mid-cell. A run
+/// cancelled before anything started returns [`CtnError::Cancelled`]; a
+/// run cancelled in flight still returns its [`Report`], with the
+/// interrupted and unstarted cells carried as `cancelled` status rows.
 ///
 /// Cancellation is **one-shot and permanent** (like other cancellation
 /// tokens, there is deliberately no reset — clearing a flag other
@@ -152,6 +158,12 @@ impl CancelToken {
     /// Whether [`CancelToken::cancel`] has been called.
     pub fn is_cancelled(&self) -> bool {
         self.0.load(Ordering::Acquire)
+    }
+
+    /// The raw shared flag, for wiring into an engine guard
+    /// (`RunGuard::with_cancel_flag`) — the engines only ever read it.
+    pub(crate) fn flag(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.0)
     }
 }
 
@@ -226,6 +238,8 @@ pub struct SessionBuilder {
     cache: Option<Arc<CalibrationCache>>,
     cancel: Option<CancelToken>,
     telemetry: Option<TelemetryConfig>,
+    limits: GuardLimits,
+    faults: Option<FaultPlan>,
 }
 
 impl SessionBuilder {
@@ -283,6 +297,46 @@ impl SessionBuilder {
         self
     }
 
+    /// Wall-clock ceiling per cell (warmup plus every repetition). A
+    /// cell that exceeds it is stopped at the engine's next preemption
+    /// point and reported with status `timed-out`; its siblings keep
+    /// running. Setting any limit stamps reports with the supervised
+    /// schema (v2), which adds the status columns.
+    pub fn deadline(mut self, deadline: Duration) -> Self {
+        self.limits.deadline = Some(deadline);
+        self
+    }
+
+    /// Engine-event budget per cell (rate recomputations in the fluid
+    /// tier). An exhausted budget reports status `budget-exceeded`.
+    pub fn event_budget(mut self, budget: u64) -> Self {
+        self.limits.event_budget = Some(budget);
+        self
+    }
+
+    /// Simulated-time ceiling per cell; crossing it reports status
+    /// `timed-out` with the horizon as provenance.
+    pub fn sim_horizon(mut self, horizon: Duration) -> Self {
+        self.limits.sim_horizon = Some(horizon);
+        self
+    }
+
+    /// Replaces all supervision limits at once.
+    pub fn limits(mut self, limits: GuardLimits) -> Self {
+        self.limits = limits;
+        self
+    }
+
+    /// Installs a deterministic [`FaultPlan`] — **test-only**: it exists
+    /// so the supervision layer's status taxonomy can be exercised
+    /// end-to-end (injected panics, stalls and slowdowns) without
+    /// modifying the engine. Cells the plan does not name run exactly as
+    /// without a plan.
+    pub fn inject_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
     /// Builds the session. Fails with [`CtnError::Config`] when `workers`
     /// was set to zero.
     pub fn build(self) -> Result<Session, CtnError> {
@@ -299,10 +353,12 @@ impl SessionBuilder {
                 workers,
                 base_seed: self.base_seed.unwrap_or(42),
                 model: self.model,
+                limits: self.limits,
             },
             cache: self.cache.unwrap_or_default(),
             cancel: self.cancel.unwrap_or_default(),
             telemetry: self.telemetry,
+            faults: self.faults,
             metrics: Mutex::new(None),
         })
     }
@@ -321,6 +377,7 @@ pub struct Session {
     cache: Arc<CalibrationCache>,
     cancel: CancelToken,
     telemetry: Option<TelemetryConfig>,
+    faults: Option<FaultPlan>,
     metrics: Mutex<Option<SessionMetrics>>,
 }
 
@@ -349,6 +406,11 @@ impl Session {
     /// The session's predictor model.
     pub fn model(&self) -> ModelKind {
         self.cfg.model
+    }
+
+    /// The session's supervision limits (unlimited by default).
+    pub fn limits(&self) -> GuardLimits {
+        self.cfg.limits
     }
 
     /// The session's calibration cache, shareable with other builders.
@@ -397,11 +459,21 @@ impl Session {
             &self.cfg,
             &self.cache,
             self.telemetry.as_ref(),
+            self.faults.as_ref(),
             &mut sink,
             &self.cancel,
         )?;
         *self.metrics.lock().expect("metrics lock") = Some(metrics);
-        Ok(Report::new(batches))
+        // A session with supervision limits stamps the supervised schema
+        // even when every cell passed (the consumer asked for the status
+        // column); an unlimited session's report upgrades only when a
+        // fault actually produced a non-Ok row, so default runs stay
+        // byte-identical to the v1 goldens.
+        if self.cfg.limits.is_unlimited() {
+            Ok(Report::new(batches))
+        } else {
+            Ok(Report::supervised(batches))
+        }
     }
 
     /// Telemetry snapshot of the most recent completed run: wall clock,
@@ -487,6 +559,7 @@ mod tests {
                 workers: 2,
                 base_seed: 7,
                 model: ModelKind::Med,
+                limits: GuardLimits::default(),
             },
         )
         .unwrap();

@@ -4,7 +4,9 @@
 //!
 //! Exit-code contract: `0` success, `1` runtime failure (unknown
 //! scenario, invalid spec, simulation/I-O error), `2` usage error
-//! (unknown command, flag, or flag value).
+//! (unknown command, flag, or flag value), `3` partial failure (the
+//! report was emitted but some cells carry a non-ok supervision
+//! status).
 
 #[path = "common/json_lint.rs"]
 mod json_lint;
@@ -240,4 +242,75 @@ fn metrics_and_trace_flags_write_valid_json_files() {
     );
 
     std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The GM-on-finite-buffer trap as a TOML spec: the run terminates,
+/// emits a schema-v2 report with `deadlocked` rows, and exits 3
+/// (partial failure) instead of hanging.
+#[test]
+fn deadlocking_spec_exits_3_with_deadlocked_status() {
+    let dir = std::env::temp_dir().join(format!("ctnsim-supervision-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let spec_path = dir.join("gm-trap.toml");
+    std::fs::write(
+        &spec_path,
+        r#"name = "gm-finite-buffer-trap"
+
+[sweep]
+message_bytes = [262144]
+nodes = [4]
+reps = 1
+warmup = 0
+
+[topology]
+hosts = 4
+kind = "single-switch"
+
+[topology.link]
+bandwidth_bytes_per_sec = 125000000.0
+latency_ns = 20000
+
+[topology.switch]
+per_port_cap_bytes = 8192
+shared_buffer_bytes = 16384
+
+[transport]
+kind = "gm"
+window_bytes = 1048576
+
+[workload]
+kind = "incast"
+receivers = 1
+"#,
+    )
+    .expect("write spec");
+    let out = ctnsim(&[
+        "run",
+        spec_path.to_str().unwrap(),
+        "--format",
+        "json",
+        "--workers",
+        "1",
+        "--deadline",
+        "60",
+    ]);
+    assert_eq!(code(&out), 3, "stderr: {}", stderr(&out));
+    let json = stdout(&out);
+    validate_json(&json).expect("partial-failure report is still valid JSON");
+    assert!(json.contains("\"schema_version\": 2"), "{json}");
+    assert!(json.contains("\"status\": \"deadlocked\""), "{json}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Supervision flags reject malformed values as usage errors.
+#[test]
+fn bad_supervision_flag_values_are_usage_errors() {
+    for args in [
+        ["run", "incast-burst", "--deadline", "zero"],
+        ["run", "incast-burst", "--deadline", "-1"],
+        ["run", "incast-burst", "--event-budget", "many"],
+    ] {
+        let out = ctnsim(&args);
+        assert_eq!(code(&out), 2, "{args:?}: {}", stderr(&out));
+    }
 }

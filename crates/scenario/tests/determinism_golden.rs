@@ -10,7 +10,7 @@
 //!     --out crates/scenario/tests/golden/incast-burst_seed42_workers_any.csv
 //! ```
 
-use contention_scenario::executor::{run_batches, BatchConfig, ModelKind};
+use contention_scenario::executor::{run_batches, BatchConfig, GuardLimits, ModelKind};
 use contention_scenario::registry::by_name;
 use contention_scenario::report::to_csv;
 
@@ -64,6 +64,7 @@ fn new_fabric_scenarios_are_deterministic_across_workers_and_models() {
                     workers,
                     base_seed: 42,
                     model,
+                    limits: GuardLimits::default(),
                 };
                 let results =
                     run_batches(std::slice::from_ref(&spec), &cfg).expect("scenario runs");

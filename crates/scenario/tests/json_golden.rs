@@ -15,7 +15,7 @@
 #[path = "common/json_lint.rs"]
 mod json_lint;
 
-use contention_scenario::executor::{BatchResult, CellResult};
+use contention_scenario::executor::{BatchResult, CellResult, CellStatus};
 use contention_scenario::report::{to_json, Report, ReportFormat, SCHEMA_VERSION};
 use json_lint::validate_json;
 
@@ -41,6 +41,7 @@ fn hostile() -> Vec<BatchResult> {
             max_secs: 0.013,
             model_secs: 0.01,
             error_percent: f64::NAN,
+            status: CellStatus::Ok,
         }],
     }]
 }

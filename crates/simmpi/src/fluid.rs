@@ -33,8 +33,9 @@
 
 use crate::config::MpiConfig;
 use crate::ops::{Op, Rank};
-use crate::world::RunResult;
+use crate::world::{RunInterrupt, RunResult};
 use simnet::fluid::{FluidCompletion, FluidSim};
+use simnet::guard::RunGuard;
 use simnet::ids::HostId;
 use simnet::obs::Recorder;
 use simnet::time::SimTime;
@@ -179,9 +180,33 @@ impl<'a> FluidWorld<'a> {
     /// Panics if `programs.len()` differs from the rank count or the
     /// programs deadlock (a rank blocked with no flow or event pending).
     pub fn run_with<R: Recorder>(&self, programs: Vec<Vec<Op>>, recorder: R) -> (RunResult, R) {
+        let (result, recorder) = self.try_run_with(programs, recorder, RunGuard::unlimited());
+        match result {
+            Ok(r) => (r, recorder),
+            Err(interrupt) => panic!("{interrupt}"),
+        }
+    }
+
+    /// Like [`FluidWorld::run_with`], but supervised: `guard` limits are
+    /// polled at the fluid engine's preemption points (each advance
+    /// iteration and each driver-loop boundary), and interruptions come
+    /// back as values — a tripped limit as [`RunInterrupt::Guard`], a
+    /// genuine stall (no event and no flow pending while ranks still
+    /// wait) as [`RunInterrupt::Deadlocked`]. The recorder is returned
+    /// either way so partial telemetry can still be harvested.
+    ///
+    /// # Panics
+    /// Panics if `programs.len()` differs from the rank count.
+    pub fn try_run_with<R: Recorder>(
+        &self,
+        programs: Vec<Vec<Op>>,
+        recorder: R,
+        guard: RunGuard,
+    ) -> (Result<RunResult, RunInterrupt>, R) {
         assert_eq!(programs.len(), self.n, "one program per rank");
         let mut net = FluidSim::with_recorder(self.topo, recorder);
         net.set_finish_window(FINISH_WINDOW_REL);
+        net.set_guard(guard);
         let mut interp = Interp {
             topo: self.topo,
             hosts: &self.hosts,
@@ -209,6 +234,16 @@ impl<'a> FluidWorld<'a> {
         (result, interp.net.into_recorder())
     }
 
+    /// [`FluidWorld::try_run_with`] without telemetry.
+    pub fn try_run(
+        &self,
+        programs: Vec<Vec<Op>>,
+        guard: RunGuard,
+    ) -> Result<RunResult, RunInterrupt> {
+        self.try_run_with(programs, simnet::obs::NoopRecorder, guard)
+            .0
+    }
+
     /// [`FluidWorld::run_with`] without telemetry.
     pub fn run(&self, programs: Vec<Vec<Op>>) -> RunResult {
         self.run_with(programs, simnet::obs::NoopRecorder).0
@@ -216,11 +251,17 @@ impl<'a> FluidWorld<'a> {
 }
 
 impl<R: Recorder> Interp<'_, '_, R> {
-    fn execute(&mut self) -> RunResult {
+    fn execute(&mut self) -> Result<RunResult, RunInterrupt> {
         for rank in 0..self.n {
             self.issue_current_op(rank, 0.0);
         }
         while self.unfinished > 0 {
+            // Poll the guard at the driver boundary too: a pure-event
+            // phase (no fluid in flight) must still honor deadlines and
+            // cancellation.
+            if let Some(stop) = self.net.guard_stop() {
+                return Err(RunInterrupt::Guard(stop));
+            }
             let t_event = self.heap.peek().map(|p| f64::from_bits(p.at_bits));
             let t_flow = self.net.next_finish_ns();
             let t = match (t_event, t_flow) {
@@ -228,14 +269,15 @@ impl<R: Recorder> Interp<'_, '_, R> {
                 (Some(a), None) => a,
                 (None, Some(b)) => b,
                 (None, None) => {
-                    let blocked: Vec<usize> = self
+                    let ranks: Vec<usize> = self
                         .ranks
                         .iter()
                         .enumerate()
                         .filter(|(_, r)| r.finished.is_none())
                         .map(|(i, _)| i)
                         .collect();
-                    panic!("deadlock: ranks {blocked:?} blocked with no pending events");
+                    let detail = format!("ranks {ranks:?} blocked with no pending events or flows");
+                    return Err(RunInterrupt::Deadlocked { ranks, detail });
                 }
             };
             // When the next boundary is a flow finish, advance through its
@@ -267,14 +309,14 @@ impl<R: Recorder> Interp<'_, '_, R> {
                 self.complete_part(p.rank, f64::from_bits(p.at_bits));
             }
         }
-        RunResult {
+        Ok(RunResult {
             start: SimTime(0),
             finished: self
                 .ranks
                 .iter()
                 .map(|r| SimTime(r.finished.unwrap().round() as u64))
                 .collect(),
-        }
+        })
     }
 
     fn schedule(&mut self, rank: Rank, at_ns: f64) {
@@ -564,12 +606,39 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "deadlock")]
     fn mismatched_programs_deadlock_with_diagnostic() {
         let (topo, hosts) = star(2);
         let w = world(&topo, &hosts);
         // Rank 0 sends rendezvous-size data, rank 1 never posts a receive.
+        let programs = vec![vec![Op::send(1, 1_000_000)], vec![]];
+        match w.try_run(programs, RunGuard::unlimited()) {
+            Err(RunInterrupt::Deadlocked { ranks, detail }) => {
+                assert_eq!(ranks, vec![0]);
+                assert!(detail.contains("blocked"), "{detail}");
+            }
+            other => panic!("expected a deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlock")]
+    fn run_still_panics_on_deadlock() {
+        let (topo, hosts) = star(2);
+        let w = world(&topo, &hosts);
         let _ = w.run(vec![vec![Op::send(1, 1_000_000)], vec![]]);
+    }
+
+    #[test]
+    fn recompute_budget_interrupts_a_fluid_run() {
+        let n = 8;
+        let (topo, hosts) = star(n);
+        let w = world(&topo, &hosts);
+        let progs = AllToAllAlgorithm::DirectExchange.programs(n, 64 * 1024);
+        let guard = RunGuard::unlimited().with_event_budget(1);
+        match w.try_run(progs, guard) {
+            Err(RunInterrupt::Guard(simnet::guard::GuardStop::Budget { budget: 1 })) => {}
+            other => panic!("expected a budget stop, got {other:?}"),
+        }
     }
 
     #[test]

@@ -54,7 +54,7 @@ pub mod prelude {
     pub use crate::harness::{alltoall_times, ping_pong, stress_run, PingPongPoint, StressResult};
     pub use crate::irregular::ExchangeMatrix;
     pub use crate::ops::{Op, Rank};
-    pub use crate::world::{RunResult, World};
+    pub use crate::world::{RunInterrupt, RunResult, World};
 }
 
 pub use prelude::*;

@@ -97,6 +97,35 @@ pub struct RunResult {
     pub finished: Vec<SimTime>,
 }
 
+/// Why a supervised run returned without finishing every rank.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunInterrupt {
+    /// An installed [`RunGuard`] limit tripped (deadline, horizon,
+    /// budget, or cancellation) at an engine preemption point.
+    Guard(GuardStop),
+    /// Every unfinished rank is blocked with nothing pending to wake it:
+    /// the programs (or the fabric) deadlocked. On the packet tier this
+    /// is the GM-on-finite-buffer trap — tail-dropped data with no
+    /// retransmission timer — detected by the stall detector (event
+    /// queue drained, connections not quiescent) instead of hanging.
+    Deadlocked {
+        /// Ranks that never finished.
+        ranks: Vec<usize>,
+        /// Human-readable diagnostic, including stalled connections
+        /// where the engine can enumerate them.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for RunInterrupt {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunInterrupt::Guard(stop) => write!(f, "run stopped by guard: {stop}"),
+            RunInterrupt::Deadlocked { detail, .. } => write!(f, "deadlock: {detail}"),
+        }
+    }
+}
+
 impl RunResult {
     /// Wall-clock of the collective: last rank's finish minus start.
     pub fn duration_secs(&self) -> f64 {
@@ -203,9 +232,28 @@ impl<R: Recorder> World<R> {
     /// simultaneously").
     ///
     /// # Panics
-    /// Panics if `programs.len()` differs from the rank count or if the
-    /// programs deadlock (every rank blocked with no events pending).
+    /// Panics if `programs.len()` differs from the rank count, if the
+    /// programs deadlock (every rank blocked with no events pending), or
+    /// if a guard installed on the simulator trips — use
+    /// [`World::try_run`] to receive those outcomes as values.
     pub fn run(&mut self, programs: Vec<Vec<Op>>) -> RunResult {
+        match self.try_run(programs) {
+            Ok(r) => r,
+            Err(interrupt) => panic!("{interrupt}"),
+        }
+    }
+
+    /// Like [`World::run`], but interruptions come back as values: a
+    /// tripped [`RunGuard`] limit (install one with
+    /// `world.sim_mut().set_guard(..)`) yields [`RunInterrupt::Guard`],
+    /// and a genuine stall — event queue drained while ranks still wait
+    /// — yields [`RunInterrupt::Deadlocked`] with a diagnostic of the
+    /// blocked ranks and connections. The world is left mid-run after an
+    /// interrupt; discard it rather than running again.
+    ///
+    /// # Panics
+    /// Panics if `programs.len()` differs from the rank count.
+    pub fn try_run(&mut self, programs: Vec<Vec<Op>>) -> Result<RunResult, RunInterrupt> {
         assert_eq!(programs.len(), self.n, "one program per rank");
         // Drain any traffic trailing from a previous run (late ACKs).
         self.sim.run_until_idle();
@@ -232,14 +280,10 @@ impl<R: Recorder> World<R> {
 
         while self.unfinished > 0 {
             let Some(note) = self.sim.poll() else {
-                let blocked: Vec<usize> = self
-                    .ranks
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, r)| r.finished.is_none())
-                    .map(|(i, _)| i)
-                    .collect();
-                panic!("deadlock: ranks {blocked:?} blocked with no pending events");
+                if let Some(stop) = self.sim.take_stop() {
+                    return Err(RunInterrupt::Guard(stop));
+                }
+                return Err(self.deadlock_interrupt());
             };
             match note {
                 Notification::Wakeup { token, .. } => self.on_wakeup(token),
@@ -248,10 +292,46 @@ impl<R: Recorder> World<R> {
             }
         }
 
-        RunResult {
+        Ok(RunResult {
             start,
             finished: self.ranks.iter().map(|r| r.finished.unwrap()).collect(),
+        })
+    }
+
+    /// Builds the stall-detector diagnostic: which ranks never finished,
+    /// and which connections hold unacknowledged bytes with nothing
+    /// pending to move them (since RTO timers live in the event queue, a
+    /// drained queue with unacked bytes is a genuine protocol stall, not
+    /// a simulation still in flight).
+    fn deadlock_interrupt(&self) -> RunInterrupt {
+        let ranks: Vec<usize> = self
+            .ranks
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.finished.is_none())
+            .map(|(i, _)| i)
+            .collect();
+        let mut detail = format!("ranks {ranks:?} blocked with no pending events");
+        let stalled = self.sim.blocked_connections();
+        if !stalled.is_empty() {
+            use std::fmt::Write as _;
+            let shown = stalled.len().min(8);
+            let _ = write!(detail, "; {} stalled connection(s):", stalled.len());
+            for b in &stalled[..shown] {
+                let _ = write!(
+                    detail,
+                    " conn{} host{}→host{} ({} B unacked)",
+                    b.conn.index(),
+                    b.src.index(),
+                    b.dst.index(),
+                    b.unacked_bytes
+                );
+            }
+            if stalled.len() > shown {
+                let _ = write!(detail, " …");
+            }
         }
+        RunInterrupt::Deadlocked { ranks, detail }
     }
 
     fn push_action(&mut self, action: WakeupAction) -> u64 {
@@ -619,7 +699,6 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "deadlock")]
     fn mismatched_programs_deadlock_with_diagnostic() {
         let mpi = MpiConfig {
             eager_threshold: 10, // force rendezvous so the send blocks
@@ -628,7 +707,36 @@ mod tests {
         let mut w = star_world(2, mpi);
         // Rank 0 sends to 1, but rank 1 never posts a receive.
         let programs = vec![vec![Op::send(1, 1000)], vec![]];
-        let _ = w.run(programs);
+        match w.try_run(programs) {
+            Err(RunInterrupt::Deadlocked { ranks, detail }) => {
+                assert_eq!(ranks, vec![0]);
+                assert!(detail.contains("blocked"), "{detail}");
+            }
+            other => panic!("expected a deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlock")]
+    fn run_still_panics_on_deadlock() {
+        let mpi = MpiConfig {
+            eager_threshold: 10,
+            ..MpiConfig::default()
+        };
+        let mut w = star_world(2, mpi);
+        let _ = w.run(vec![vec![Op::send(1, 1000)], vec![]]);
+    }
+
+    #[test]
+    fn guard_interrupt_surfaces_as_a_typed_outcome() {
+        let mut w = star_world(4, MpiConfig::default());
+        w.sim_mut()
+            .set_guard(RunGuard::unlimited().with_event_budget(0));
+        let progs = AllToAllAlgorithm::DirectExchange.programs(4, 64 * 1024);
+        match w.try_run(progs) {
+            Err(RunInterrupt::Guard(GuardStop::Budget { budget: 0 })) => {}
+            other => panic!("expected a budget stop, got {other:?}"),
+        }
     }
 
     #[test]

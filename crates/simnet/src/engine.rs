@@ -32,6 +32,7 @@
 
 use crate::config::{SimConfig, TransportKind};
 use crate::event::{Event, EventQueue, LaneId, RunTemplate};
+use crate::guard::{GuardStop, RunGuard, GUARD_CHECK_INTERVAL};
 use crate::ids::{ConnId, HostId, RouteId, TxId};
 use crate::packet::{Notification, PackedPacket, PacketKind};
 use crate::stats::NetStats;
@@ -263,6 +264,20 @@ pub struct Simulator<R: Recorder = NoopRecorder> {
     stats: NetStats,
     rng: StdRng,
     recorder: R,
+    /// Supervision limits polled every [`GUARD_CHECK_INTERVAL`] events.
+    guard: RunGuard,
+    /// Fast-path gate: false for the default unlimited guard, so the
+    /// hot loop pays one predictable branch per event.
+    guard_active: bool,
+    /// `events_processed` when the guard was installed (budgets are
+    /// relative to installation).
+    guard_event_origin: u64,
+    /// Simulated time when the guard was installed (the horizon is
+    /// relative to installation).
+    guard_time_origin: SimTime,
+    /// Set once a guard limit trips; [`Simulator::step`] then refuses to
+    /// advance until a new guard is installed or the stop is taken.
+    stopped: Option<GuardStop>,
 }
 
 impl Simulator {
@@ -322,6 +337,11 @@ impl<R: Recorder> Simulator<R> {
             stats: NetStats::default(),
             rng: StdRng::seed_from_u64(config.seed),
             recorder,
+            guard: RunGuard::default(),
+            guard_active: false,
+            guard_event_origin: 0,
+            guard_time_origin: SimTime::ZERO,
+            stopped: None,
         }
     }
 
@@ -445,8 +465,13 @@ impl<R: Recorder> Simulator<R> {
         while self.step() {}
     }
 
-    /// Processes one event. Returns false when the queue is empty.
+    /// Processes one event. Returns false when the queue is empty — or
+    /// when an installed [`RunGuard`] limit has tripped (disambiguate
+    /// with [`Simulator::stop_reason`]).
     pub fn step(&mut self) -> bool {
+        if self.guard_active && self.check_guard() {
+            return false;
+        }
         let Some((at, event)) = self.queue.pop() else {
             return false;
         };
@@ -825,6 +850,87 @@ impl<R: Recorder> Simulator<R> {
             .zip(&self.conn_cold)
             .all(|(hot, cold)| hot.snd_una == cold.stream_len())
     }
+
+    /// Installs supervision limits, replacing any previous guard and
+    /// clearing a tripped stop. The event budget and simulated-time
+    /// horizon are measured from this instant; the wall-clock deadline
+    /// is absolute. Installing [`RunGuard::unlimited`] disables all
+    /// checking (the default).
+    pub fn set_guard(&mut self, guard: RunGuard) {
+        self.guard_active = !guard.is_unlimited();
+        self.guard_event_origin = self.stats.events_processed;
+        self.guard_time_origin = self.time;
+        self.stopped = None;
+        self.guard = guard;
+    }
+
+    /// Why the last run stopped early, if a guard limit tripped.
+    /// `None` after a normal drain.
+    pub fn stop_reason(&self) -> Option<GuardStop> {
+        self.stopped
+    }
+
+    /// Takes the stop reason, letting the simulation be stepped again
+    /// (the guard re-trips at the next check if its limit still holds).
+    pub fn take_stop(&mut self) -> Option<GuardStop> {
+        self.stopped.take()
+    }
+
+    /// Guard preemption point: every [`GUARD_CHECK_INTERVAL`] processed
+    /// events, evaluate the installed limits. Returns true when the run
+    /// must stop.
+    #[inline]
+    fn check_guard(&mut self) -> bool {
+        if self.stopped.is_some() {
+            return true;
+        }
+        if self.stats.events_processed & (GUARD_CHECK_INTERVAL - 1) != 0 {
+            return false;
+        }
+        let used = self.stats.events_processed - self.guard_event_origin;
+        let elapsed = self.time.since(self.guard_time_origin);
+        match self.guard.check(used, elapsed) {
+            Some(stop) => {
+                self.stopped = Some(stop);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Connections with bytes queued but not yet acknowledged — the
+    /// stall-detector diagnostic. On a drained, non-quiescent simulation
+    /// (no pending events, [`Simulator::all_quiescent`] false) these are
+    /// the connections whose in-flight data was tail-dropped with no
+    /// retransmission timer to recover it: the GM-on-finite-buffer trap.
+    pub fn blocked_connections(&self) -> Vec<BlockedConn> {
+        self.conn_hot
+            .iter()
+            .zip(&self.conn_cold)
+            .filter(|(hot, cold)| hot.snd_una < cold.stream_len())
+            .map(|(hot, cold)| BlockedConn {
+                conn: cold.id,
+                src: cold.src,
+                dst: cold.dst,
+                unacked_bytes: cold.stream_len() - hot.snd_una,
+            })
+            .collect()
+    }
+}
+
+/// One stalled connection in a [`Simulator::blocked_connections`]
+/// diagnostic: queued bytes remain unacknowledged with nothing pending
+/// to move them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockedConn {
+    /// The stalled connection.
+    pub conn: ConnId,
+    /// Sending host.
+    pub src: HostId,
+    /// Receiving host.
+    pub dst: HostId,
+    /// Bytes queued on the stream but never acknowledged.
+    pub unacked_bytes: u64,
 }
 
 #[cfg(test)]
@@ -854,6 +960,105 @@ mod tests {
             injection_jitter_ns: 0,
             ..SimConfig::default()
         }
+    }
+
+    #[test]
+    fn cancellation_latency_is_bounded_by_one_check_interval() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+        let (mut sim, hosts) = star_sim(
+            8,
+            LinkConfig::gigabit_ethernet(),
+            SwitchConfig::commodity_ethernet(),
+            quiet_config(),
+        );
+        // Enough traffic to outlast the flag flip by far.
+        for (i, &src) in hosts.iter().enumerate() {
+            for &dst in &hosts {
+                if src != dst {
+                    let conn =
+                        sim.open_connection(src, dst, TransportKind::Tcp(TcpConfig::default()));
+                    sim.send(conn, 256 * 1024, i as u64);
+                }
+            }
+        }
+        let flag = Arc::new(AtomicBool::new(false));
+        sim.set_guard(RunGuard::unlimited().with_cancel_flag(Arc::clone(&flag)));
+        let mut flipped_at = None;
+        while sim.step() {
+            let done = sim.stats().events_processed;
+            if done >= 1000 && flipped_at.is_none() {
+                flag.store(true, Ordering::Relaxed);
+                flipped_at = Some(done);
+            }
+        }
+        let flipped_at = flipped_at.expect("simulation outlasted the flip point");
+        assert_eq!(sim.stop_reason(), Some(GuardStop::Cancelled));
+        assert!(
+            sim.stats().events_processed - flipped_at <= GUARD_CHECK_INTERVAL,
+            "cancellation latency {} events exceeds one check interval",
+            sim.stats().events_processed - flipped_at
+        );
+        // A tripped guard pins the simulation: stepping stays refused.
+        assert!(!sim.step());
+    }
+
+    #[test]
+    fn event_budget_stops_within_one_check_interval() {
+        let (mut sim, hosts) = star_sim(
+            4,
+            LinkConfig::gigabit_ethernet(),
+            SwitchConfig::commodity_ethernet(),
+            quiet_config(),
+        );
+        for &src in &hosts {
+            for &dst in &hosts {
+                if src != dst {
+                    let conn =
+                        sim.open_connection(src, dst, TransportKind::Tcp(TcpConfig::default()));
+                    sim.send(conn, 1024 * 1024, 0);
+                }
+            }
+        }
+        sim.set_guard(RunGuard::unlimited().with_event_budget(10_000));
+        sim.run_until_idle();
+        assert!(matches!(
+            sim.stop_reason(),
+            Some(GuardStop::Budget { budget: 10_000 })
+        ));
+        assert!(sim.stats().events_processed >= 10_000);
+        assert!(sim.stats().events_processed < 10_000 + GUARD_CHECK_INTERVAL);
+    }
+
+    #[test]
+    fn unlimited_guard_changes_nothing() {
+        let run = |guarded: bool| {
+            let (mut sim, hosts) = star_sim(
+                4,
+                LinkConfig::gigabit_ethernet(),
+                SwitchConfig::commodity_ethernet(),
+                quiet_config(),
+            );
+            if guarded {
+                sim.set_guard(RunGuard::unlimited());
+            }
+            for &src in &hosts {
+                for &dst in &hosts {
+                    if src != dst {
+                        let conn =
+                            sim.open_connection(src, dst, TransportKind::Tcp(TcpConfig::default()));
+                        sim.send(conn, 64 * 1024, 0);
+                    }
+                }
+            }
+            sim.run_until_idle();
+            (sim.now(), *sim.stats())
+        };
+        let (t0, s0) = run(false);
+        let (t1, s1) = run(true);
+        assert_eq!(t0, t1);
+        assert_eq!(s0.events_processed, s1.events_processed);
+        assert_eq!(s0.packets_dropped, s1.packets_dropped);
     }
 
     #[test]

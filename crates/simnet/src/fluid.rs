@@ -46,6 +46,7 @@
 //! so the cost of a churn event scales with the traffic actually in
 //! flight, not with per-packet state.
 
+use crate::guard::{GuardStop, RunGuard};
 use crate::ids::HostId;
 use crate::time::SimTime;
 use crate::topology::Topology;
@@ -111,6 +112,14 @@ pub struct FluidSim<'a, R: Recorder = NoopRecorder> {
     finish_window_rel: f64,
     /// Lifetime count of full rate recomputations (performance counter).
     recomputes: u64,
+    /// Supervision limits polled once per advance iteration; the event
+    /// budget counts rate recomputations here (the fluid tier's unit of
+    /// solver effort).
+    guard: RunGuard,
+    guard_active: bool,
+    guard_recompute_origin: u64,
+    guard_time_origin_ns: f64,
+    stopped: Option<GuardStop>,
     recorder: R,
     // Scratch buffers reused across recomputations.
     scratch_residual: Vec<f64>,
@@ -154,6 +163,11 @@ impl<'a, R: Recorder> FluidSim<'a, R> {
             dirty: false,
             finish_window_rel: 0.0,
             recomputes: 0,
+            guard: RunGuard::default(),
+            guard_active: false,
+            guard_recompute_origin: 0,
+            guard_time_origin_ns: 0.0,
+            stopped: None,
             recorder,
             scratch_residual: Vec::new(),
             scratch_count: Vec::new(),
@@ -208,6 +222,40 @@ impl<'a, R: Recorder> FluidSim<'a, R> {
     /// The attached recorder.
     pub fn recorder(&self) -> &R {
         &self.recorder
+    }
+
+    /// Installs supervision limits, replacing any previous guard and
+    /// clearing a tripped stop. The budget (counting rate recomputations
+    /// here) and the simulated-time horizon are measured from this
+    /// instant; the wall-clock deadline is absolute.
+    pub fn set_guard(&mut self, guard: RunGuard) {
+        self.guard_active = !guard.is_unlimited();
+        self.guard_recompute_origin = self.recomputes;
+        self.guard_time_origin_ns = self.now_ns;
+        self.stopped = None;
+        self.guard = guard;
+    }
+
+    /// Checks the installed guard now and returns the stop reason if any
+    /// limit has tripped (now or during an earlier advance). Drivers
+    /// poll this between advances so pure-event phases with no fluid in
+    /// flight still honor deadlines and cancellation.
+    pub fn guard_stop(&mut self) -> Option<GuardStop> {
+        if !self.guard_active {
+            return None;
+        }
+        if self.stopped.is_none() {
+            let used = self.recomputes - self.guard_recompute_origin;
+            let elapsed = (self.now_ns - self.guard_time_origin_ns).max(0.0) as u64;
+            self.stopped = self.guard.check(used, elapsed);
+        }
+        self.stopped
+    }
+
+    /// Takes the stop reason, letting the simulation be advanced again
+    /// (the guard re-trips at the next check if its limit still holds).
+    pub fn take_stop(&mut self) -> Option<GuardStop> {
+        self.stopped.take()
     }
 
     /// Consumes the simulation, returning the recorder for harvest.
@@ -393,9 +441,14 @@ impl<'a, R: Recorder> FluidSim<'a, R> {
 
     /// Advances simulated time to exactly `target_ns`, appending every
     /// flow completion at or before it (stamped at its own finish time) to
-    /// `completions`. Finishes within [`DONE_TOLERANCE_BYTES`] of the same
+    /// `completions`. Finishes within `DONE_TOLERANCE_BYTES` of the same
     /// instant coalesce onto that instant, so a symmetric all-to-all's
     /// wave of identical flows costs one churn event, not thousands.
+    ///
+    /// A tripped [`RunGuard`] limit (see [`FluidSim::set_guard`]) makes
+    /// the advance return early, short of `target_ns`; check
+    /// [`FluidSim::guard_stop`] to distinguish that from a completed
+    /// advance.
     ///
     /// # Panics
     /// Panics if `target_ns` is behind the current time.
@@ -405,6 +458,9 @@ impl<'a, R: Recorder> FluidSim<'a, R> {
             "fluid time must advance monotonically"
         );
         loop {
+            if self.guard_active && self.guard_stop().is_some() {
+                return;
+            }
             self.ensure_rates();
             let next = self
                 .flows
@@ -473,6 +529,9 @@ impl<'a, R: Recorder> FluidSim<'a, R> {
             // Give a windowed advance room to coalesce the wave cluster;
             // exact mode stops at `t` either way.
             self.advance_to(t * (1.0 + self.finish_window_rel), &mut completions);
+            if self.stopped.is_some() {
+                break;
+            }
         }
         completions.sort_by_key(|c| c.at);
         completions

@@ -49,6 +49,7 @@ pub mod engine;
 pub mod event;
 pub mod fluid;
 pub mod generate;
+pub mod guard;
 pub mod ids;
 pub mod packet;
 pub mod stats;
@@ -61,7 +62,8 @@ pub mod prelude {
     pub use crate::config::{
         GmConfig, LinkConfig, SimConfig, SwitchConfig, TcpConfig, TransportKind,
     };
-    pub use crate::engine::Simulator;
+    pub use crate::engine::{BlockedConn, Simulator};
+    pub use crate::guard::{GuardStop, RunGuard, GUARD_CHECK_INTERVAL};
     pub use crate::ids::{ConnId, HostId, SwitchId};
     pub use crate::packet::{Notification, PackedPacket, Packet, PacketKind};
     pub use crate::stats::NetStats;
