@@ -28,8 +28,8 @@
 
 use contention_bench::hotpath::{
     build_alltoall, build_fabric, cases, drive_alltoall, drive_fluid, event_equivalents,
-    fluid_cases, Case, Fabric, FLUID_VS_PACKET_BASELINE, GUARD_OVERHEAD_BENCHES,
-    RECORDER_OVERHEAD_BENCHES,
+    fluid_cases, Case, Fabric, DAEMON_OVERHEAD_BENCHES, FLUID_VS_PACKET_BASELINE,
+    GUARD_OVERHEAD_BENCHES, RECORDER_OVERHEAD_BENCHES,
 };
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use simnet::event::{Event, EventQueue, RunTemplate};
@@ -173,6 +173,102 @@ fn bench_guard_overhead(c: &mut Criterion) {
         )
     });
     group.finish();
+}
+
+/// The daemon's serving tax, measured: one trimmed incast cell (4
+/// hosts, 16 KiB) run directly through a `Session`, and the same cell
+/// round-tripped through an in-process `ctnd` daemon — HTTP submit,
+/// event-stream follow, report fetch. Both sides share a pre-warmed
+/// calibration cache (the daemon's own, warmed by a submission before
+/// the timing loop), so the difference is queueing + HTTP framing +
+/// registry bookkeeping, not model fitting. `BENCH_engine.json` keeps
+/// the pair's trajectory so the tax cannot creep silently.
+fn bench_daemon_overhead(c: &mut Criterion) {
+    use contention_scenario::prelude::{
+        CalibrationCache, LinkSpec, ScenarioBuilder, Session, SwitchSpec,
+    };
+    use std::sync::Arc;
+
+    let spec = ScenarioBuilder::new("bench-daemon-overhead")
+        .single_switch(4, LinkSpec::default(), SwitchSpec::default())
+        .incast(1)
+        .nodes([4])
+        .message_bytes([16 * 1024])
+        .reps(1)
+        .warmup(0)
+        .build()
+        .expect("valid bench spec");
+    let spec_toml = spec.to_toml_string();
+
+    let mut group = c.benchmark_group("daemon_overhead");
+    group.sample_size(10);
+
+    let cache = Arc::new(CalibrationCache::new());
+    Session::builder()
+        .workers(2)
+        .shared_cache(Arc::clone(&cache))
+        .build()
+        .expect("warm-up session")
+        .run(&spec)
+        .expect("warm-up run");
+    group.bench_function(DAEMON_OVERHEAD_BENCHES[0], |b| {
+        b.iter(|| {
+            let session = Session::builder()
+                .workers(2)
+                .shared_cache(Arc::clone(&cache))
+                .build()
+                .expect("session");
+            let report = session.run(&spec).expect("direct run");
+            report.render(contention_scenario::prelude::ReportFormat::Json)
+        })
+    });
+
+    let daemon = ctnd::Daemon::spawn(ctnd::DaemonConfig {
+        addr: "127.0.0.1:0".to_string(),
+        run_workers: 1,
+        session_workers: 2,
+        ..ctnd::DaemonConfig::default()
+    })
+    .expect("daemon binds");
+    let addr = daemon.addr();
+    let submit = |toml: &str| -> String {
+        let resp = ctnd::client::request(
+            addr,
+            "POST",
+            "/v1/runs",
+            Some("application/toml"),
+            toml.as_bytes(),
+        )
+        .expect("POST /v1/runs");
+        assert_eq!(resp.status, 202, "{}", resp.body);
+        let start = resp.body.find("\"run_id\": \"").expect("run_id") + 11;
+        let end = resp.body[start..].find('"').expect("run_id close") + start;
+        resp.body[start..end].to_string()
+    };
+    // Warm the daemon's shared cache before timing.
+    let warm_id = submit(&spec_toml);
+    let _ = ctnd::client::request(
+        addr,
+        "GET",
+        &format!("/v1/runs/{warm_id}/events"),
+        None,
+        b"",
+    );
+    group.bench_function(DAEMON_OVERHEAD_BENCHES[1], |b| {
+        b.iter(|| {
+            let id = submit(&spec_toml);
+            // The events stream blocks until the run finishes.
+            ctnd::client::request(addr, "GET", &format!("/v1/runs/{id}/events"), None, b"")
+                .expect("GET events");
+            let report =
+                ctnd::client::request(addr, "GET", &format!("/v1/runs/{id}/report"), None, b"")
+                    .expect("GET report");
+            assert_eq!(report.status, 200, "{}", report.body);
+            report.body
+        })
+    });
+    group.finish();
+    daemon.shutdown();
 }
 
 // ---- event-queue structure benchmark ----------------------------------
@@ -386,6 +482,7 @@ criterion_group!(
     bench_queue_burst,
     bench_recorder_overhead,
     bench_guard_overhead,
+    bench_daemon_overhead,
     bench_fluid_vs_packet
 );
 criterion_main!(benches);

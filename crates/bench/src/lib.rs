@@ -143,6 +143,19 @@ pub mod hotpath {
     pub const RECORDER_OVERHEAD_BENCHES: &[&str] =
         &["noop_tcp_8hosts_64KiB", "recording_tcp_8hosts_64KiB"];
 
+    /// Benchmark ids of the `daemon_overhead` group: the same trimmed
+    /// incast cell (4 hosts, 16 KiB) run directly through a `Session`
+    /// and round-tripped through an in-process `ctnd` daemon (HTTP
+    /// submit → event stream → report fetch). Their difference is the
+    /// daemon's serving tax — queueing, HTTP framing and registry
+    /// bookkeeping — which must stay small next to the simulation
+    /// itself. Both sides run with a pre-warmed calibration cache so the
+    /// comparison measures serving, not fitting.
+    pub const DAEMON_OVERHEAD_BENCHES: &[&str] = &[
+        "direct_session_incast4_16KiB",
+        "daemon_roundtrip_incast4_16KiB",
+    ];
+
     /// Benchmark ids of the `guard_overhead` group: the first hot-path
     /// case run with no guard installed and with the supervision guard a
     /// `Session` wires by default (a cancel-flag-only `RunGuard`, polled
@@ -225,6 +238,11 @@ pub mod hotpath {
                 GUARD_OVERHEAD_BENCHES
                     .iter()
                     .map(|b| format!("guard_overhead/{b}")),
+            )
+            .chain(
+                DAEMON_OVERHEAD_BENCHES
+                    .iter()
+                    .map(|b| format!("daemon_overhead/{b}")),
             )
             .chain(std::iter::once(format!(
                 "fluid_vs_packet/{FLUID_VS_PACKET_BASELINE}"

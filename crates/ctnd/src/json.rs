@@ -1,0 +1,352 @@
+//! A minimal JSON value parser for request bodies.
+//!
+//! The workspace emits JSON by hand (`contention_obs::json`) but never
+//! had to *read* any until the daemon accepted `POST /v1/runs` bodies.
+//! This is a strict recursive-descent parser over the RFC 8259 grammar —
+//! the same rules the test-side `json_lint` checker enforces (no `NaN`,
+//! no leading zeros, no trailing garbage, escapes validated) — that
+//! additionally builds a [`Value`] tree. It stays intentionally tiny:
+//! the daemon's request schema is a flat object of scalars.
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number (always finite; the grammar has no NaN/Infinity).
+    Number(f64),
+    /// A string with escapes resolved.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object as ordered `(key, value)` pairs; lookups take the first
+    /// match.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Member of an object, or `None` for other variants / missing keys.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The object's keys, in document order (empty for non-objects).
+    pub fn keys(&self) -> Vec<&str> {
+        match self {
+            Value::Object(members) => members.iter().map(|(k, _)| k.as_str()).collect(),
+            _ => Vec::new(),
+        }
+    }
+
+    /// String payload, or `None` for other variants.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Numeric payload, or `None` for other variants.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Numeric payload as a non-negative integer; `None` when the value
+    /// is not a number, is negative, or has a fractional part.
+    pub fn as_u64(&self) -> Option<u64> {
+        let n = self.as_f64()?;
+        if n.fract() == 0.0 && (0.0..=u64::MAX as f64).contains(&n) {
+            Some(n as u64)
+        } else {
+            None
+        }
+    }
+}
+
+/// Parses one complete JSON document (trailing garbage is an error).
+pub fn parse(text: &str) -> Result<Value, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    skip_ws(bytes, &mut pos);
+    let value = parse_value(bytes, &mut pos, 0)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing garbage at byte {pos}"));
+    }
+    Ok(value)
+}
+
+/// Nesting beyond this depth is rejected (the daemon's schema is flat;
+/// the cap bounds stack use on hostile bodies).
+const MAX_DEPTH: usize = 64;
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Value, String> {
+    if depth > MAX_DEPTH {
+        return Err("nesting too deep".to_string());
+    }
+    match bytes.get(*pos) {
+        None => Err("unexpected end of document".to_string()),
+        Some(b'{') => parse_object(bytes, pos, depth),
+        Some(b'[') => parse_array(bytes, pos, depth),
+        Some(b'"') => Ok(Value::String(parse_string(bytes, pos)?)),
+        Some(b't') => parse_keyword(bytes, pos, "true", Value::Bool(true)),
+        Some(b'f') => parse_keyword(bytes, pos, "false", Value::Bool(false)),
+        Some(b'n') => parse_keyword(bytes, pos, "null", Value::Null),
+        Some(c) if *c == b'-' || c.is_ascii_digit() => parse_number(bytes, pos),
+        Some(c) => Err(format!("unexpected byte {:?} at {}", *c as char, *pos)),
+    }
+}
+
+fn parse_keyword(bytes: &[u8], pos: &mut usize, word: &str, value: Value) -> Result<Value, String> {
+    if bytes[*pos..].starts_with(word.as_bytes()) {
+        *pos += word.len();
+        Ok(value)
+    } else {
+        Err(format!("invalid literal at byte {pos}"))
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Value, String> {
+    *pos += 1; // {
+    let mut members = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Value::Object(members));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b'"') {
+            return Err(format!("expected object key at byte {pos}"));
+        }
+        let key = parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b':') {
+            return Err(format!("expected ':' at byte {pos}"));
+        }
+        *pos += 1;
+        skip_ws(bytes, pos);
+        let value = parse_value(bytes, pos, depth + 1)?;
+        members.push((key, value));
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Value::Object(members));
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+        }
+    }
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Value, String> {
+    *pos += 1; // [
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Value::Array(items));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        items.push(parse_value(bytes, pos, depth + 1)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Value::Array(items));
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+        }
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    *pos += 1; // opening quote
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err("unterminated string".to_string()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'b') => out.push('\u{0008}'),
+                    Some(b'f') => out.push('\u{000C}'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        *pos += 1;
+                        let unit = parse_hex4(bytes, *pos)?;
+                        *pos += 3; // the common += 1 below covers the 4th digit
+                        let ch = if (0xD800..0xDC00).contains(&unit) {
+                            // High surrogate: a \uXXXX low surrogate must follow.
+                            if bytes.get(*pos + 1) != Some(&b'\\')
+                                || bytes.get(*pos + 2) != Some(&b'u')
+                            {
+                                return Err("unpaired surrogate".to_string());
+                            }
+                            let low = parse_hex4(bytes, *pos + 3)?;
+                            if !(0xDC00..0xE000).contains(&low) {
+                                return Err("invalid low surrogate".to_string());
+                            }
+                            *pos += 6;
+                            let code = 0x10000 + ((unit - 0xD800) << 10) + (low - 0xDC00);
+                            char::from_u32(code).ok_or("invalid surrogate pair")?
+                        } else if (0xDC00..0xE000).contains(&unit) {
+                            return Err("unpaired low surrogate".to_string());
+                        } else {
+                            char::from_u32(unit).ok_or("invalid \\u escape")?
+                        };
+                        out.push(ch);
+                    }
+                    _ => return Err(format!("invalid escape at byte {pos}")),
+                }
+                *pos += 1;
+            }
+            Some(c) if *c < 0x20 => {
+                return Err(format!("raw control character at byte {pos}"));
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar (the input is a &str, so
+                // boundaries are valid by construction).
+                let rest = std::str::from_utf8(&bytes[*pos..]).map_err(|e| e.to_string())?;
+                let ch = rest.chars().next().expect("non-empty");
+                out.push(ch);
+                *pos += ch.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_hex4(bytes: &[u8], at: usize) -> Result<u32, String> {
+    if at + 4 > bytes.len() {
+        return Err("truncated \\u escape".to_string());
+    }
+    let hex = std::str::from_utf8(&bytes[at..at + 4]).map_err(|e| e.to_string())?;
+    u32::from_str_radix(hex, 16).map_err(|_| format!("invalid \\u escape {hex:?}"))
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    // Integer part: one zero, or a nonzero digit run (no leading zeros).
+    match bytes.get(*pos) {
+        Some(b'0') => *pos += 1,
+        Some(c) if c.is_ascii_digit() => {
+            while matches!(bytes.get(*pos), Some(c) if c.is_ascii_digit()) {
+                *pos += 1;
+            }
+        }
+        _ => return Err(format!("invalid number at byte {start}")),
+    }
+    if bytes.get(*pos) == Some(&b'.') {
+        *pos += 1;
+        if !matches!(bytes.get(*pos), Some(c) if c.is_ascii_digit()) {
+            return Err(format!("invalid fraction at byte {pos}"));
+        }
+        while matches!(bytes.get(*pos), Some(c) if c.is_ascii_digit()) {
+            *pos += 1;
+        }
+    }
+    if matches!(bytes.get(*pos), Some(b'e') | Some(b'E')) {
+        *pos += 1;
+        if matches!(bytes.get(*pos), Some(b'+') | Some(b'-')) {
+            *pos += 1;
+        }
+        if !matches!(bytes.get(*pos), Some(c) if c.is_ascii_digit()) {
+            return Err(format!("invalid exponent at byte {pos}"));
+        }
+        while matches!(bytes.get(*pos), Some(c) if c.is_ascii_digit()) {
+            *pos += 1;
+        }
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).map_err(|e| e.to_string())?;
+    let n: f64 = text
+        .parse()
+        .map_err(|_| format!("unparseable number {text:?}"))?;
+    Ok(Value::Number(n))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_flat_request_body() {
+        let v = parse(r#"{"scenario": "incast-burst", "deadline_ms": 1500, "seed": 7}"#).unwrap();
+        assert_eq!(v.get("scenario").unwrap().as_str(), Some("incast-burst"));
+        assert_eq!(v.get("deadline_ms").unwrap().as_u64(), Some(1500));
+        assert_eq!(v.get("seed").unwrap().as_u64(), Some(7));
+        assert_eq!(v.get("missing"), None);
+        assert_eq!(v.keys(), vec!["scenario", "deadline_ms", "seed"]);
+    }
+
+    #[test]
+    fn parses_nesting_escapes_and_literals() {
+        let v =
+            parse(r#"{"a": [1, -2.5, 1e3, true, false, null], "s": "q\"\n\u0041\uD83D\uDE00"}"#)
+                .unwrap();
+        let Value::Array(items) = v.get("a").unwrap() else {
+            panic!("array expected");
+        };
+        assert_eq!(items.len(), 6);
+        assert_eq!(items[1].as_f64(), Some(-2.5));
+        assert_eq!(items[2].as_f64(), Some(1000.0));
+        assert_eq!(items[1].as_u64(), None, "fractional is not a u64");
+        assert_eq!(v.get("s").unwrap().as_str(), Some("q\"\nA\u{1F600}"));
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "{\"a\":}",
+            "{\"a\": 1,}",
+            "[1 2]",
+            "NaN",
+            "Infinity",
+            "01",
+            "1.",
+            "1e",
+            "\"\\q\"",
+            "\"\u{0009}ctl-ok-escaped?\"", // raw tab inside a string
+            "{\"a\": 1} trailing",
+            "\"\\uD800\"", // unpaired surrogate
+        ] {
+            assert!(parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn first_key_wins_on_duplicates() {
+        let v = parse(r#"{"k": 1, "k": 2}"#).unwrap();
+        assert_eq!(v.get("k").unwrap().as_u64(), Some(1));
+    }
+}

@@ -1,0 +1,108 @@
+//! The `ctnd` binary: flag parsing, signal wiring, and the
+//! wait-for-shutdown loop around [`ctnd::Daemon`].
+//!
+//! Exit codes: `0` clean shutdown (including signal-triggered drains),
+//! `1` runtime failure (bind error), `2` usage error.
+
+use ctnd::{signal, Daemon, DaemonConfig};
+use std::process::ExitCode;
+use std::time::Duration;
+
+const USAGE: &str = "ctnd — simulation-serving daemon
+
+USAGE:
+    ctnd [OPTIONS]
+
+OPTIONS:
+    --addr A                    Listen address (default 127.0.0.1:7411; port 0
+                                binds an ephemeral port)
+    --run-workers N             Sessions executing in parallel (default 2)
+    --session-workers N         Worker threads inside each session (default 2;
+                                reports are byte-identical for any value)
+    --queue-depth N             Queued-run ceiling; beyond it POST /v1/runs
+                                answers 429 + Retry-After (default 16)
+    --ttl-secs N                Completed-report retention (default 600)
+    --seed S                    Base seed for requests that send none
+                                (default 42)
+    --default-deadline-secs N   Wall-clock deadline applied to requests that
+                                send no deadline_ms (default: none — unlimited
+                                runs keep reports byte-identical to ctnsim)
+    --conn-workers N            HTTP connection threads (default 8)
+    --max-body-bytes N          Request-body cap (default 1048576)
+    --help                      Show this help
+
+SIGTERM or ctrl-c drains gracefully: admission stops (503), queued and
+in-flight runs are cancelled, their partial reports flush, exit 0.
+";
+
+fn parse_args(args: &[String]) -> Result<Option<DaemonConfig>, String> {
+    let mut cfg = DaemonConfig::default();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        if flag == "--help" || flag == "-h" {
+            return Ok(None);
+        }
+        let value = it
+            .next()
+            .ok_or_else(|| format!("{flag} needs a value"))?
+            .clone();
+        let numeric = |what: &str| -> Result<u64, String> {
+            value
+                .parse::<u64>()
+                .map_err(|_| format!("{what} must be a non-negative integer, got {value:?}"))
+        };
+        match flag.as_str() {
+            "--addr" => cfg.addr = value,
+            "--run-workers" => cfg.run_workers = numeric("--run-workers")? as usize,
+            "--session-workers" => cfg.session_workers = numeric("--session-workers")? as usize,
+            "--queue-depth" => cfg.queue_depth = numeric("--queue-depth")? as usize,
+            "--ttl-secs" => cfg.ttl = Duration::from_secs(numeric("--ttl-secs")?),
+            "--seed" => cfg.base_seed = numeric("--seed")?,
+            "--default-deadline-secs" => {
+                cfg.default_deadline =
+                    Some(Duration::from_secs(numeric("--default-deadline-secs")?))
+            }
+            "--conn-workers" => cfg.conn_workers = numeric("--conn-workers")? as usize,
+            "--max-body-bytes" => cfg.max_body_bytes = numeric("--max-body-bytes")? as usize,
+            _ => return Err(format!("unknown flag {flag:?}")),
+        }
+    }
+    Ok(Some(cfg))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cfg = match parse_args(&args) {
+        Ok(Some(cfg)) => cfg,
+        Ok(None) => {
+            print!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Err(e) => {
+            eprintln!("ctnd: {e}");
+            eprint!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    signal::install_handlers();
+    let daemon = match Daemon::spawn(cfg.clone()) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("ctnd: failed to start on {}: {e}", cfg.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "ctnd: listening on http://{} ({} run worker(s), queue depth {})",
+        daemon.addr(),
+        cfg.run_workers,
+        cfg.queue_depth
+    );
+    while !signal::shutdown_requested() {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    eprintln!("ctnd: shutdown requested, draining");
+    daemon.shutdown();
+    eprintln!("ctnd: drained cleanly");
+    ExitCode::SUCCESS
+}

@@ -27,12 +27,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod counters;
 pub mod engine;
 pub mod hist;
 pub mod json;
 pub mod sample;
 pub mod trace;
 
+pub use counters::CounterSet;
 pub use engine::{EngineRecorder, EngineTelemetry, LinkTelemetry, Mark, MarkKind, TelemetryConfig};
 pub use hist::Log2Hist;
 pub use sample::{RingSampler, Sample};

@@ -270,12 +270,24 @@ fn emit(options: &Options, report: &Report) -> Result<(), String> {
 
 fn cmd_list() -> ExitCode {
     let all = registry::builtin();
-    println!("{:<28} {:>5}  DESCRIPTION", "NAME", "CELLS");
+    println!(
+        "{:<28} {:>5}  {:<7}  DESCRIPTION",
+        "NAME", "CELLS", "BACKEND"
+    );
+    let mut fluid_only = 0usize;
     for spec in &all {
+        let backend = match spec.backend {
+            Backend::Fluid => {
+                fluid_only += 1;
+                "fluid"
+            }
+            Backend::Packet => "any",
+        };
         println!(
-            "{:<28} {:>5}  {}",
+            "{:<28} {:>5}  {:<7}  {}",
             spec.name,
             spec.sweep.nodes.len() * spec.sweep.message_bytes.len(),
+            backend,
             spec.description
         );
     }
@@ -283,6 +295,12 @@ fn cmd_list() -> ExitCode {
         "\n{} scenarios; `ctnsim run <name>` executes one.",
         all.len()
     );
+    if fluid_only > 0 {
+        println!(
+            "Scenarios marked `fluid` are sized for the fluid backend; forcing \
+             `--backend packet` on them is rejected or impractically slow."
+        );
+    }
     ExitCode::SUCCESS
 }
 

@@ -64,6 +64,17 @@ impl CacheStats {
             inserts: self.inserts - earlier.inserts,
         }
     }
+
+    /// Counter-wise sum — the inverse of [`CacheStats::since`]: adding
+    /// every per-run delta over a shared cache reconstructs the lifetime
+    /// counters.
+    pub fn merged(&self, other: &CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits + other.hits,
+            misses: self.misses + other.misses,
+            inserts: self.inserts + other.inserts,
+        }
+    }
 }
 
 /// Telemetry for one finished grid cell.
@@ -124,6 +135,50 @@ pub struct SessionMetrics {
 }
 
 impl SessionMetrics {
+    /// Folds another run's snapshot into this one, for aggregation
+    /// across sessions (a daemon serving many runs wants one cumulative
+    /// document, not one per session):
+    ///
+    /// * `wall_secs` accumulates (total serving time across runs);
+    /// * `workers` merge **by worker index** — occupancy of worker *k*
+    ///   across runs sums into one entry, kept sorted by index;
+    /// * `cache` counters sum (feed per-run *deltas* from
+    ///   [`CacheStats::since`] when runs share one cache, or the
+    ///   per-run snapshots when each session owns its cache);
+    /// * `cells` append in merge order.
+    ///
+    /// Merging is associative — any fold order over the same snapshots
+    /// yields the same aggregate — and `SessionMetrics::default()` is
+    /// its identity, so a running aggregate can start empty.
+    pub fn merge(&mut self, other: &SessionMetrics) {
+        self.wall_secs += other.wall_secs;
+        for w in &other.workers {
+            match self.workers.iter_mut().find(|m| m.worker == w.worker) {
+                Some(mine) => {
+                    mine.cells += w.cells;
+                    mine.busy_secs += w.busy_secs;
+                }
+                None => self.workers.push(*w),
+            }
+        }
+        self.workers.sort_by_key(|w| w.worker);
+        self.cache = self.cache.merged(&other.cache);
+        self.cells.extend(other.cells.iter().cloned());
+    }
+
+    /// Aggregates any number of snapshots: [`SessionMetrics::merge`]
+    /// folded over the identity.
+    pub fn aggregate<'a, I>(runs: I) -> SessionMetrics
+    where
+        I: IntoIterator<Item = &'a SessionMetrics>,
+    {
+        let mut total = SessionMetrics::default();
+        for run in runs {
+            total.merge(run);
+        }
+        total
+    }
+
     /// Renders the metrics JSON document (schema
     /// [`METRICS_SCHEMA_VERSION`]). Link series are capped to the
     /// busiest `SERIES_LINKS_LIMIT` (16) links per cell; the cap is
@@ -426,6 +481,116 @@ mod tests {
                 inserts: 0
             }
         );
+    }
+
+    /// A snapshot with dyadic-rational wall-clock values so f64 addition
+    /// is exact and associativity can be asserted with `==`.
+    fn dyadic_metrics(worker: usize, wall: f64, hits: u64, scenario: &str) -> SessionMetrics {
+        SessionMetrics {
+            wall_secs: wall,
+            workers: vec![WorkerMetrics {
+                worker,
+                cells: 1,
+                busy_secs: wall / 2.0,
+            }],
+            cache: CacheStats {
+                hits,
+                misses: 1,
+                inserts: 1,
+            },
+            cells: vec![CellMetrics {
+                scenario: scenario.to_string(),
+                n: 2,
+                message_bytes: 1024,
+                worker,
+                schedule_index: 0,
+                start_secs: 0.0,
+                wall_secs: wall / 2.0,
+                status: "ok".to_string(),
+                engine: None,
+            }],
+        }
+    }
+
+    #[test]
+    fn merge_is_associative_with_default_identity() {
+        let a = dyadic_metrics(0, 0.5, 2, "a");
+        let b = dyadic_metrics(1, 0.25, 3, "b");
+        let c = dyadic_metrics(0, 2.0, 5, "c");
+
+        // (a ⊕ b) ⊕ c
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        // a ⊕ (b ⊕ c)
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        assert_eq!(left.render_json(), right.render_json());
+
+        // Identity on both sides.
+        let mut from_empty = SessionMetrics::default();
+        from_empty.merge(&a);
+        let mut onto_empty = a.clone();
+        onto_empty.merge(&SessionMetrics::default());
+        assert_eq!(from_empty.render_json(), a.render_json());
+        assert_eq!(onto_empty.render_json(), a.render_json());
+
+        // aggregate() is the same fold.
+        let agg = SessionMetrics::aggregate([&a, &b, &c]);
+        assert_eq!(agg.render_json(), left.render_json());
+    }
+
+    #[test]
+    fn merge_sums_worker_occupancy_by_index() {
+        let mut total = SessionMetrics::aggregate([
+            &dyadic_metrics(1, 0.5, 0, "x"),
+            &dyadic_metrics(0, 0.25, 0, "y"),
+            &dyadic_metrics(1, 0.125, 0, "z"),
+        ]);
+        total.workers.sort_by_key(|w| w.worker); // already sorted; assert it
+        assert_eq!(total.workers.len(), 2);
+        assert_eq!(total.workers[0].worker, 0);
+        assert_eq!(total.workers[0].cells, 1);
+        assert_eq!(total.workers[1].worker, 1);
+        assert_eq!(total.workers[1].cells, 2);
+        assert_eq!(total.workers[1].busy_secs, 0.25 + 0.0625);
+        assert_eq!(total.wall_secs, 0.875);
+        assert_eq!(total.cells.len(), 3);
+        assert_eq!(total.cells[0].scenario, "x");
+        assert_eq!(total.cells[2].scenario, "z");
+    }
+
+    #[test]
+    fn cache_stats_merged_sums_per_run_deltas_back_to_lifetime() {
+        // Three snapshots of one shared cache's lifetime counters …
+        let s0 = CacheStats::default();
+        let s1 = CacheStats {
+            hits: 3,
+            misses: 2,
+            inserts: 2,
+        };
+        let s2 = CacheStats {
+            hits: 9,
+            misses: 3,
+            inserts: 2,
+        };
+        // … whose per-run deltas sum back to the lifetime total.
+        let run1 = s1.since(&s0);
+        let run2 = s2.since(&s1);
+        assert_eq!(run1.merged(&run2), s2.since(&s0));
+        assert_eq!(run1.merged(&CacheStats::default()), run1);
+        // merge() feeds cache counters through the same sum.
+        let mut m = SessionMetrics {
+            cache: run1,
+            ..SessionMetrics::default()
+        };
+        m.merge(&SessionMetrics {
+            cache: run2,
+            ..SessionMetrics::default()
+        });
+        assert_eq!(m.cache, s2);
     }
 
     #[test]

@@ -138,6 +138,41 @@ fn list_names_every_builtin() {
     }
 }
 
+/// Backend-restricted builtins are flagged in the listing so nobody
+/// submits a 1k–4k-host fluid scenario to the packet tier and discovers
+/// the mistake an hour later: every fluid-only row carries `fluid` in
+/// the BACKEND column, every unrestricted row carries `any`, and the
+/// footnote explains the restriction.
+#[test]
+fn list_flags_backend_restricted_builtins() {
+    use contention_scenario::prelude::Backend;
+    let out = ctnsim(&["list"]);
+    assert_eq!(code(&out), 0);
+    let text = stdout(&out);
+    assert!(text.contains("BACKEND"), "missing column header:\n{text}");
+    let mut fluid_rows = 0;
+    for spec in contention_scenario::registry::builtin() {
+        let row = text
+            .lines()
+            .find(|l| l.starts_with(&spec.name))
+            .unwrap_or_else(|| panic!("no row for {}", spec.name));
+        match spec.backend {
+            Backend::Fluid => {
+                fluid_rows += 1;
+                assert!(row.contains(" fluid "), "unflagged fluid row: {row}");
+            }
+            Backend::Packet => {
+                assert!(row.contains(" any "), "packet row not `any`: {row}");
+            }
+        }
+    }
+    assert_eq!(fluid_rows, 2, "the registry has two fluid-only builtins");
+    assert!(
+        text.contains("fluid backend"),
+        "missing footnote about the restriction:\n{text}"
+    );
+}
+
 /// One tiny real run per format: the json output must satisfy the strict
 /// validity lint, the csv output the fixed header, the text output the
 /// version banner; `--progress` streams cell lines to stderr without
